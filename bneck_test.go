@@ -1,0 +1,193 @@
+package bneck_test
+
+import (
+	"testing"
+	"time"
+
+	"bneck"
+)
+
+func buildDumbbell(t *testing.T) (*bneck.Simulation, *bneck.Session, *bneck.Session) {
+	t.Helper()
+	b := bneck.NewNetwork()
+	r1, r2 := b.Router("r1"), b.Router("r2")
+	h1, h2 := b.Host("h1"), b.Host("h2")
+	h3, h4 := b.Host("h3"), b.Host("h4")
+	b.Link(h1, r1, bneck.Mbps(100), time.Microsecond)
+	b.Link(h3, r1, bneck.Mbps(100), time.Microsecond)
+	b.Link(r1, r2, bneck.Mbps(60), time.Microsecond)
+	b.Link(r2, h2, bneck.Mbps(100), time.Microsecond)
+	b.Link(r2, h4, bneck.Mbps(100), time.Microsecond)
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := sim.Session(h1, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := sim.Session(h3, h4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, s1, s2
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sim, s1, s2 := buildDumbbell(t)
+	s1.JoinAt(0, bneck.Unlimited)
+	s2.JoinAt(0, bneck.Unlimited)
+	rep := sim.RunToQuiescence()
+	if err := sim.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rates) != 2 {
+		t.Fatalf("rates = %v", rep.Rates)
+	}
+	want := bneck.Mbps(30)
+	for id, r := range rep.Rates {
+		if !r.Equal(want) {
+			t.Fatalf("session %d rate = %v, want %v", id, r, want)
+		}
+	}
+	if !s1.Converged() || !s2.Converged() {
+		t.Fatalf("sessions not converged")
+	}
+	if rep.Packets == 0 || rep.Quiescence <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestPublicAPIDynamics(t *testing.T) {
+	sim, s1, s2 := buildDumbbell(t)
+	s1.JoinAt(0, bneck.Unlimited)
+	sim.RunToQuiescence()
+	if r, _ := s1.Rate(); !r.Equal(bneck.Mbps(60)) {
+		t.Fatalf("solo rate = %v", r)
+	}
+	s2.JoinAt(sim.Now()+time.Millisecond, bneck.Mbps(10))
+	sim.RunToQuiescence()
+	if err := sim.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := s1.Rate(); !r.Equal(bneck.Mbps(50)) {
+		t.Fatalf("s1 rate with capped peer = %v", r)
+	}
+	s2.ChangeAt(sim.Now()+time.Millisecond, bneck.Unlimited)
+	sim.RunToQuiescence()
+	if r, _ := s2.Rate(); !r.Equal(bneck.Mbps(30)) {
+		t.Fatalf("s2 rate after change = %v", r)
+	}
+	s1.LeaveAt(sim.Now() + time.Millisecond)
+	sim.RunToQuiescence()
+	if err := sim.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := s2.Rate(); !r.Equal(bneck.Mbps(60)) {
+		t.Fatalf("s2 rate after leave = %v", r)
+	}
+	if s1.Active() {
+		t.Fatalf("s1 still active")
+	}
+}
+
+func TestPublicAPIOracleAgrees(t *testing.T) {
+	sim, s1, s2 := buildDumbbell(t)
+	s1.JoinAt(0, bneck.Unlimited)
+	s2.JoinAt(0, bneck.Mbps(5))
+	sim.RunToQuiescence()
+	oracle, err := sim.Oracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := s1.Rate()
+	r2, _ := s2.Rate()
+	if !oracle[s1.ID()].Equal(r1) || !oracle[s2.ID()].Equal(r2) {
+		t.Fatalf("oracle %v disagrees with granted %v/%v", oracle, r1, r2)
+	}
+}
+
+func TestPublicAPITransitStub(t *testing.T) {
+	sim, err := bneck.NewTransitStub(bneck.Small, bneck.LAN, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.AddHosts(20); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		src, dst, err := sim.RandomHostPair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sim.Session(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.JoinAt(time.Duration(i)*50*time.Microsecond, bneck.Unlimited)
+	}
+	sim.RunToQuiescence()
+	if err := sim.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIRateCallback(t *testing.T) {
+	var events int
+	b := bneck.NewNetwork()
+	r1 := b.Router("r1")
+	h1, h2 := b.Host("h1"), b.Host("h2")
+	b.Link(h1, r1, bneck.Mbps(100), time.Microsecond)
+	b.Link(r1, h2, bneck.Mbps(100), time.Microsecond)
+	sim, err := b.Build(bneck.WithRateCallback(func(s bneck.SessionID, r bneck.Rate, at time.Duration) {
+		events++
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.Session(h1, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.JoinAt(0, bneck.Mbps(10))
+	sim.RunToQuiescence()
+	if events == 0 {
+		t.Fatalf("rate callback never fired")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := bneck.NewNetwork()
+	h := b.Host("h")
+	// Unattached host must fail validation.
+	if _, err := b.Build(); err == nil {
+		t.Fatalf("expected error for unattached host")
+	}
+	_ = h
+
+	b2 := bneck.NewNetwork()
+	r := b2.Router("r")
+	b2.Link(r, r, bneck.Mbps(1), 0) // self loop recorded as builder error
+	if _, err := b2.Build(); err == nil {
+		t.Fatalf("expected error for self loop")
+	}
+
+	if _, err := bneck.NewTransitStub(bneck.Size(99), bneck.LAN, 1); err == nil {
+		t.Fatalf("expected error for unknown size")
+	}
+}
+
+func TestHandBuiltAddHostsFails(t *testing.T) {
+	b := bneck.NewNetwork()
+	r := b.Router("r")
+	h1, h2 := b.Host("h1"), b.Host("h2")
+	b.Link(h1, r, bneck.Mbps(10), 0)
+	b.Link(h2, r, bneck.Mbps(10), 0)
+	sim, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.AddHosts(1); err == nil {
+		t.Fatalf("expected error on hand-built network")
+	}
+}

@@ -1,0 +1,147 @@
+package bneck
+
+import (
+	"fmt"
+	"time"
+
+	"bneck/internal/graph"
+	"bneck/internal/topology"
+)
+
+// Node is a router or host handle returned by NetworkBuilder.
+type Node struct {
+	id graph.NodeID
+}
+
+// NetworkBuilder assembles a hand-built topology. All links are duplex with
+// symmetric capacity and propagation delay, per the paper's model.
+type NetworkBuilder struct {
+	g   *graph.Graph
+	err error
+}
+
+// NewNetwork returns an empty builder.
+func NewNetwork() *NetworkBuilder {
+	return &NetworkBuilder{g: graph.New()}
+}
+
+// Router adds a router.
+func (b *NetworkBuilder) Router(name string) Node {
+	return Node{id: b.g.AddRouter(name)}
+}
+
+// Host adds a host. Hosts terminate sessions and must be connected to
+// exactly one router.
+func (b *NetworkBuilder) Host(name string) Node {
+	return Node{id: b.g.AddHost(name)}
+}
+
+// Link connects two nodes with a duplex link.
+func (b *NetworkBuilder) Link(x, y Node, capacity Rate, propagation time.Duration) {
+	if b.err != nil {
+		return
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				b.err = fmt.Errorf("bneck: %v", r)
+			}
+		}()
+		b.g.Connect(x.id, y.id, capacity, propagation)
+	}()
+}
+
+// Build validates the topology and returns a Simulation with default
+// options.
+func (b *NetworkBuilder) Build(opts ...Option) (*Simulation, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, fmt.Errorf("bneck: invalid topology: %w", err)
+	}
+	return newSimulation(b.g, nil, opts...)
+}
+
+// Size selects one of the paper's topology scales for NewTransitStub.
+type Size int
+
+const (
+	// Small is the paper's 110-router topology.
+	Small Size = iota + 1
+	// Medium is the paper's 1,100-router topology.
+	Medium
+	// Big is the paper's 11,000-router topology.
+	Big
+)
+
+// Scenario selects the propagation model for NewTransitStub.
+type Scenario int
+
+const (
+	// LAN fixes all propagation delays at 1 µs.
+	LAN Scenario = iota + 1
+	// WAN draws router-link delays uniformly from 1–10 ms.
+	WAN
+)
+
+// NewTransitStub generates one of the paper's transit-stub topologies. Add
+// hosts with Simulation.AddHosts before creating sessions.
+func NewTransitStub(size Size, scen Scenario, seed int64, opts ...Option) (*Simulation, error) {
+	var params topology.Params
+	switch size {
+	case Small:
+		params = topology.Small
+	case Medium:
+		params = topology.Medium
+	case Big:
+		params = topology.Big
+	default:
+		return nil, fmt.Errorf("bneck: unknown size %d", size)
+	}
+	var tScen topology.Scenario
+	switch scen {
+	case LAN:
+		tScen = topology.LAN
+	case WAN:
+		tScen = topology.WAN
+	default:
+		return nil, fmt.Errorf("bneck: unknown scenario %d", scen)
+	}
+	topo, err := topology.Generate(params, tScen, seed)
+	if err != nil {
+		return nil, err
+	}
+	return newSimulation(topo.Graph, topo, opts...)
+}
+
+// Option customizes a Simulation.
+type Option func(*options)
+
+type options struct {
+	controlPacketBits int64
+	binSize           time.Duration
+	onRate            func(SessionID, Rate, time.Duration)
+}
+
+func defaultOptions() options {
+	return options{controlPacketBits: 512, binSize: 5 * time.Millisecond}
+}
+
+// WithControlPacketBits sets the control packet size used for per-link
+// transmission (serialization) delay; 0 models ideal links.
+func WithControlPacketBits(bits int64) Option {
+	return func(o *options) { o.controlPacketBits = bits }
+}
+
+// WithTrafficBinSize sets the packet-count aggregation interval of
+// Simulation.TrafficBins.
+func WithTrafficBinSize(d time.Duration) Option {
+	return func(o *options) { o.binSize = d }
+}
+
+// WithRateCallback observes every API.Rate upcall: the session, the granted
+// rate, and the virtual time.
+func WithRateCallback(fn func(s SessionID, r Rate, at time.Duration)) Option {
+	return func(o *options) { o.onRate = fn }
+}

@@ -1,0 +1,222 @@
+// Command bneck runs one B-Neck scenario on a generated transit-stub
+// topology and prints the resulting max-min fair rate table, the time to
+// quiescence, and the control-traffic totals — a quick way to poke at the
+// algorithm.
+//
+// Usage:
+//
+//	bneck [-size small|medium|big] [-scenario lan|wan] [-sessions N]
+//	      [-demand-cap P] [-seed S] [-validate] [-v] [-live]
+//
+// With -live the protocol runs on the concurrent actor runtime (one
+// goroutine per task, no simulator): quiescence becomes wall-clock
+// termination and the scenario exercises real parallelism.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"bneck/internal/exp"
+	"bneck/internal/graph"
+	"bneck/internal/live"
+	"bneck/internal/network"
+	"bneck/internal/rate"
+	"bneck/internal/sim"
+	"bneck/internal/topology"
+	"bneck/internal/trace"
+	"bneck/internal/waterfill"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bneck: ")
+
+	var (
+		sizeName  = flag.String("size", "small", "topology size: small, medium, big")
+		scenName  = flag.String("scenario", "lan", "propagation scenario: lan, wan")
+		sessions  = flag.Int("sessions", 100, "number of sessions to join")
+		demandCap = flag.Float64("demand-cap", 0.25, "fraction of sessions with a finite demand")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		validate  = flag.Bool("validate", true, "cross-check against the centralized oracle")
+		verbose   = flag.Bool("v", false, "print every session's rate")
+		liveMode  = flag.Bool("live", false, "run on the concurrent actor runtime instead of the simulator")
+	)
+	flag.Parse()
+
+	size, err := sizeByName(*sizeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scen, err := scenarioByName(*scenName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	topo, err := topology.Generate(size, scen, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *liveMode {
+		runLive(topo, size, *sessions, *demandCap, *seed, *validate)
+		return
+	}
+	eng := sim.New()
+	net := network.New(topo.Graph, eng, network.DefaultConfig())
+	ss, err := exp.PlaceSessions(topo, net, *sessions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed + 7))
+	demand := trace.MixedDemands(*demandCap, 1, 100)
+	for _, ev := range trace.Joins(0, *sessions, 0, time.Millisecond, demand, rng) {
+		net.ScheduleJoin(ss[ev.Session], ev.At, ev.Demand)
+	}
+
+	wall := time.Now()
+	q := net.Run()
+	wallDur := time.Since(wall)
+
+	if *validate {
+		if err := net.Validate(); err != nil {
+			log.Fatalf("validation FAILED: %v", err)
+		}
+	}
+
+	fmt.Printf("topology   : %s (%d routers), %s scenario\n", size.Name, size.Routers(), scen)
+	fmt.Printf("sessions   : %d joined within 1ms (demand-capped fraction %.2f)\n", *sessions, *demandCap)
+	fmt.Printf("quiescence : %v (virtual), %v (wall)\n", q, wallDur.Round(time.Millisecond))
+	fmt.Printf("packets    : %d total, %.1f per session\n",
+		net.Stats().Total(), float64(net.Stats().Total())/float64(*sessions))
+	if *validate {
+		fmt.Println("validation : all rates equal the centralized max-min fair rates ✓")
+	}
+
+	if *verbose {
+		fmt.Printf("\n%-8s %-12s %-10s %s\n", "session", "rate (Mbps)", "path len", "demand")
+		all := net.Sessions()
+		sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+		for _, s := range all {
+			r, _ := s.Rate()
+			d := "∞"
+			if !s.Demand().IsInf() {
+				d = fmt.Sprintf("%.0f Mbps", s.Demand().Float64()/1e6)
+			}
+			fmt.Printf("%-8d %-12.2f %-10d %s\n", s.ID, r.Float64()/1e6, len(s.Path), d)
+		}
+	}
+	os.Exit(0)
+}
+
+// runLive executes the scenario on the goroutine/actor runtime: joins fire
+// from concurrent goroutines and quiescence is detected by termination.
+func runLive(topo *topology.Network, size topology.Params, sessions int, demandCap float64, seed int64, validate bool) {
+	hosts := topo.AddHosts(2 * sessions)
+	g := topo.Graph
+	res := graph.NewResolver(g, 256)
+	rt := live.New(g)
+	defer rt.Close()
+
+	rng := rand.New(rand.NewSource(seed + 7))
+	demandFn := trace.MixedDemands(demandCap, 1, 100)
+	type sess struct {
+		s      *live.Session
+		demand rate.Rate
+	}
+	all := make([]sess, sessions)
+	for i := 0; i < sessions; i++ {
+		src := hosts[i]
+		dst := hosts[rng.Intn(len(hosts))]
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		p, err := res.HostPath(src, dst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := rt.NewSession(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		all[i] = sess{s: s, demand: demandFn(rng)}
+	}
+
+	wall := time.Now()
+	var wg sync.WaitGroup
+	for _, x := range all {
+		wg.Add(1)
+		go func(x sess) {
+			defer wg.Done()
+			x.s.Join(x.demand)
+		}(x)
+	}
+	// All joins must be enqueued before termination detection is meaningful;
+	// Join returns once the request is in the source actor's mailbox.
+	wg.Wait()
+	rt.WaitQuiescent()
+	wallDur := time.Since(wall)
+
+	fmt.Printf("topology   : %s (%d routers), live actor runtime\n", size.Name, size.Routers())
+	fmt.Printf("sessions   : %d joined from concurrent goroutines\n", sessions)
+	fmt.Printf("quiescence : %v (wall clock, detected by termination)\n", wallDur.Round(time.Microsecond))
+
+	if validate {
+		linkIdx := make(map[graph.LinkID]int)
+		var inst waterfill.Instance
+		for _, x := range all {
+			ws := waterfill.Session{Demand: x.demand}
+			for _, l := range x.s.Path {
+				li, ok := linkIdx[l]
+				if !ok {
+					li = len(inst.Capacity)
+					linkIdx[l] = li
+					inst.Capacity = append(inst.Capacity, g.Link(l).Capacity)
+				}
+				ws.Path = append(ws.Path, li)
+			}
+			inst.Sessions = append(inst.Sessions, ws)
+		}
+		want, err := waterfill.Solve(inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, x := range all {
+			got, ok := x.s.Rate()
+			if !ok || !got.Equal(want[i]) {
+				log.Fatalf("validation FAILED: session %d rate %v, oracle %v", i, got, want[i])
+			}
+		}
+		fmt.Println("validation : all rates equal the centralized max-min fair rates ✓")
+	}
+}
+
+func sizeByName(name string) (topology.Params, error) {
+	switch name {
+	case "small":
+		return topology.Small, nil
+	case "medium":
+		return topology.Medium, nil
+	case "big":
+		return topology.Big, nil
+	default:
+		return topology.Params{}, fmt.Errorf("unknown size %q (small, medium, big)", name)
+	}
+}
+
+func scenarioByName(name string) (topology.Scenario, error) {
+	switch name {
+	case "lan":
+		return topology.LAN, nil
+	case "wan":
+		return topology.WAN, nil
+	default:
+		return 0, fmt.Errorf("unknown scenario %q (lan, wan)", name)
+	}
+}

@@ -1,0 +1,163 @@
+// Command experiments regenerates the paper's evaluation figures as text
+// tables:
+//
+//	-exp 1  → Figure 5   (time to quiescence and packets vs session count)
+//	-exp 2  → Figure 6   (traffic by packet type across five dynamic phases)
+//	-exp 3  → Figures 7+8 (error distributions and packets vs BFYZ/CG/RCP)
+//	-exp all → everything
+//
+// Defaults are laptop-scale; use -scale to multiply session counts toward
+// the paper's numbers (e.g. -scale 10 runs Experiment 2 with 100,000 base
+// sessions, the paper's exact setting).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"bneck/internal/exp"
+	"bneck/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		which     = flag.String("exp", "all", "experiment to run: 1, 2, 3, all")
+		scale     = flag.Float64("scale", 1.0, "session-count multiplier toward paper scale")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		big       = flag.Bool("big", false, "include the Big (11,000 router) topology in experiment 1")
+		counts    = flag.String("counts", "", "comma-separated session counts for experiment 1 (overrides defaults)")
+		protocols = flag.String("protocols", "bneck,bfyz", "comma-separated protocols for experiment 3 (bneck,bfyz,cg,rcp)")
+		validate  = flag.Bool("validate", true, "cross-check B-Neck runs against the centralized oracle")
+		quiet     = flag.Bool("q", false, "suppress progress lines")
+		csvDir    = flag.String("csv", "", "also write figure data as CSV files into this directory")
+	)
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatalf("csv dir: %v", err)
+		}
+	}
+	openCSV := func(name string) (io.WriteCloser, error) {
+		return os.Create(filepath.Join(*csvDir, name))
+	}
+
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+
+	runs := map[string]bool{}
+	switch *which {
+	case "all":
+		runs["1"], runs["2"], runs["3"] = true, true, true
+	case "1", "2", "3":
+		runs[*which] = true
+	default:
+		log.Fatalf("unknown -exp %q", *which)
+	}
+
+	if runs["1"] {
+		cfg := exp.DefaultExp1()
+		cfg.Seed = *seed
+		cfg.Validate = *validate
+		if progress != nil {
+			cfg.Progress = progress
+		}
+		if *big {
+			cfg.Sizes = append(cfg.Sizes, topology.Big)
+		}
+		if *counts != "" {
+			cfg.SessionCounts = nil
+			for _, c := range strings.Split(*counts, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(c))
+				if err != nil {
+					log.Fatalf("bad -counts: %v", err)
+				}
+				cfg.SessionCounts = append(cfg.SessionCounts, n)
+			}
+		} else if *scale != 1.0 {
+			for i := range cfg.SessionCounts {
+				cfg.SessionCounts[i] = int(float64(cfg.SessionCounts[i]) * *scale)
+			}
+		}
+		start := time.Now()
+		rows, err := exp.RunExperiment1(cfg)
+		if err != nil {
+			log.Fatalf("experiment 1: %v", err)
+		}
+		fmt.Println(exp.FormatExp1(rows))
+		fmt.Printf("(experiment 1 wall time: %v)\n\n", time.Since(start).Round(time.Second))
+		if *csvDir != "" {
+			f, err := openCSV("fig5.csv")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := exp.WriteExp1CSV(f, rows); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}
+	}
+
+	if runs["2"] {
+		cfg := exp.DefaultExp2()
+		cfg.Seed = *seed
+		cfg.Validate = *validate
+		cfg.Base = int(float64(cfg.Base) * *scale)
+		cfg.Dyn = int(float64(cfg.Dyn) * *scale)
+		if progress != nil {
+			cfg.Progress = progress
+		}
+		start := time.Now()
+		res, err := exp.RunExperiment2(cfg)
+		if err != nil {
+			log.Fatalf("experiment 2: %v", err)
+		}
+		fmt.Println(exp.FormatExp2(res))
+		fmt.Printf("(experiment 2 wall time: %v)\n\n", time.Since(start).Round(time.Second))
+		if *csvDir != "" {
+			f, err := openCSV("fig6.csv")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := exp.WriteExp2CSV(f, res); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}
+	}
+
+	if runs["3"] {
+		cfg := exp.DefaultExp3()
+		cfg.Seed = *seed
+		cfg.Sessions = int(float64(cfg.Sessions) * *scale)
+		cfg.Leavers = int(float64(cfg.Leavers) * *scale)
+		cfg.Protocols = strings.Split(*protocols, ",")
+		if progress != nil {
+			cfg.Progress = progress
+		}
+		start := time.Now()
+		res, err := exp.RunExperiment3(cfg)
+		if err != nil {
+			log.Fatalf("experiment 3: %v", err)
+		}
+		fmt.Println(exp.FormatExp3(res))
+		fmt.Printf("(experiment 3 wall time: %v)\n", time.Since(start).Round(time.Second))
+		if *csvDir != "" {
+			if err := exp.WriteAllCSV(res, openCSV); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

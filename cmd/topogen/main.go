@@ -1,0 +1,114 @@
+// Command topogen generates a transit-stub topology and describes it:
+// router/link counts per tier, degree distribution, path-length statistics
+// over random host pairs, and the propagation-delay profile. Useful for
+// sanity-checking the gt-itm substitute against the paper's setup.
+//
+// Usage:
+//
+//	topogen [-size small|medium|big] [-scenario lan|wan] [-hosts N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"bneck/internal/graph"
+	"bneck/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("topogen: ")
+
+	var (
+		sizeName = flag.String("size", "small", "topology size: small, medium, big")
+		scenName = flag.String("scenario", "lan", "propagation scenario: lan, wan")
+		hosts    = flag.Int("hosts", 100, "hosts to attach")
+		seed     = flag.Int64("seed", 1, "deterministic seed")
+		pairs    = flag.Int("pairs", 200, "random host pairs for path statistics")
+	)
+	flag.Parse()
+
+	var size topology.Params
+	switch *sizeName {
+	case "small":
+		size = topology.Small
+	case "medium":
+		size = topology.Medium
+	case "big":
+		size = topology.Big
+	default:
+		log.Fatalf("unknown size %q", *sizeName)
+	}
+	var scen topology.Scenario
+	switch *scenName {
+	case "lan":
+		scen = topology.LAN
+	case "wan":
+		scen = topology.WAN
+	default:
+		log.Fatalf("unknown scenario %q", *scenName)
+	}
+
+	topo, err := topology.Generate(size, scen, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo.AddHosts(*hosts)
+	g := topo.Graph
+
+	fmt.Printf("topology %s / %s (seed %d)\n", size.Name, scen, *seed)
+	fmt.Printf("  transit routers : %d\n", len(topo.TransitRouters))
+	fmt.Printf("  stub routers    : %d\n", len(topo.StubRouters))
+	fmt.Printf("  hosts           : %d\n", len(topo.Hosts))
+	fmt.Printf("  directed links  : %d\n", g.NumLinks())
+
+	// Capacity tiers.
+	tierCount := map[string]int{}
+	var minProp, maxProp time.Duration
+	first := true
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(graph.LinkID(i))
+		tierCount[l.Capacity.String()]++
+		if first || l.Propagation < minProp {
+			minProp = l.Propagation
+		}
+		if first || l.Propagation > maxProp {
+			maxProp = l.Propagation
+		}
+		first = false
+	}
+	var tiers []string
+	for t := range tierCount {
+		tiers = append(tiers, t)
+	}
+	sort.Strings(tiers)
+	fmt.Println("  capacity tiers  :")
+	for _, t := range tiers {
+		fmt.Printf("    %14s bps × %d links\n", t, tierCount[t])
+	}
+	fmt.Printf("  propagation     : %v … %v\n", minProp, maxProp)
+
+	// Path statistics over random pairs.
+	res := graph.NewResolver(g, 256)
+	var lengths []int
+	for i := 0; i < *pairs; i++ {
+		src, dst := topo.RandomHostPair()
+		p, err := res.HostPath(src, dst)
+		if err != nil {
+			log.Fatalf("path %d: %v", i, err)
+		}
+		lengths = append(lengths, len(p))
+	}
+	sort.Ints(lengths)
+	sum := 0
+	for _, l := range lengths {
+		sum += l
+	}
+	fmt.Printf("  path lengths    : min %d, median %d, mean %.1f, max %d (over %d pairs)\n",
+		lengths[0], lengths[len(lengths)/2], float64(sum)/float64(len(lengths)),
+		lengths[len(lengths)-1], len(lengths))
+}

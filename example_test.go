@@ -1,0 +1,101 @@
+package bneck_test
+
+import (
+	"fmt"
+	"time"
+
+	"bneck"
+)
+
+// Example reproduces the textbook two-link instance: the 4 Mbps link is the
+// system bottleneck for the long session and its neighbor; the 10 Mbps link
+// gives its residue to the short session.
+func Example() {
+	b := bneck.NewNetwork()
+	r1, r2, r3 := b.Router("r1"), b.Router("r2"), b.Router("r3")
+	srcA, dstA := b.Host("srcA"), b.Host("dstA")
+	srcB, dstB := b.Host("srcB"), b.Host("dstB")
+	srcC, dstC := b.Host("srcC"), b.Host("dstC")
+
+	host := bneck.Mbps(100)
+	b.Link(srcA, r1, host, time.Microsecond)
+	b.Link(srcB, r1, host, time.Microsecond)
+	b.Link(srcC, r2, host, time.Microsecond)
+	b.Link(dstA, r2, host, time.Microsecond)
+	b.Link(dstB, r3, host, time.Microsecond)
+	b.Link(dstC, r3, host, time.Microsecond)
+	b.Link(r1, r2, bneck.Mbps(10), time.Microsecond)
+	b.Link(r2, r3, bneck.Mbps(4), time.Microsecond)
+
+	sim, err := b.Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	s1, _ := sim.Session(srcA, dstA) // crosses r1–r2
+	s2, _ := sim.Session(srcB, dstB) // crosses both
+	s3, _ := sim.Session(srcC, dstC) // crosses r2–r3
+	s1.JoinAt(0, bneck.Unlimited)
+	s2.JoinAt(0, bneck.Unlimited)
+	s3.JoinAt(0, bneck.Unlimited)
+
+	sim.RunToQuiescence()
+	r1v, _ := s1.Rate()
+	r2v, _ := s2.Rate()
+	r3v, _ := s3.Rate()
+	fmt.Printf("s1=%.0f Mbps s2=%.0f Mbps s3=%.0f Mbps validate=%v\n",
+		r1v.Float64()/1e6, r2v.Float64()/1e6, r3v.Float64()/1e6, sim.Validate())
+	// Output: s1=8 Mbps s2=2 Mbps s3=2 Mbps validate=<nil>
+}
+
+// ExampleSession_ChangeAt shows demand changes reactivating a quiescent
+// network.
+func ExampleSession_ChangeAt() {
+	b := bneck.NewNetwork()
+	r1, r2 := b.Router("r1"), b.Router("r2")
+	h1, h2 := b.Host("h1"), b.Host("h2")
+	h3, h4 := b.Host("h3"), b.Host("h4")
+	c := bneck.Mbps(100)
+	b.Link(h1, r1, c, time.Microsecond)
+	b.Link(h3, r1, c, time.Microsecond)
+	b.Link(r1, r2, bneck.Mbps(60), time.Microsecond)
+	b.Link(r2, h2, c, time.Microsecond)
+	b.Link(r2, h4, c, time.Microsecond)
+	sim, _ := b.Build()
+	s1, _ := sim.Session(h1, h2)
+	s2, _ := sim.Session(h3, h4)
+	s1.JoinAt(0, bneck.Unlimited)
+	s2.JoinAt(0, bneck.Unlimited)
+	sim.RunToQuiescence()
+	a, _ := s1.Rate()
+	fmt.Printf("equal shares: %.0f Mbps\n", a.Float64()/1e6)
+
+	// s1 caps itself; s2 absorbs the slack, then the network goes silent
+	// again.
+	s1.ChangeAt(sim.Now()+time.Millisecond, bneck.Mbps(10))
+	sim.RunToQuiescence()
+	a, _ = s1.Rate()
+	bv, _ := s2.Rate()
+	fmt.Printf("after change: s1=%.0f Mbps s2=%.0f Mbps\n", a.Float64()/1e6, bv.Float64()/1e6)
+	// Output:
+	// equal shares: 30 Mbps
+	// after change: s1=10 Mbps s2=50 Mbps
+}
+
+// ExampleSimulation_Oracle compares the distributed result with the
+// centralized water-filling computation.
+func ExampleSimulation_Oracle() {
+	b := bneck.NewNetwork()
+	r := b.Router("r")
+	h1, h2 := b.Host("h1"), b.Host("h2")
+	b.Link(h1, r, bneck.Mbps(30), time.Microsecond)
+	b.Link(r, h2, bneck.Mbps(100), time.Microsecond)
+	sim, _ := b.Build()
+	s, _ := sim.Session(h1, h2)
+	s.JoinAt(0, bneck.Unlimited)
+	sim.RunToQuiescence()
+	oracle, _ := sim.Oracle()
+	got, _ := s.Rate()
+	fmt.Println(got.Equal(oracle[s.ID()]))
+	// Output: true
+}

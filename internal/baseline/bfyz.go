@@ -1,0 +1,113 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"bneck/internal/core"
+)
+
+// BFYZ is the per-session-state, non-quiescent representative of
+// Experiment 3: a consistent-marking explicit-rate protocol in the
+// Charny/ATM-ABR family that BFYZ (Bartal, Farach-Colton, Yooseph, Zhang
+// 2002) belongs to. Each link remembers every session's last granted rate
+// and advertises
+//
+//	adv = (C − Σ_{marked} λ_s) / (#unmarked)
+//
+// where a session is "marked" (restricted elsewhere) when its recorded rate
+// is below the advertised rate; the marking is computed as a consistent
+// fixpoint. Sources re-probe forever, so the protocol keeps injecting
+// control packets after convergence — the behavior Figure 8 contrasts with
+// B-Neck's quiescence — and rate estimates converge from above (links with
+// few recorded sessions advertise optimistically), giving the positive
+// transient errors of Figure 7.
+type BFYZ struct{}
+
+// Name implements Protocol.
+func (BFYZ) Name() string { return "BFYZ" }
+
+// NewLink implements Protocol.
+func (BFYZ) NewLink(capacity float64) LinkAlgo {
+	return &bfyzLink{capacity: capacity, adv: capacity, rates: make(map[core.SessionID]float64)}
+}
+
+type bfyzLink struct {
+	capacity float64
+	rates    map[core.SessionID]float64
+	dirty    bool
+	adv      float64
+}
+
+var _ LinkAlgo = (*bfyzLink)(nil)
+
+// Forward offers the advertised fair share. A session unseen so far is
+// registered with rate 0 (unmarked until its response records a real rate).
+func (l *bfyzLink) Forward(s core.SessionID, req float64) float64 {
+	if _, ok := l.rates[s]; !ok {
+		l.rates[s] = 0
+		l.dirty = true
+	}
+	adv := l.advertised()
+	if req < adv {
+		return req
+	}
+	return adv
+}
+
+// Reverse records the granted end-to-end rate.
+func (l *bfyzLink) Reverse(s core.SessionID, granted float64) {
+	if old, ok := l.rates[s]; !ok || old != granted {
+		l.rates[s] = granted
+		l.dirty = true
+	}
+}
+
+// Remove implements LinkAlgo.
+func (l *bfyzLink) Remove(s core.SessionID) {
+	if _, ok := l.rates[s]; ok {
+		delete(l.rates, s)
+		l.dirty = true
+	}
+}
+
+// Tick implements LinkAlgo (BFYZ has no periodic control law).
+func (l *bfyzLink) Tick(time.Duration) {}
+
+// advertised computes the marking fair share: with recorded rates sorted
+// ascending and S_k the sum of the k smallest, the advertised rate is
+//
+//	max over k in [0, n) of (C − S_k)/(n − k)
+//
+// i.e., the best share obtainable by treating the k slowest sessions as
+// restricted elsewhere. Taking the maximum (rather than the literal marking
+// fixpoint) avoids the pseudo-saturation lockup Tsai & Kim identified in
+// Charny's algorithm: a lone session whose recorded rate is below C/n would
+// otherwise be "marked" against itself and never offered more.
+func (l *bfyzLink) advertised() float64 {
+	if !l.dirty {
+		return l.adv
+	}
+	l.dirty = false
+	n := len(l.rates)
+	if n == 0 {
+		l.adv = l.capacity
+		return l.adv
+	}
+	rates := make([]float64, 0, n)
+	for _, r := range l.rates {
+		rates = append(rates, r)
+	}
+	sort.Float64s(rates)
+	best := l.capacity / float64(n) // k = 0
+	sum := 0.0
+	for k := 1; k < n; k++ {
+		sum += rates[k-1]
+		if cand := (l.capacity - sum) / float64(n-k); cand > best {
+			best = cand
+		}
+	}
+	l.adv = math.Max(best, 0)
+	return l.adv
+}

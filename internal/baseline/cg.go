@@ -1,0 +1,91 @@
+package baseline
+
+import (
+	"time"
+
+	"bneck/internal/core"
+)
+
+// CG is the constant-router-state representative of Experiment 3
+// (Cobb–Gouda family: "Stabilization of max-min fair networks without
+// per-flow state"). A link keeps only three scalars — an advertised share,
+// and the offered load and probe count measured over the current period —
+// and adapts the share multiplicatively each tick:
+//
+//	share ← share · (1 + κ·(C − y)/C),  clamped to [C/10^6, C]
+//
+// where y is the aggregate rate observed from passing responses. With no
+// per-session state the link cannot tell who is bottlenecked where, so
+// convergence is slow and oscillatory; as in the paper, it fails to settle
+// for large session counts in bounded time.
+type CG struct {
+	// Kappa is the adaptation gain (default 0.4).
+	Kappa float64
+}
+
+// Name implements Protocol.
+func (CG) Name() string { return "CG" }
+
+// NewLink implements Protocol.
+func (c CG) NewLink(capacity float64) LinkAlgo {
+	k := c.Kappa
+	if k == 0 {
+		k = 0.4
+	}
+	return &cgLink{capacity: capacity, share: capacity, kappa: k}
+}
+
+type cgLink struct {
+	capacity float64
+	share    float64
+	kappa    float64
+	// Period measurements (constant state: two scalars).
+	offered float64
+	probes  int
+}
+
+var _ LinkAlgo = (*cgLink)(nil)
+
+// Forward offers the current share estimate.
+func (l *cgLink) Forward(s core.SessionID, req float64) float64 {
+	l.probes++
+	if req < l.share {
+		return req
+	}
+	return l.share
+}
+
+// Reverse accumulates the offered load measurement.
+func (l *cgLink) Reverse(s core.SessionID, granted float64) {
+	l.offered += granted
+}
+
+// Remove implements LinkAlgo (no per-session state to clear).
+func (l *cgLink) Remove(core.SessionID) {}
+
+// Tick applies the control law over the period's measurements. The
+// per-tick decrease is bounded (halving at most): with hundreds of sessions
+// on a link the raw multiplicative term goes hugely negative on the first
+// measurement and would slam the share to the floor, which no sane AIMD
+// implementation does.
+func (l *cgLink) Tick(time.Duration) {
+	if l.probes == 0 {
+		// No traffic: relax toward full capacity.
+		l.share = l.capacity
+		return
+	}
+	y := l.offered
+	factor := 1 + l.kappa*(l.capacity-y)/l.capacity
+	if factor < 0.5 {
+		factor = 0.5
+	}
+	l.share *= factor
+	if l.share > l.capacity {
+		l.share = l.capacity
+	}
+	if min := l.capacity * 1e-6; l.share < min {
+		l.share = min
+	}
+	l.offered = 0
+	l.probes = 0
+}

@@ -1,0 +1,98 @@
+package baseline
+
+import (
+	"time"
+
+	"bneck/internal/core"
+)
+
+// RCP implements the Rate Control Protocol of Dukkipati et al. (IWQoS
+// 2005), the paper's modern congestion-controller representative: a router
+// keeps a single advertised rate R per link, updated periodically with the
+// published control law
+//
+//	R ← R · (1 + (T/d)·(α·(C − y) − β·q/d)/C)
+//
+// with y the measured aggregate offered load over the period and q the
+// queue. The control-plane simulator has no data queues, so q = 0 and the
+// law reduces to its rate-matching term — the same steady state. Sessions
+// pace to the minimum R along their path and re-probe every period, so the
+// protocol is non-quiescent and, like the paper observes, does not reach
+// the exact max-min rates for large session counts in bounded time.
+type RCP struct {
+	// Alpha is the rate-mismatch gain (default 0.5, a stable choice from
+	// the RCP paper).
+	Alpha float64
+	// RTT is the d term of the control law (default 1 ms, the LAN-scenario
+	// scale).
+	RTT time.Duration
+}
+
+// Name implements Protocol.
+func (RCP) Name() string { return "RCP" }
+
+// NewLink implements Protocol.
+func (r RCP) NewLink(capacity float64) LinkAlgo {
+	alpha := r.Alpha
+	if alpha == 0 {
+		alpha = 0.5
+	}
+	rtt := r.RTT
+	if rtt == 0 {
+		rtt = time.Millisecond
+	}
+	return &rcpLink{capacity: capacity, rate: capacity, alpha: alpha, rtt: rtt}
+}
+
+type rcpLink struct {
+	capacity float64
+	rate     float64 // advertised rate R
+	alpha    float64
+	rtt      time.Duration
+	offered  float64 // y measured this period
+}
+
+var _ LinkAlgo = (*rcpLink)(nil)
+
+// Forward offers the advertised rate.
+func (l *rcpLink) Forward(s core.SessionID, req float64) float64 {
+	if req < l.rate {
+		return req
+	}
+	return l.rate
+}
+
+// Reverse accumulates the offered-load measurement.
+func (l *rcpLink) Reverse(s core.SessionID, granted float64) {
+	l.offered += granted
+}
+
+// Remove implements LinkAlgo (RCP keeps no per-session state).
+func (l *rcpLink) Remove(core.SessionID) {}
+
+// Tick applies the RCP control law. The loop gain (T/d)·α is clamped to 0.5
+// for stability: the published law assumes T ≪ d, and our control period can
+// exceed the LAN RTT.
+func (l *rcpLink) Tick(period time.Duration) {
+	t := period.Seconds()
+	d := l.rtt.Seconds()
+	gain := (t / d) * l.alpha
+	if gain > 0.5 {
+		gain = 0.5
+	}
+	y := l.offered
+	factor := 1 + gain*(l.capacity-y)/l.capacity
+	if factor < 0.5 {
+		// Bound the per-tick decrease: heavy overload (y ≫ C on a shared
+		// link's first measurement) must not zero the rate in one step.
+		factor = 0.5
+	}
+	l.rate *= factor
+	if l.rate > l.capacity {
+		l.rate = l.capacity
+	}
+	if min := l.capacity * 1e-6; l.rate < min {
+		l.rate = min
+	}
+	l.offered = 0
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"bneck/internal/rate"
+)
+
+// Ablation: the indexed session table vs the naive Figure 2 transcription.
+// The protocol evaluates the bottleneck predicate (∀r ∈ Re: λ = Be ∧ IDLE)
+// on every Response; with n sessions per link the naive form is O(n) per
+// packet, the indexed form O(1). DESIGN.md §5 calls this out as the one
+// engineering deviation from the paper's pseudocode.
+
+func fillTable(n int) *table {
+	t := newTable(rate.Mbps(int64(n)))
+	for s := SessionID(1); int(s) <= n; s++ {
+		ent := t.addNew(s, 1)
+		t.setIdle(s, ent, rate.Mbps(1))
+	}
+	return t
+}
+
+func fillNaive(n int) *naiveTable {
+	t := newNaiveTable(rate.Mbps(int64(n)))
+	for s := SessionID(1); int(s) <= n; s++ {
+		t.re[s] = &naiveEntry{mu: Idle, lambda: rate.Mbps(1), hasLambda: true}
+	}
+	return t
+}
+
+func BenchmarkBottleneckPredicate(b *testing.B) {
+	for _, n := range []int{10, 100, 1000, 10000} {
+		b.Run("indexed/"+itoa(n), func(b *testing.B) {
+			t := fillTable(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !t.allReIdleAtBe() {
+					b.Fatal("predicate false")
+				}
+			}
+		})
+		b.Run("naive/"+itoa(n), func(b *testing.B) {
+			t := fillNaive(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !t.allReIdleAtBe() {
+					b.Fatal("predicate false")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBeComputation(b *testing.B) {
+	for _, n := range []int{100, 10000} {
+		b.Run("indexed/"+itoa(n), func(b *testing.B) {
+			t := fillTable(n)
+			// Half the sessions into Fe to exercise the incremental sum.
+			for s := SessionID(1); int(s) <= n/2; s++ {
+				t.moveReToFe(s, t.get(s))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.invalidateBe()
+				_ = t.be()
+			}
+		})
+		b.Run("naive/"+itoa(n), func(b *testing.B) {
+			t := fillNaive(n)
+			for s := SessionID(1); int(s) <= n/2; s++ {
+				t.fe[s] = t.re[s]
+				delete(t.re, s)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = t.be()
+			}
+		})
+	}
+}
+
+// BenchmarkProbeCycle measures one full protocol probe cycle (join +
+// response round trip through one link) including table maintenance.
+func BenchmarkProbeCycle(b *testing.B) {
+	for _, n := range []int{1, 100, 10000} {
+		b.Run("resident="+itoa(n), func(b *testing.B) {
+			rec := &recorder{}
+			rl := NewRouterLink(1, rate.Mbps(int64(n+1)), rec)
+			for s := SessionID(2); int(s) <= n+1; s++ {
+				rl.Receive(Packet{Type: PktJoin, Session: s, Rate: rate.Mbps(1), Bneck: SourceRef}, 1)
+				rl.Receive(Packet{Type: PktResponse, Session: s, Resp: RespResponse,
+					Rate: rate.Mbps(1), Bneck: LinkRef(99)}, 1)
+			}
+			rl.Receive(Packet{Type: PktJoin, Session: 1, Rate: rate.Mbps(1), Bneck: SourceRef}, 1)
+			rl.Receive(Packet{Type: PktResponse, Session: 1, Resp: RespResponse,
+				Rate: rate.Mbps(1), Bneck: LinkRef(99)}, 1)
+			rec.emitted = nil
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rl.Receive(Packet{Type: PktProbe, Session: 1, Rate: rate.Mbps(1), Bneck: SourceRef}, 1)
+				rl.Receive(Packet{Type: PktResponse, Session: 1, Resp: RespResponse,
+					Rate: rate.Mbps(1), Bneck: LinkRef(99)}, 1)
+				rec.emitted = rec.emitted[:0]
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,39 @@
+package core
+
+import "fmt"
+
+// DestinationNode is the task at a session's destination host (Figure 4 of
+// the paper): it turns probes into responses and flags the absence of a
+// bottleneck on the path.
+type DestinationNode struct {
+	id SessionID
+	em Emitter
+}
+
+// NewDestinationNode returns the destination task for session id.
+func NewDestinationNode(id SessionID, em Emitter) *DestinationNode {
+	return &DestinationNode{id: id, em: em}
+}
+
+// Receive processes a packet arriving at the destination, which sits at hop
+// index hop (= path length + 1) on the session's path.
+func (dn *DestinationNode) Receive(pkt Packet, hop int) {
+	switch pkt.Type {
+	case PktJoin, PktProbe:
+		dn.em.Emit(dn.id, hop, Up, Packet{
+			Type: PktResponse, Session: dn.id,
+			Resp: RespResponse, Rate: pkt.Rate, Bneck: pkt.Bneck,
+		})
+	case PktSetBottleneck:
+		if !pkt.Beta {
+			// The SetBottleneck crossed the whole path without any link
+			// confirming a bottleneck: the network changed under the
+			// session; trigger a fresh probe cycle.
+			dn.em.Emit(dn.id, hop, Up, Packet{Type: PktUpdate, Session: dn.id})
+		}
+	case PktLeave:
+		// Path cleanup ends here.
+	default:
+		panic(fmt.Sprintf("core: destination received %v", pkt))
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bneck/internal/rate"
+)
+
+// chanKey identifies a FIFO channel: the real transport (one wire per
+// directed link) guarantees order per session per wire; delivering in any
+// order that respects per-(session,hop,direction) FIFO is a valid
+// asynchronous schedule.
+type chanKey struct {
+	s   SessionID
+	hop int
+}
+
+// runRandom delivers queued packets in a random channel-FIFO-respecting
+// order until quiescence.
+func (p *pump) runRandom(r *rand.Rand, limit int) {
+	p.t.Helper()
+	n := 0
+	for len(p.queue) > 0 {
+		if n++; n > limit {
+			p.t.Fatalf("pump: no quiescence after %d random deliveries (%d queued)", limit, len(p.queue))
+		}
+		// Collect the head of each channel.
+		seen := make(map[chanKey]bool)
+		var heads []int
+		for i, m := range p.queue {
+			k := chanKey{m.s, m.hop}
+			if !seen[k] {
+				seen[k] = true
+				heads = append(heads, i)
+			}
+		}
+		pick := heads[r.Intn(len(heads))]
+		m := p.queue[pick]
+		p.queue = append(p.queue[:pick], p.queue[pick+1:]...)
+		p.deliver(m)
+	}
+}
+
+// deliverSome delivers up to k packets in FIFO order (to interleave session
+// dynamics with in-flight traffic).
+func (p *pump) deliverSome(k int) {
+	for i := 0; i < k && len(p.queue) > 0; i++ {
+		m := p.queue[0]
+		p.queue = p.queue[1:]
+		p.deliver(m)
+	}
+}
+
+func (p *pump) deliver(m pumpMsg) {
+	ps := p.sessions[m.s]
+	switch {
+	case m.hop == 0:
+		ps.src.Receive(m.pkt)
+	case m.hop == len(ps.path)+1:
+		ps.dst.Receive(m.pkt, m.hop)
+	default:
+		p.link(ps.path[m.hop-1]).Receive(m.pkt, m.hop)
+	}
+}
+
+// TestPropRandomStaticWorkloads: random static instances must converge to
+// the oracle rates under the FIFO schedule.
+func TestPropRandomStaticWorkloads(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 300; iter++ {
+		p := newPump(t)
+		nLinks := 1 + r.Intn(10)
+		for l := 1; l <= nLinks; l++ {
+			p.addLink(LinkRef(l), rate.FromInt64(int64(1+r.Intn(100))*1_000_000))
+		}
+		nSessions := 1 + r.Intn(12)
+		for s := 1; s <= nSessions; s++ {
+			pathLen := 1 + r.Intn(4)
+			if pathLen > nLinks {
+				pathLen = nLinks
+			}
+			perm := r.Perm(nLinks)
+			path := make([]LinkRef, pathLen)
+			for i := 0; i < pathLen; i++ {
+				path[i] = LinkRef(perm[i] + 1)
+			}
+			demand := rate.Inf
+			if r.Intn(3) == 0 {
+				demand = rate.FromInt64(int64(1+r.Intn(50)) * 1_000_000)
+			}
+			p.addSession(SessionID(s), path...).Join(demand)
+			if r.Intn(2) == 0 {
+				p.deliverSome(r.Intn(20))
+			}
+		}
+		p.run(500_000)
+		p.checkAll()
+	}
+}
+
+// TestPropRandomSchedules: the same instance must converge under arbitrary
+// channel-FIFO delivery orders (asynchrony adversary).
+func TestPropRandomSchedules(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 200; iter++ {
+		p := newPump(t)
+		nLinks := 1 + r.Intn(6)
+		for l := 1; l <= nLinks; l++ {
+			p.addLink(LinkRef(l), rate.FromInt64(int64(1+r.Intn(40))*1_000_000))
+		}
+		nSessions := 1 + r.Intn(8)
+		for s := 1; s <= nSessions; s++ {
+			pathLen := 1 + r.Intn(3)
+			if pathLen > nLinks {
+				pathLen = nLinks
+			}
+			perm := r.Perm(nLinks)
+			path := make([]LinkRef, pathLen)
+			for i := range path {
+				path[i] = LinkRef(perm[i] + 1)
+			}
+			p.addSession(SessionID(s), path...).Join(rate.Inf)
+		}
+		p.runRandom(r, 500_000)
+		p.checkAll()
+	}
+}
+
+// TestPropRandomDynamics: joins, leaves and demand changes interleaved with
+// partial packet delivery — the paper's Experiment 2 in miniature, checked
+// against the oracle after every quiescence.
+func TestPropRandomDynamics(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 150; iter++ {
+		p := newPump(t)
+		nLinks := 2 + r.Intn(8)
+		for l := 1; l <= nLinks; l++ {
+			p.addLink(LinkRef(l), rate.FromInt64(int64(1+r.Intn(100))*1_000_000))
+		}
+		nextID := SessionID(1)
+		active := make(map[SessionID]*SourceNode)
+
+		newSession := func() {
+			pathLen := 1 + r.Intn(4)
+			if pathLen > nLinks {
+				pathLen = nLinks
+			}
+			perm := r.Perm(nLinks)
+			path := make([]LinkRef, pathLen)
+			for i := range path {
+				path[i] = LinkRef(perm[i] + 1)
+			}
+			src := p.addSession(nextID, path...)
+			demand := rate.Inf
+			if r.Intn(4) == 0 {
+				demand = rate.FromInt64(int64(1+r.Intn(50)) * 1_000_000)
+			}
+			src.Join(demand)
+			active[nextID] = src
+			nextID++
+		}
+
+		randActive := func() (SessionID, *SourceNode) {
+			for id, src := range active { // map order random enough here
+				return id, src
+			}
+			return 0, nil
+		}
+
+		nOps := 5 + r.Intn(30)
+		for op := 0; op < nOps; op++ {
+			switch r.Intn(4) {
+			case 0, 1:
+				newSession()
+			case 2:
+				if id, src := randActive(); src != nil {
+					src.Leave()
+					delete(active, id)
+				} else {
+					newSession()
+				}
+			case 3:
+				if _, src := randActive(); src != nil {
+					d := rate.Inf
+					if r.Intn(2) == 0 {
+						d = rate.FromInt64(int64(1+r.Intn(80)) * 1_000_000)
+					}
+					src.Change(d)
+				} else {
+					newSession()
+				}
+			}
+			p.deliverSome(r.Intn(30))
+		}
+		p.run(1_000_000)
+		p.checkAll()
+	}
+}
+
+// TestPropTransientGrantInvariants: every rate a source ever holds respects
+// its demand and the capacity of every link on its path. (The paper's
+// stronger §I-B claim — transient rates below the max-min rates — is an
+// empirical property of near-simultaneous joins, reproduced in Experiment 3 /
+// Figure 7, not an invariant of arbitrary schedules: a session that probes
+// before its contenders' Joins arrive legitimately holds a higher rate until
+// it is updated.)
+func TestPropTransientGrantInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 150; iter++ {
+		p := newPump(t)
+		nLinks := 1 + r.Intn(8)
+		for l := 1; l <= nLinks; l++ {
+			p.addLink(LinkRef(l), rate.FromInt64(int64(1+r.Intn(100))*1_000_000))
+		}
+		nSessions := 1 + r.Intn(10)
+		type sessInfo struct {
+			src  *SourceNode
+			path []LinkRef
+		}
+		sess := make(map[SessionID]sessInfo)
+		for s := 1; s <= nSessions; s++ {
+			pathLen := 1 + r.Intn(4)
+			if pathLen > nLinks {
+				pathLen = nLinks
+			}
+			perm := r.Perm(nLinks)
+			path := make([]LinkRef, pathLen)
+			for i := range path {
+				path[i] = LinkRef(perm[i] + 1)
+			}
+			src := p.addSession(SessionID(s), path...)
+			src.Join(rate.Inf)
+			sess[SessionID(s)] = sessInfo{src: src, path: path}
+		}
+
+		// Deliver one packet at a time, checking per-session grant
+		// invariants after each step.
+		guard := 0
+		for len(p.queue) > 0 {
+			if guard++; guard > 500_000 {
+				t.Fatalf("no quiescence")
+			}
+			p.deliverSome(1)
+			for id, si := range sess {
+				lam, ok := si.src.Rate()
+				if !ok {
+					continue
+				}
+				if lam.Greater(si.src.Demand()) {
+					t.Fatalf("iter %d: session %d granted %v above demand %v",
+						iter, id, lam, si.src.Demand())
+				}
+				for _, l := range si.path {
+					if lam.Greater(p.caps[l]) {
+						t.Fatalf("iter %d: session %d granted %v above capacity %v of link %d",
+							iter, id, lam, p.caps[l], l)
+					}
+				}
+			}
+		}
+		p.checkAll()
+	}
+}

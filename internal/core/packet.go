@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+
+	"bneck/internal/rate"
+)
+
+// SessionID identifies a session.
+type SessionID int64
+
+// LinkRef identifies a link in packet fields (the paper's η, the link that
+// imposed the strongest rate restriction seen so far). SourceRef is the
+// sentinel used by sources when no link has restricted the session yet; it
+// never equals a real link reference.
+type LinkRef int32
+
+// SourceRef marks "restricted only by the session's own demand".
+const SourceRef LinkRef = -1
+
+// PacketType enumerates the seven B-Neck packets (Section III-B).
+type PacketType uint8
+
+const (
+	// PktJoin travels downstream when a session arrives; it registers the
+	// session at each link and doubles as the first probe.
+	PktJoin PacketType = iota + 1
+	// PktProbe travels downstream to recompute the session's rate.
+	PktProbe
+	// PktResponse travels upstream from the destination closing a probe
+	// cycle, carrying the granted rate λ, the restricting link η, and the
+	// next action τ.
+	PktResponse
+	// PktUpdate travels upstream telling the source to run a new probe
+	// cycle.
+	PktUpdate
+	// PktBottleneck travels upstream telling the source its current rate is
+	// its max-min fair rate.
+	PktBottleneck
+	// PktSetBottleneck travels downstream confirming the session's rate;
+	// links that do not restrict the session move it from R_e to F_e. β
+	// tracks whether some link on the path is a bottleneck for the session.
+	PktSetBottleneck
+	// PktLeave travels downstream deleting all session state.
+	PktLeave
+)
+
+// String implements fmt.Stringer with the paper's packet names.
+func (t PacketType) String() string {
+	switch t {
+	case PktJoin:
+		return "Join"
+	case PktProbe:
+		return "Probe"
+	case PktResponse:
+		return "Response"
+	case PktUpdate:
+		return "Update"
+	case PktBottleneck:
+		return "Bottleneck"
+	case PktSetBottleneck:
+		return "SetBottleneck"
+	case PktLeave:
+		return "Leave"
+	default:
+		return fmt.Sprintf("PacketType(%d)", uint8(t))
+	}
+}
+
+// NumPacketTypes is the number of distinct packet types (for metrics
+// arrays indexed by PacketType-1).
+const NumPacketTypes = 7
+
+// RespKind is the paper's τ field of Response packets.
+type RespKind uint8
+
+const (
+	// RespResponse: a plain probe-cycle answer.
+	RespResponse RespKind = iota + 1
+	// RespUpdate: some link requires a new probe cycle.
+	RespUpdate
+	// RespBottleneck: the rate λ is the session's max-min fair rate.
+	RespBottleneck
+)
+
+func (k RespKind) String() string {
+	switch k {
+	case RespResponse:
+		return "RESPONSE"
+	case RespUpdate:
+		return "UPDATE"
+	case RespBottleneck:
+		return "BOTTLENECK"
+	default:
+		return fmt.Sprintf("RespKind(%d)", uint8(k))
+	}
+}
+
+// Packet is one B-Neck control packet. Fields beyond Type and Session are
+// meaningful per type:
+//
+//	Join/Probe:     Rate (λ), Bneck (η)
+//	Response:       Resp (τ), Rate (λ), Bneck (η)
+//	SetBottleneck:  Beta (β)
+//	Update/Bottleneck/Leave: no extra fields
+type Packet struct {
+	Type    PacketType
+	Session SessionID
+	Rate    rate.Rate
+	Bneck   LinkRef
+	Resp    RespKind
+	Beta    bool
+}
+
+func (p Packet) String() string {
+	switch p.Type {
+	case PktJoin, PktProbe:
+		return fmt.Sprintf("%s(s%d, λ=%v, η=%d)", p.Type, p.Session, p.Rate, p.Bneck)
+	case PktResponse:
+		return fmt.Sprintf("Response(s%d, τ=%v, λ=%v, η=%d)", p.Session, p.Resp, p.Rate, p.Bneck)
+	case PktSetBottleneck:
+		return fmt.Sprintf("SetBottleneck(s%d, β=%t)", p.Session, p.Beta)
+	default:
+		return fmt.Sprintf("%s(s%d)", p.Type, p.Session)
+	}
+}
+
+// Direction says which way a packet travels relative to the session's path.
+type Direction uint8
+
+const (
+	// Down means toward the destination (the paper's "downstream").
+	Down Direction = iota + 1
+	// Up means toward the source (the paper's "upstream").
+	Up
+)
+
+func (d Direction) String() string {
+	if d == Down {
+		return "down"
+	}
+	return "up"
+}
+
+// Emitter is how protocol tasks send packets. Emit sends pkt for session s
+// from the hop at index `from` on s's path, one hop in direction dir.
+//
+// Hop indexing: hop 0 is the source task, hops 1..k are the RouterLink tasks
+// of the k links of π(s) in order, hop k+1 is the destination task.
+type Emitter interface {
+	Emit(s SessionID, from int, dir Direction, pkt Packet)
+}
+
+// RateCallback receives API.Rate(s, λ) notifications from a source task.
+type RateCallback func(s SessionID, lambda rate.Rate)
+
+// State is the paper's per-link per-session state μ.
+type State uint8
+
+const (
+	// Idle: no probe cycle in progress for this session at this link.
+	Idle State = iota + 1
+	// WaitingProbe: an Update was forwarded; a Probe is expected.
+	WaitingProbe
+	// WaitingResponse: a Join/Probe passed; a Response is expected.
+	WaitingResponse
+)
+
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "IDLE"
+	case WaitingProbe:
+		return "WAITING_PROBE"
+	case WaitingResponse:
+		return "WAITING_RESPONSE"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bneck/internal/rate"
+)
+
+func TestPacketTypeStrings(t *testing.T) {
+	want := map[PacketType]string{
+		PktJoin: "Join", PktProbe: "Probe", PktResponse: "Response",
+		PktUpdate: "Update", PktBottleneck: "Bottleneck",
+		PktSetBottleneck: "SetBottleneck", PktLeave: "Leave",
+	}
+	if len(want) != NumPacketTypes {
+		t.Fatalf("NumPacketTypes = %d, want %d", NumPacketTypes, len(want))
+	}
+	for typ, s := range want {
+		if typ.String() != s {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), s)
+		}
+	}
+	if !strings.Contains(PacketType(99).String(), "99") {
+		t.Errorf("unknown type renders %q", PacketType(99).String())
+	}
+}
+
+func TestRespKindStrings(t *testing.T) {
+	if RespResponse.String() != "RESPONSE" || RespUpdate.String() != "UPDATE" ||
+		RespBottleneck.String() != "BOTTLENECK" {
+		t.Fatalf("resp kind strings wrong")
+	}
+	if !strings.Contains(RespKind(9).String(), "9") {
+		t.Fatalf("unknown kind renders %q", RespKind(9).String())
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if Idle.String() != "IDLE" || WaitingProbe.String() != "WAITING_PROBE" ||
+		WaitingResponse.String() != "WAITING_RESPONSE" {
+		t.Fatalf("state strings wrong")
+	}
+	if !strings.Contains(State(9).String(), "9") {
+		t.Fatalf("unknown state renders %q", State(9).String())
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	if Down.String() != "down" || Up.String() != "up" {
+		t.Fatalf("direction strings wrong")
+	}
+}
+
+func TestPacketStrings(t *testing.T) {
+	cases := []struct {
+		pkt  Packet
+		want string
+	}{
+		{Packet{Type: PktJoin, Session: 3, Rate: rate.Mbps(5), Bneck: 2}, "Join(s3, λ=5000000, η=2)"},
+		{Packet{Type: PktResponse, Session: 3, Resp: RespBottleneck, Rate: rate.Mbps(1), Bneck: 7},
+			"Response(s3, τ=BOTTLENECK, λ=1000000, η=7)"},
+		{Packet{Type: PktSetBottleneck, Session: 3, Beta: true}, "SetBottleneck(s3, β=true)"},
+		{Packet{Type: PktLeave, Session: 3}, "Leave(s3)"},
+	}
+	for _, c := range cases {
+		if got := c.pkt.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRouterPanicsOnUnknownPacketType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	rl, _ := newTestLink(rate.Mbps(10))
+	rl.Receive(Packet{Type: PacketType(99), Session: 1}, 1)
+}
+
+func TestSourcePanicsOnUnknownPacketType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	src := NewSourceNode(1, &recorder{}, nil)
+	src.Join(rate.Inf)
+	src.Receive(Packet{Type: PktProbe, Session: 1}) // sources never get probes
+}
+
+func TestDestinationPanicsOnUnknownPacketType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	dst := NewDestinationNode(1, &recorder{})
+	dst.Receive(Packet{Type: PktUpdate, Session: 1}, 3) // destinations never get updates
+}

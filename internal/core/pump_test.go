@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"bneck/internal/rate"
+	"bneck/internal/waterfill"
+)
+
+// pump is a synchronous in-memory transport for protocol unit tests: a
+// single global FIFO queue of packets, delivered one at a time. This is one
+// valid asynchronous schedule (handlers stay atomic, per-link order is
+// FIFO), with no simulator involved.
+type pump struct {
+	t        *testing.T
+	links    map[LinkRef]*RouterLink
+	caps     map[LinkRef]rate.Rate
+	sessions map[SessionID]*pumpSession
+	queue    []pumpMsg
+	sent     int
+	rates    map[SessionID]rate.Rate // last API.Rate per session
+	rateLog  []string
+}
+
+type pumpSession struct {
+	path []LinkRef
+	src  *SourceNode
+	dst  *DestinationNode
+}
+
+type pumpMsg struct {
+	s   SessionID
+	hop int
+	pkt Packet
+}
+
+func newPump(t *testing.T) *pump {
+	return &pump{
+		t:        t,
+		links:    make(map[LinkRef]*RouterLink),
+		caps:     make(map[LinkRef]rate.Rate),
+		sessions: make(map[SessionID]*pumpSession),
+		rates:    make(map[SessionID]rate.Rate),
+	}
+}
+
+func (p *pump) addLink(ref LinkRef, capacity rate.Rate) {
+	p.caps[ref] = capacity
+}
+
+func (p *pump) link(ref LinkRef) *RouterLink {
+	if rl, ok := p.links[ref]; ok {
+		return rl
+	}
+	c, ok := p.caps[ref]
+	if !ok {
+		p.t.Fatalf("pump: unknown link %d", ref)
+	}
+	rl := NewRouterLink(ref, c, p)
+	p.links[ref] = rl
+	return rl
+}
+
+func (p *pump) addSession(id SessionID, path ...LinkRef) *SourceNode {
+	ps := &pumpSession{path: path}
+	ps.src = NewSourceNode(id, p, func(s SessionID, l rate.Rate) {
+		p.rates[s] = l
+		p.rateLog = append(p.rateLog, fmt.Sprintf("s%d=%v", s, l))
+	})
+	ps.dst = NewDestinationNode(id, p)
+	p.sessions[id] = ps
+	return ps.src
+}
+
+// Emit implements Emitter.
+func (p *pump) Emit(s SessionID, from int, dir Direction, pkt Packet) {
+	to := from + 1
+	if dir == Up {
+		to = from - 1
+	}
+	ps := p.sessions[s]
+	if to < 0 || to > len(ps.path)+1 {
+		p.t.Fatalf("pump: emit out of path range: s%d from %d dir %v", s, from, dir)
+	}
+	p.sent++
+	p.queue = append(p.queue, pumpMsg{s: s, hop: to, pkt: pkt})
+}
+
+// run delivers queued packets until quiescence, failing the test if more
+// than limit deliveries happen (livelock guard).
+func (p *pump) run(limit int) {
+	p.t.Helper()
+	n := 0
+	for len(p.queue) > 0 {
+		if n++; n > limit {
+			p.t.Fatalf("pump: no quiescence after %d deliveries", limit)
+		}
+		m := p.queue[0]
+		p.queue = p.queue[1:]
+		ps := p.sessions[m.s]
+		switch {
+		case m.hop == 0:
+			ps.src.Receive(m.pkt)
+		case m.hop == len(ps.path)+1:
+			ps.dst.Receive(m.pkt, m.hop)
+		default:
+			p.link(ps.path[m.hop-1]).Receive(m.pkt, m.hop)
+		}
+	}
+}
+
+// checkAll verifies every link's table invariants and stability, and that
+// the granted rates match the oracle for the currently active sessions.
+func (p *pump) checkAll() {
+	p.t.Helper()
+	for ref, rl := range p.links {
+		if err := rl.CheckInvariants(); err != nil {
+			p.t.Fatalf("link %d invariants: %v", ref, err)
+		}
+		if !rl.Stable() {
+			p.t.Fatalf("link %d not stable after quiescence", ref)
+		}
+	}
+	// Build the oracle instance over active sessions.
+	refIdx := make(map[LinkRef]int)
+	var in waterfill.Instance
+	var ids []SessionID
+	for id, ps := range p.sessions {
+		if !ps.src.Active() {
+			continue
+		}
+		sess := waterfill.Session{Demand: ps.src.Demand()}
+		for _, ref := range ps.path {
+			i, ok := refIdx[ref]
+			if !ok {
+				i = len(in.Capacity)
+				refIdx[ref] = i
+				in.Capacity = append(in.Capacity, p.caps[ref])
+			}
+			sess.Path = append(sess.Path, i)
+		}
+		in.Sessions = append(in.Sessions, sess)
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return
+	}
+	want, err := waterfill.Solve(in)
+	if err != nil {
+		p.t.Fatalf("oracle: %v", err)
+	}
+	for i, id := range ids {
+		got, ok := p.sessions[id].src.Rate()
+		if !ok {
+			p.t.Fatalf("session %d has no rate after quiescence", id)
+		}
+		if !got.Equal(want[i]) {
+			p.t.Fatalf("session %d rate = %v, oracle says %v", id, got, want[i])
+		}
+		if last, ok := p.rates[id]; !ok || !last.Equal(want[i]) {
+			p.t.Fatalf("session %d last API.Rate = %v (%t), oracle says %v", id, last, ok, want[i])
+		}
+	}
+}
+
+func TestSingleSessionSelfLimited(t *testing.T) {
+	p := newPump(t)
+	p.addLink(1, rate.Mbps(10))
+	s := p.addSession(1, 1)
+	s.Join(rate.Mbps(4))
+	p.run(100)
+	p.checkAll()
+	if got, _ := s.Rate(); !got.Equal(rate.Mbps(4)) {
+		t.Fatalf("rate = %v", got)
+	}
+	if !s.Converged() {
+		t.Fatalf("source did not converge")
+	}
+}
+
+func TestSingleSessionLinkLimited(t *testing.T) {
+	p := newPump(t)
+	p.addLink(1, rate.Mbps(10))
+	s := p.addSession(1, 1)
+	s.Join(rate.Inf)
+	p.run(100)
+	p.checkAll()
+	if got, _ := s.Rate(); !got.Equal(rate.Mbps(10)) {
+		t.Fatalf("rate = %v", got)
+	}
+}
+
+func TestTwoSessionsShareOneLink(t *testing.T) {
+	p := newPump(t)
+	p.addLink(1, rate.Mbps(10))
+	s1 := p.addSession(1, 1)
+	s2 := p.addSession(2, 1)
+	s1.Join(rate.Inf)
+	s2.Join(rate.Inf)
+	p.run(1000)
+	p.checkAll()
+	if got, _ := s1.Rate(); !got.Equal(rate.Mbps(5)) {
+		t.Fatalf("s1 rate = %v", got)
+	}
+}
+
+func TestClassicChainThreeSessions(t *testing.T) {
+	// s1 on A (10), s2 on A,B, s3 on B (4): max-min 8/2/2.
+	p := newPump(t)
+	p.addLink(1, rate.Mbps(10))
+	p.addLink(2, rate.Mbps(4))
+	s1 := p.addSession(1, 1)
+	s2 := p.addSession(2, 1, 2)
+	s3 := p.addSession(3, 2)
+	s1.Join(rate.Inf)
+	s2.Join(rate.Inf)
+	s3.Join(rate.Inf)
+	p.run(2000)
+	p.checkAll()
+	for id, want := range map[SessionID]rate.Rate{1: rate.Mbps(8), 2: rate.Mbps(2), 3: rate.Mbps(2)} {
+		if got, _ := p.sessions[id].src.Rate(); !got.Equal(want) {
+			t.Fatalf("s%d rate = %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestLeaveRedistributes(t *testing.T) {
+	p := newPump(t)
+	p.addLink(1, rate.Mbps(10))
+	s1 := p.addSession(1, 1)
+	s2 := p.addSession(2, 1)
+	s1.Join(rate.Inf)
+	s2.Join(rate.Inf)
+	p.run(1000)
+	if got, _ := s2.Rate(); !got.Equal(rate.Mbps(5)) {
+		t.Fatalf("pre-leave s2 rate = %v", got)
+	}
+	s1.Leave()
+	p.run(1000)
+	p.checkAll()
+	if got, _ := s2.Rate(); !got.Equal(rate.Mbps(10)) {
+		t.Fatalf("post-leave s2 rate = %v", got)
+	}
+}
+
+func TestJoinReducesExisting(t *testing.T) {
+	p := newPump(t)
+	p.addLink(1, rate.Mbps(12))
+	s1 := p.addSession(1, 1)
+	s1.Join(rate.Inf)
+	p.run(1000)
+	if got, _ := s1.Rate(); !got.Equal(rate.Mbps(12)) {
+		t.Fatalf("solo rate = %v", got)
+	}
+	s2 := p.addSession(2, 1)
+	s2.Join(rate.Inf)
+	p.run(1000)
+	p.checkAll()
+	if got, _ := s1.Rate(); !got.Equal(rate.Mbps(6)) {
+		t.Fatalf("s1 rate after join = %v", got)
+	}
+	if got, _ := s2.Rate(); !got.Equal(rate.Mbps(6)) {
+		t.Fatalf("s2 rate = %v", got)
+	}
+}
+
+func TestChangeDemand(t *testing.T) {
+	p := newPump(t)
+	p.addLink(1, rate.Mbps(12))
+	s1 := p.addSession(1, 1)
+	s2 := p.addSession(2, 1)
+	s1.Join(rate.Inf)
+	s2.Join(rate.Inf)
+	p.run(1000)
+	// s1 drops its demand to 2: s2 should now get 10.
+	s1.Change(rate.Mbps(2))
+	p.run(1000)
+	p.checkAll()
+	if got, _ := s1.Rate(); !got.Equal(rate.Mbps(2)) {
+		t.Fatalf("s1 rate = %v", got)
+	}
+	if got, _ := s2.Rate(); !got.Equal(rate.Mbps(10)) {
+		t.Fatalf("s2 rate = %v", got)
+	}
+	// And back up: equal shares again.
+	s1.Change(rate.Inf)
+	p.run(1000)
+	p.checkAll()
+	if got, _ := s1.Rate(); !got.Equal(rate.Mbps(6)) {
+		t.Fatalf("s1 rate after raise = %v", got)
+	}
+}
+
+func TestCascadedBottlenecks(t *testing.T) {
+	// Two sessions through links 1 (6) and 2 (20), a third on link 2 only.
+	p := newPump(t)
+	p.addLink(1, rate.Mbps(6))
+	p.addLink(2, rate.Mbps(20))
+	s1 := p.addSession(1, 1, 2)
+	s2 := p.addSession(2, 1, 2)
+	s3 := p.addSession(3, 2)
+	s1.Join(rate.Inf)
+	s2.Join(rate.Inf)
+	s3.Join(rate.Inf)
+	p.run(2000)
+	p.checkAll()
+	for id, want := range map[SessionID]rate.Rate{1: rate.Mbps(3), 2: rate.Mbps(3), 3: rate.Mbps(14)} {
+		if got, _ := p.sessions[id].src.Rate(); !got.Equal(want) {
+			t.Fatalf("s%d rate = %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestLongPathManyLinks(t *testing.T) {
+	p := newPump(t)
+	var path []LinkRef
+	for i := LinkRef(1); i <= 10; i++ {
+		c := rate.Mbps(int64(10 + i))
+		if i == 5 {
+			c = rate.Mbps(3)
+		}
+		p.addLink(i, c)
+		path = append(path, i)
+	}
+	s := p.addSession(1, path...)
+	s.Join(rate.Inf)
+	p.run(1000)
+	p.checkAll()
+	if got, _ := s.Rate(); !got.Equal(rate.Mbps(3)) {
+		t.Fatalf("rate = %v", got)
+	}
+}
+
+func TestQuiescencePacketCount(t *testing.T) {
+	// One self-limited session on a 2-link path: Join cycle (down 3 hops, up
+	// 3 hops) + SetBottleneck (down 3 hops) and nothing else.
+	p := newPump(t)
+	p.addLink(1, rate.Mbps(10))
+	p.addLink(2, rate.Mbps(10))
+	s := p.addSession(1, 1, 2)
+	s.Join(rate.Mbps(1))
+	p.run(100)
+	p.checkAll()
+	if p.sent != 9 {
+		t.Fatalf("packets = %d, want 9 (join 3 + response 3 + setbottleneck 3)", p.sent)
+	}
+}
+
+func TestManySessionsOneLink(t *testing.T) {
+	p := newPump(t)
+	p.addLink(1, rate.Mbps(100))
+	const n = 50
+	for i := 1; i <= n; i++ {
+		p.addSession(SessionID(i), 1).Join(rate.Inf)
+	}
+	p.run(200000)
+	p.checkAll()
+	want := rate.Mbps(100).DivInt(n)
+	for i := 1; i <= n; i++ {
+		if got, _ := p.sessions[SessionID(i)].src.Rate(); !got.Equal(want) {
+			t.Fatalf("s%d rate = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestLeaveWhileProbeInFlight(t *testing.T) {
+	// A session leaves immediately after joining; its packets race with the
+	// Leave. No state must remain anywhere.
+	p := newPump(t)
+	p.addLink(1, rate.Mbps(10))
+	s1 := p.addSession(1, 1)
+	s2 := p.addSession(2, 1)
+	s1.Join(rate.Inf)
+	s2.Join(rate.Inf)
+	s1.Leave() // before any packet is delivered
+	p.run(1000)
+	p.checkAll()
+	if got, _ := s2.Rate(); !got.Equal(rate.Mbps(10)) {
+		t.Fatalf("s2 rate = %v", got)
+	}
+	if p.link(1).Sessions() != 1 {
+		t.Fatalf("link still knows %d sessions", p.link(1).Sessions())
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sort"
+
+	"bneck/internal/rate"
+)
+
+// rateSet is a multiset of sessions keyed by their rate, ordered by rate.
+// The number of distinct rates at one link is small in practice (bounded by
+// the number of bottleneck levels that ever touched the link), so a sorted
+// slice of buckets with binary search is both simple and fast.
+type rateSet struct {
+	buckets []*rateBucket // ascending by rate
+	size    int
+}
+
+type rateBucket struct {
+	rate     rate.Rate
+	sessions map[SessionID]struct{}
+}
+
+// add inserts session s with rate r.
+func (rs *rateSet) add(r rate.Rate, s SessionID) {
+	i := rs.search(r)
+	if i < len(rs.buckets) && rs.buckets[i].rate.Equal(r) {
+		rs.buckets[i].sessions[s] = struct{}{}
+	} else {
+		b := &rateBucket{rate: r, sessions: map[SessionID]struct{}{s: {}}}
+		rs.buckets = append(rs.buckets, nil)
+		copy(rs.buckets[i+1:], rs.buckets[i:])
+		rs.buckets[i] = b
+	}
+	rs.size++
+}
+
+// remove deletes session s with rate r. It panics if absent: the table keeps
+// index membership in lockstep with entries, and a mismatch is a bug.
+func (rs *rateSet) remove(r rate.Rate, s SessionID) {
+	i := rs.search(r)
+	if i >= len(rs.buckets) || !rs.buckets[i].rate.Equal(r) {
+		panic("core: rateSet.remove of absent rate")
+	}
+	b := rs.buckets[i]
+	if _, ok := b.sessions[s]; !ok {
+		panic("core: rateSet.remove of absent session")
+	}
+	delete(b.sessions, s)
+	rs.size--
+	if len(b.sessions) == 0 {
+		rs.buckets = append(rs.buckets[:i], rs.buckets[i+1:]...)
+	}
+}
+
+// search returns the first index whose bucket rate is >= r.
+func (rs *rateSet) search(r rate.Rate) int {
+	return sort.Search(len(rs.buckets), func(i int) bool {
+		return rs.buckets[i].rate.GreaterEq(r)
+	})
+}
+
+// max returns the largest rate present, if any.
+func (rs *rateSet) max() (rate.Rate, bool) {
+	if len(rs.buckets) == 0 {
+		return rate.Zero, false
+	}
+	return rs.buckets[len(rs.buckets)-1].rate, true
+}
+
+// countAt returns how many sessions have exactly rate r.
+func (rs *rateSet) countAt(r rate.Rate) int {
+	i := rs.search(r)
+	if i < len(rs.buckets) && rs.buckets[i].rate.Equal(r) {
+		return len(rs.buckets[i].sessions)
+	}
+	return 0
+}
+
+// sessionsAt returns the sessions with exactly rate r, sorted by ID so that
+// emission order (and hence the whole simulation) is deterministic. The
+// caller owns the returned slice.
+func (rs *rateSet) sessionsAt(r rate.Rate) []SessionID {
+	i := rs.search(r)
+	if i >= len(rs.buckets) || !rs.buckets[i].rate.Equal(r) {
+		return nil
+	}
+	out := make([]SessionID, 0, len(rs.buckets[i].sessions))
+	for s := range rs.buckets[i].sessions {
+		out = append(out, s)
+	}
+	sortSessions(out)
+	return out
+}
+
+// sessionsAbove returns all sessions with rate strictly greater than r,
+// sorted by ID.
+func (rs *rateSet) sessionsAbove(r rate.Rate) []SessionID {
+	i := sort.Search(len(rs.buckets), func(i int) bool {
+		return rs.buckets[i].rate.Greater(r)
+	})
+	var out []SessionID
+	for ; i < len(rs.buckets); i++ {
+		for s := range rs.buckets[i].sessions {
+			out = append(out, s)
+		}
+	}
+	sortSessions(out)
+	return out
+}
+
+func sortSessions(s []SessionID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// len returns the number of sessions in the set.
+func (rs *rateSet) len() int { return rs.size }
+
+// distinct returns the number of distinct rates (for stats and tests).
+func (rs *rateSet) distinct() int { return len(rs.buckets) }

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"bneck/internal/rate"
+)
+
+func TestRateSetBasics(t *testing.T) {
+	var rs rateSet
+	if _, ok := rs.max(); ok {
+		t.Fatalf("empty set has a max")
+	}
+	rs.add(rate.Mbps(5), 1)
+	rs.add(rate.Mbps(3), 2)
+	rs.add(rate.Mbps(5), 3)
+	if rs.len() != 3 || rs.distinct() != 2 {
+		t.Fatalf("len=%d distinct=%d", rs.len(), rs.distinct())
+	}
+	if m, ok := rs.max(); !ok || !m.Equal(rate.Mbps(5)) {
+		t.Fatalf("max = %v", m)
+	}
+	if rs.countAt(rate.Mbps(5)) != 2 || rs.countAt(rate.Mbps(3)) != 1 || rs.countAt(rate.Mbps(9)) != 0 {
+		t.Fatalf("counts wrong")
+	}
+	got := rs.sessionsAt(rate.Mbps(5))
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("sessionsAt = %v (must be sorted)", got)
+	}
+	above := rs.sessionsAbove(rate.Mbps(3))
+	if len(above) != 2 {
+		t.Fatalf("sessionsAbove = %v", above)
+	}
+	rs.remove(rate.Mbps(5), 1)
+	rs.remove(rate.Mbps(5), 3)
+	if rs.countAt(rate.Mbps(5)) != 0 || rs.distinct() != 1 {
+		t.Fatalf("bucket not collapsed")
+	}
+}
+
+func TestRateSetRemovePanics(t *testing.T) {
+	t.Run("absent rate", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("expected panic")
+			}
+		}()
+		var rs rateSet
+		rs.remove(rate.Mbps(1), 1)
+	})
+	t.Run("absent session", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("expected panic")
+			}
+		}()
+		var rs rateSet
+		rs.add(rate.Mbps(1), 1)
+		rs.remove(rate.Mbps(1), 2)
+	})
+}
+
+// TestRateSetMatchesReference fuzzes against a trivial slice-of-pairs
+// reference.
+func TestRateSetMatchesReference(t *testing.T) {
+	type pair struct {
+		r rate.Rate
+		s SessionID
+	}
+	r := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 50; iter++ {
+		var rs rateSet
+		var ref []pair
+		for step := 0; step < 500; step++ {
+			if len(ref) == 0 || r.Intn(3) > 0 {
+				rt := rate.FromFrac(int64(1+r.Intn(20)), int64(1+r.Intn(4)))
+				s := SessionID(step)
+				rs.add(rt, s)
+				ref = append(ref, pair{rt, s})
+			} else {
+				i := r.Intn(len(ref))
+				rs.remove(ref[i].r, ref[i].s)
+				ref = append(ref[:i], ref[i+1:]...)
+			}
+			if rs.len() != len(ref) {
+				t.Fatalf("len %d vs %d", rs.len(), len(ref))
+			}
+			// max
+			if len(ref) > 0 {
+				want := ref[0].r
+				for _, p := range ref[1:] {
+					want = rate.Max(want, p.r)
+				}
+				got, ok := rs.max()
+				if !ok || !got.Equal(want) {
+					t.Fatalf("max %v vs %v", got, want)
+				}
+				// countAt / sessionsAt for a random existing rate
+				probe := ref[r.Intn(len(ref))].r
+				var wantAt []SessionID
+				for _, p := range ref {
+					if p.r.Equal(probe) {
+						wantAt = append(wantAt, p.s)
+					}
+				}
+				sort.Slice(wantAt, func(i, j int) bool { return wantAt[i] < wantAt[j] })
+				gotAt := rs.sessionsAt(probe)
+				if len(gotAt) != len(wantAt) {
+					t.Fatalf("sessionsAt len %d vs %d", len(gotAt), len(wantAt))
+				}
+				for i := range gotAt {
+					if gotAt[i] != wantAt[i] {
+						t.Fatalf("sessionsAt %v vs %v", gotAt, wantAt)
+					}
+				}
+				if rs.countAt(probe) != len(wantAt) {
+					t.Fatalf("countAt %d vs %d", rs.countAt(probe), len(wantAt))
+				}
+				// sessionsAbove for a random threshold
+				var wantAbove []SessionID
+				for _, p := range ref {
+					if p.r.Greater(probe) {
+						wantAbove = append(wantAbove, p.s)
+					}
+				}
+				sort.Slice(wantAbove, func(i, j int) bool { return wantAbove[i] < wantAbove[j] })
+				gotAbove := rs.sessionsAbove(probe)
+				if len(gotAbove) != len(wantAbove) {
+					t.Fatalf("sessionsAbove len %d vs %d", len(gotAbove), len(wantAbove))
+				}
+				for i := range gotAbove {
+					if gotAbove[i] != wantAbove[i] {
+						t.Fatalf("sessionsAbove %v vs %v", gotAbove, wantAbove)
+					}
+				}
+			}
+			// Buckets stay sorted and non-empty.
+			for i := 1; i < len(rs.buckets); i++ {
+				if !rs.buckets[i-1].rate.Less(rs.buckets[i].rate) {
+					t.Fatalf("buckets unsorted")
+				}
+			}
+			for _, b := range rs.buckets {
+				if len(b.sessions) == 0 {
+					t.Fatalf("empty bucket kept")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"bneck/internal/rate"
+)
+
+// RouterLink is the task controlling one directed network link (Figure 2 of
+// the paper). One instance exists per link that carries at least one
+// session; all packets of sessions whose path crosses the link are processed
+// here, atomically (the transport guarantees handlers never run
+// concurrently).
+type RouterLink struct {
+	ref LinkRef
+	tbl *table
+	em  Emitter
+}
+
+// NewRouterLink returns the task for link ref with the given data capacity.
+func NewRouterLink(ref LinkRef, capacity rate.Rate, em Emitter) *RouterLink {
+	return &RouterLink{ref: ref, tbl: newTable(capacity), em: em}
+}
+
+// Ref returns the link reference this task controls.
+func (rl *RouterLink) Ref() LinkRef { return rl.ref }
+
+// Sessions returns how many sessions the link currently knows.
+func (rl *RouterLink) Sessions() int { return rl.tbl.sessions() }
+
+// Bottleneck returns the link's current bottleneck rate estimate B_e
+// (+∞ when R_e is empty).
+func (rl *RouterLink) Bottleneck() rate.Rate { return rl.tbl.be() }
+
+// Receive processes one packet arriving for session pkt.Session at this
+// link, which sits at hop index hop on that session's path.
+func (rl *RouterLink) Receive(pkt Packet, hop int) {
+	switch pkt.Type {
+	case PktJoin:
+		rl.onJoin(pkt, hop)
+	case PktProbe:
+		rl.onProbe(pkt, hop)
+	case PktResponse:
+		rl.onResponse(pkt, hop)
+	case PktUpdate:
+		rl.onUpdate(pkt, hop)
+	case PktBottleneck:
+		rl.onBottleneck(pkt, hop)
+	case PktSetBottleneck:
+		rl.onSetBottleneck(pkt, hop)
+	case PktLeave:
+		rl.onLeave(pkt, hop)
+	default:
+		panic("core: unknown packet type " + pkt.Type.String())
+	}
+}
+
+// processNewRestricted is Figure 2's ProcessNewRestricted: F_e members whose
+// recorded rate reaches the current bottleneck estimate cannot actually be
+// restricted elsewhere at a lower rate, so they move back into R_e; then any
+// idle R_e member whose rate exceeds the (possibly lowered) estimate is told
+// to re-probe.
+func (rl *RouterLink) processNewRestricted() {
+	t := rl.tbl
+	for {
+		maxR, ok := t.feMax()
+		if !ok || maxR.Less(t.be()) {
+			break
+		}
+		for _, r := range t.feSessionsAt(maxR) {
+			t.moveFeToRe(r, t.get(r))
+		}
+	}
+	be := t.be()
+	for _, r := range t.idleAbove(be) {
+		ent := t.get(r)
+		t.setState(r, ent, WaitingProbe)
+		rl.em.Emit(r, ent.hop, Up, Packet{Type: PktUpdate, Session: r})
+	}
+}
+
+func (rl *RouterLink) onJoin(pkt Packet, hop int) {
+	t := rl.tbl
+	s := pkt.Session
+	if t.get(s) != nil {
+		// A stale entry can only exist if a rejoin raced ahead of a Leave's
+		// cleanup, which the transport's FIFO order precludes; be safe and
+		// start from scratch.
+		t.remove(s)
+	}
+	t.addNew(s, hop)
+	rl.processNewRestricted()
+	lambda, eta := pkt.Rate, pkt.Bneck
+	if be := t.be(); lambda.Greater(be) {
+		lambda, eta = be, rl.ref
+	}
+	rl.em.Emit(s, hop, Down, Packet{Type: PktJoin, Session: s, Rate: lambda, Bneck: eta})
+}
+
+func (rl *RouterLink) onProbe(pkt Packet, hop int) {
+	t := rl.tbl
+	s := pkt.Session
+	ent := t.get(s)
+	if ent == nil {
+		return // session left; drop
+	}
+	t.setState(s, ent, WaitingResponse)
+	if !ent.inRe {
+		t.moveFeToRe(s, ent)
+		rl.processNewRestricted()
+	}
+	lambda, eta := pkt.Rate, pkt.Bneck
+	if be := t.be(); lambda.Greater(be) {
+		lambda, eta = be, rl.ref
+	}
+	rl.em.Emit(s, hop, Down, Packet{Type: PktProbe, Session: s, Rate: lambda, Bneck: eta})
+}
+
+func (rl *RouterLink) onResponse(pkt Packet, hop int) {
+	t := rl.tbl
+	s := pkt.Session
+	ent := t.get(s)
+	if ent == nil {
+		return // session left; drop
+	}
+	tau, lambda, eta := pkt.Resp, pkt.Rate, pkt.Bneck
+	if tau == RespUpdate {
+		t.setState(s, ent, WaitingProbe)
+	} else {
+		be := t.be()
+		if (eta == rl.ref && lambda.Equal(be)) || (eta != rl.ref && lambda.LessEq(be)) {
+			// The probe's answer is consistent with this link's current
+			// estimate: accept it.
+			t.setIdle(s, ent, lambda)
+		} else {
+			// Either this link capped the probe but its estimate has moved
+			// (η = e ∧ λ < B_e), or the granted rate now exceeds this link's
+			// share (λ > B_e): a new probe cycle is needed.
+			tau = RespUpdate
+			t.setState(s, ent, WaitingProbe)
+		}
+		if t.allReIdleAtBe() {
+			// Every session not restricted elsewhere is idle at B_e: this
+			// link is a bottleneck. Tell s through τ and everyone else with
+			// Bottleneck packets.
+			tau = RespBottleneck
+			eta = rl.ref
+			for _, r := range t.idleAt(be) {
+				if r == s {
+					continue
+				}
+				rl.em.Emit(r, t.get(r).hop, Up, Packet{Type: PktBottleneck, Session: r})
+			}
+		}
+	}
+	rl.em.Emit(s, hop, Up, Packet{Type: PktResponse, Session: s, Resp: tau, Rate: lambda, Bneck: eta})
+}
+
+func (rl *RouterLink) onUpdate(pkt Packet, hop int) {
+	t := rl.tbl
+	s := pkt.Session
+	ent := t.get(s)
+	if ent == nil {
+		return
+	}
+	if ent.mu == Idle {
+		t.setState(s, ent, WaitingProbe)
+		rl.em.Emit(s, hop, Up, Packet{Type: PktUpdate, Session: s})
+	}
+	// Non-idle: a probe cycle is already pending or in flight; the Update is
+	// absorbed here (the Response check or the pending Probe covers it).
+}
+
+func (rl *RouterLink) onBottleneck(pkt Packet, hop int) {
+	s := pkt.Session
+	ent := rl.tbl.get(s)
+	if ent == nil {
+		return
+	}
+	if ent.mu == Idle && ent.inRe {
+		rl.em.Emit(s, hop, Up, Packet{Type: PktBottleneck, Session: s})
+	}
+}
+
+func (rl *RouterLink) onSetBottleneck(pkt Packet, hop int) {
+	t := rl.tbl
+	s := pkt.Session
+	ent := t.get(s)
+	if ent == nil {
+		return
+	}
+	be := t.be()
+	switch {
+	case t.allReIdleAtBe():
+		// This link is a bottleneck (for s among others): confirm it.
+		rl.em.Emit(s, hop, Down, Packet{Type: PktSetBottleneck, Session: s, Beta: true})
+	case ent.mu == Idle && ent.hasLambda && ent.lambda.Less(be):
+		// s is restricted elsewhere: move it to F_e. Idle sessions pinned at
+		// the old estimate can now get more, so they must re-probe.
+		for _, r := range t.idleAt(be) {
+			rEnt := t.get(r)
+			t.setState(r, rEnt, WaitingProbe)
+			rl.em.Emit(r, rEnt.hop, Up, Packet{Type: PktUpdate, Session: r})
+		}
+		if ent.inRe {
+			t.moveReToFe(s, ent)
+		}
+		rl.em.Emit(s, hop, Down, Packet{Type: PktSetBottleneck, Session: s, Beta: pkt.Beta})
+	case ent.mu == Idle && ent.hasLambda && ent.lambda.Equal(be):
+		// This link restricts s but is not (yet) a confirmed bottleneck:
+		// pass β through unchanged.
+		rl.em.Emit(s, hop, Down, Packet{Type: PktSetBottleneck, Session: s, Beta: pkt.Beta})
+	default:
+		// μ ≠ IDLE: an Update overtook the SetBottleneck; the pending probe
+		// cycle supersedes it. Drop.
+	}
+}
+
+func (rl *RouterLink) onLeave(pkt Packet, hop int) {
+	t := rl.tbl
+	s := pkt.Session
+	if ent := t.get(s); ent != nil {
+		// R′ with the *old* B_e: sessions pinned at the current estimate can
+		// grow once s's share is freed.
+		var updates []SessionID
+		if t.reCount > 0 {
+			for _, r := range t.idleAt(t.be()) {
+				if r != s {
+					updates = append(updates, r)
+				}
+			}
+		}
+		t.remove(s)
+		for _, r := range updates {
+			rEnt := t.get(r)
+			t.setState(r, rEnt, WaitingProbe)
+			rl.em.Emit(r, rEnt.hop, Up, Packet{Type: PktUpdate, Session: r})
+		}
+	}
+	rl.em.Emit(s, hop, Down, Packet{Type: PktLeave, Session: s})
+}
+
+// Stable reports whether the link satisfies Definition 2 of the paper: all
+// known sessions IDLE, all R_e members at B_e, and (when R_e is nonempty)
+// every F_e member strictly below B_e.
+func (rl *RouterLink) Stable() bool {
+	t := rl.tbl
+	for _, ent := range t.entries {
+		if ent.mu != Idle {
+			return false
+		}
+	}
+	if t.reCount > 0 {
+		be := t.be()
+		if t.idleRates.countAt(be) != t.reCount {
+			return false
+		}
+		if max, ok := t.feMax(); ok && !max.Less(be) {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshotEntry is a read-only view of per-session link state for tests and
+// validation.
+type snapshotEntry struct {
+	InRe   bool
+	Mu     State
+	Lambda rate.Rate
+	HasLam bool
+}
+
+// snapshot exposes the table state (tests only).
+func (rl *RouterLink) snapshot() map[SessionID]snapshotEntry {
+	out := make(map[SessionID]snapshotEntry, len(rl.tbl.entries))
+	for s, e := range rl.tbl.entries {
+		out[s] = snapshotEntry{InRe: e.inRe, Mu: e.mu, Lambda: e.lambda, HasLam: e.hasLambda}
+	}
+	return out
+}
+
+// CheckInvariants exposes table consistency checking for tests.
+func (rl *RouterLink) CheckInvariants() error { return rl.tbl.checkInvariants() }

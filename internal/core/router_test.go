@@ -1,0 +1,397 @@
+package core
+
+import (
+	"testing"
+
+	"bneck/internal/rate"
+)
+
+// newTestLink returns a RouterLink on link ref 1 with the given capacity and
+// a recorder for its emissions.
+func newTestLink(capacity rate.Rate) (*RouterLink, *recorder) {
+	rec := &recorder{}
+	return NewRouterLink(1, capacity, rec), rec
+}
+
+// drive puts session s into the link in IDLE state at rate lam by playing a
+// Join and its Response through the handler.
+func driveIdle(t *testing.T, rl *RouterLink, rec *recorder, s SessionID, lam rate.Rate) {
+	t.Helper()
+	rl.Receive(Packet{Type: PktJoin, Session: s, Rate: lam, Bneck: SourceRef}, 1)
+	rec.take()
+	// Response as if lam was granted by a downstream link (η ≠ e) — accepted
+	// iff lam ≤ Be.
+	rl.Receive(Packet{Type: PktResponse, Session: s, Resp: RespResponse,
+		Rate: lam, Bneck: LinkRef(99)}, 1)
+	rec.take()
+	ent := rl.tbl.get(s)
+	if ent == nil || ent.mu != Idle {
+		t.Fatalf("session %d not idle after drive", s)
+	}
+}
+
+func TestRouterJoinCapsRate(t *testing.T) {
+	rl, rec := newTestLink(rate.Mbps(10))
+	rl.Receive(Packet{Type: PktJoin, Session: 1, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	e := rec.last(t)
+	if e.pkt.Type != PktJoin || e.dir != Down {
+		t.Fatalf("emitted %+v", e)
+	}
+	if !e.pkt.Rate.Equal(rate.Mbps(10)) || e.pkt.Bneck != rl.Ref() {
+		t.Fatalf("join not capped: %+v", e.pkt)
+	}
+	// A second join halves the estimate and the first session is unknown to
+	// be affected yet (no rate recorded) — no Update.
+	rec.take()
+	rl.Receive(Packet{Type: PktJoin, Session: 2, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	for _, e := range rec.take() {
+		if e.pkt.Type == PktUpdate {
+			t.Fatalf("update for rate-less session")
+		}
+	}
+	if !rl.Bottleneck().Equal(rate.Mbps(5)) {
+		t.Fatalf("Be = %v", rl.Bottleneck())
+	}
+}
+
+func TestRouterJoinPassthroughWhenBelowBe(t *testing.T) {
+	rl, rec := newTestLink(rate.Mbps(10))
+	rl.Receive(Packet{Type: PktJoin, Session: 1, Rate: rate.Mbps(2), Bneck: SourceRef}, 1)
+	e := rec.last(t)
+	if !e.pkt.Rate.Equal(rate.Mbps(2)) || e.pkt.Bneck != SourceRef {
+		t.Fatalf("join altered: %+v", e.pkt)
+	}
+}
+
+func TestRouterJoinTriggersUpdateForIdlePeers(t *testing.T) {
+	rl, rec := newTestLink(rate.Mbps(10))
+	driveIdle(t, rl, rec, 1, rate.Mbps(10)) // s1 idle holding the full link
+	// s2 joins: Be drops to 5; s1 (idle at 10 > 5) must get an Update.
+	rl.Receive(Packet{Type: PktJoin, Session: 2, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	var sawUpdate bool
+	for _, e := range rec.take() {
+		if e.pkt.Type == PktUpdate && e.pkt.Session == 1 && e.dir == Up {
+			sawUpdate = true
+		}
+	}
+	if !sawUpdate {
+		t.Fatalf("no update for the squeezed session")
+	}
+	if rl.tbl.get(1).mu != WaitingProbe {
+		t.Fatalf("s1 not WAITING_PROBE")
+	}
+}
+
+func TestRouterResponseAcceptBranches(t *testing.T) {
+	// η = e ∧ λ = Be → accept.
+	rl, rec := newTestLink(rate.Mbps(10))
+	rl.Receive(Packet{Type: PktJoin, Session: 1, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	rec.take()
+	rl.Receive(Packet{Type: PktResponse, Session: 1, Resp: RespResponse,
+		Rate: rate.Mbps(10), Bneck: rl.Ref()}, 1)
+	e := rec.last(t)
+	// Single session at Be → the link is a bottleneck: τ upgraded.
+	if e.pkt.Resp != RespBottleneck || e.pkt.Bneck != rl.Ref() {
+		t.Fatalf("emitted %+v", e.pkt)
+	}
+	if rl.tbl.get(1).mu != Idle {
+		t.Fatalf("not idle after accept")
+	}
+}
+
+func TestRouterResponseStaleCapRequestsUpdate(t *testing.T) {
+	// η = e but λ < Be (the link's estimate moved while the probe was in
+	// flight) → τ = UPDATE.
+	rl, rec := newTestLink(rate.Mbps(10))
+	rl.Receive(Packet{Type: PktJoin, Session: 1, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	rec.take()
+	rl.Receive(Packet{Type: PktResponse, Session: 1, Resp: RespResponse,
+		Rate: rate.Mbps(4), Bneck: rl.Ref()}, 1)
+	e := rec.last(t)
+	if e.pkt.Resp != RespUpdate {
+		t.Fatalf("emitted %+v", e.pkt)
+	}
+	if rl.tbl.get(1).mu != WaitingProbe {
+		t.Fatalf("state = %v", rl.tbl.get(1).mu)
+	}
+}
+
+func TestRouterResponseOverBeRequestsUpdate(t *testing.T) {
+	// λ > Be (another session joined since the probe passed) → τ = UPDATE.
+	rl, rec := newTestLink(rate.Mbps(10))
+	rl.Receive(Packet{Type: PktJoin, Session: 1, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	rl.Receive(Packet{Type: PktJoin, Session: 2, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	rec.take()
+	rl.Receive(Packet{Type: PktResponse, Session: 1, Resp: RespResponse,
+		Rate: rate.Mbps(8), Bneck: LinkRef(99)}, 1)
+	e := rec.last(t)
+	if e.pkt.Resp != RespUpdate {
+		t.Fatalf("emitted %+v", e.pkt)
+	}
+}
+
+func TestRouterResponseUpdateKindPassesThrough(t *testing.T) {
+	rl, rec := newTestLink(rate.Mbps(10))
+	rl.Receive(Packet{Type: PktJoin, Session: 1, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	rec.take()
+	rl.Receive(Packet{Type: PktResponse, Session: 1, Resp: RespUpdate,
+		Rate: rate.Mbps(10), Bneck: rl.Ref()}, 1)
+	e := rec.last(t)
+	if e.pkt.Resp != RespUpdate {
+		t.Fatalf("τ changed: %+v", e.pkt)
+	}
+	if rl.tbl.get(1).mu != WaitingProbe {
+		t.Fatalf("state = %v", rl.tbl.get(1).mu)
+	}
+}
+
+func TestRouterBottleneckDetectionNotifiesPeers(t *testing.T) {
+	rl, rec := newTestLink(rate.Mbps(10))
+	rl.Receive(Packet{Type: PktJoin, Session: 1, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	rl.Receive(Packet{Type: PktJoin, Session: 2, Rate: rate.Inf, Bneck: SourceRef}, 2)
+	rec.take()
+	// s1 accepts at 5 = Be: not all idle yet (s2 pending) → plain response.
+	rl.Receive(Packet{Type: PktResponse, Session: 1, Resp: RespResponse,
+		Rate: rate.Mbps(5), Bneck: rl.Ref()}, 1)
+	if e := rec.last(t); e.pkt.Resp != RespResponse {
+		t.Fatalf("premature bottleneck: %+v", e.pkt)
+	}
+	rec.take()
+	// s2 accepts at 5: now all of Re idle at Be → bottleneck; s1 gets a
+	// Bottleneck packet at ITS hop (1), s2's response carries τ=BOTTLENECK.
+	rl.Receive(Packet{Type: PktResponse, Session: 2, Resp: RespResponse,
+		Rate: rate.Mbps(5), Bneck: rl.Ref()}, 2)
+	var sawPeer, sawTau bool
+	for _, e := range rec.take() {
+		if e.pkt.Type == PktBottleneck && e.pkt.Session == 1 && e.from == 1 && e.dir == Up {
+			sawPeer = true
+		}
+		if e.pkt.Type == PktResponse && e.pkt.Resp == RespBottleneck && e.pkt.Session == 2 {
+			sawTau = true
+		}
+	}
+	if !sawPeer || !sawTau {
+		t.Fatalf("bottleneck notifications missing (peer=%t τ=%t)", sawPeer, sawTau)
+	}
+}
+
+func TestRouterUpdateForwardOnlyWhenIdle(t *testing.T) {
+	rl, rec := newTestLink(rate.Mbps(10))
+	driveIdle(t, rl, rec, 1, rate.Mbps(10))
+	rl.Receive(Packet{Type: PktUpdate, Session: 1}, 1)
+	if e := rec.last(t); e.pkt.Type != PktUpdate || e.dir != Up {
+		t.Fatalf("update not forwarded: %+v", e)
+	}
+	rec.take()
+	// Second update: session is now WAITING_PROBE → absorbed.
+	rl.Receive(Packet{Type: PktUpdate, Session: 1}, 1)
+	if got := rec.take(); len(got) != 0 {
+		t.Fatalf("duplicate update forwarded: %+v", got)
+	}
+}
+
+func TestRouterBottleneckForwarding(t *testing.T) {
+	rl, rec := newTestLink(rate.Mbps(10))
+	driveIdle(t, rl, rec, 1, rate.Mbps(10))
+	rl.Receive(Packet{Type: PktBottleneck, Session: 1}, 1)
+	if e := rec.last(t); e.pkt.Type != PktBottleneck || e.dir != Up {
+		t.Fatalf("bottleneck not forwarded: %+v", e)
+	}
+	rec.take()
+	// Not idle → dropped.
+	rl.Receive(Packet{Type: PktUpdate, Session: 1}, 1)
+	rec.take()
+	rl.Receive(Packet{Type: PktBottleneck, Session: 1}, 1)
+	if got := rec.take(); len(got) != 0 {
+		t.Fatalf("bottleneck forwarded while busy: %+v", got)
+	}
+}
+
+func TestRouterSetBottleneckFullLink(t *testing.T) {
+	// Both sessions idle at Be → the link confirms β=TRUE regardless of the
+	// incoming β.
+	rl, rec := newTestLink(rate.Mbps(10))
+	rl.Receive(Packet{Type: PktJoin, Session: 1, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	rl.Receive(Packet{Type: PktJoin, Session: 2, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	rec.take()
+	rl.Receive(Packet{Type: PktResponse, Session: 1, Resp: RespResponse,
+		Rate: rate.Mbps(5), Bneck: rl.Ref()}, 1)
+	rl.Receive(Packet{Type: PktResponse, Session: 2, Resp: RespResponse,
+		Rate: rate.Mbps(5), Bneck: rl.Ref()}, 1)
+	rec.take()
+	rl.Receive(Packet{Type: PktSetBottleneck, Session: 1, Beta: false}, 1)
+	e := rec.last(t)
+	if e.pkt.Type != PktSetBottleneck || !e.pkt.Beta || e.dir != Down {
+		t.Fatalf("emitted %+v", e)
+	}
+}
+
+func TestRouterSetBottleneckMovesToFe(t *testing.T) {
+	// s1 idle at 2 (restricted elsewhere), s2 idle at Be: SetBottleneck(s1)
+	// moves s1 to Fe and updates s2 (it can now grow).
+	rl, rec := newTestLink(rate.Mbps(10))
+	rl.Receive(Packet{Type: PktJoin, Session: 1, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	rl.Receive(Packet{Type: PktJoin, Session: 2, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	rec.take()
+	rl.Receive(Packet{Type: PktResponse, Session: 1, Resp: RespResponse,
+		Rate: rate.Mbps(2), Bneck: LinkRef(99)}, 1)
+	rl.Receive(Packet{Type: PktResponse, Session: 2, Resp: RespResponse,
+		Rate: rate.Mbps(5), Bneck: rl.Ref()}, 1)
+	rec.take()
+	rl.Receive(Packet{Type: PktSetBottleneck, Session: 1, Beta: true}, 1)
+	var sawUpdate2, sawForward bool
+	for _, e := range rec.take() {
+		if e.pkt.Type == PktUpdate && e.pkt.Session == 2 {
+			sawUpdate2 = true
+		}
+		if e.pkt.Type == PktSetBottleneck && e.pkt.Session == 1 && e.pkt.Beta {
+			sawForward = true
+		}
+	}
+	if !sawUpdate2 || !sawForward {
+		t.Fatalf("missing actions (update2=%t forward=%t)", sawUpdate2, sawForward)
+	}
+	ent := rl.tbl.get(1)
+	if ent.inRe {
+		t.Fatalf("s1 still in Re")
+	}
+	// Be grew from 5 to (10-2)/1 = 8.
+	if !rl.Bottleneck().Equal(rate.Mbps(8)) {
+		t.Fatalf("Be = %v", rl.Bottleneck())
+	}
+}
+
+func TestRouterSetBottleneckAtBePassesThrough(t *testing.T) {
+	// s1 idle at Be but s2 still probing: β forwarded unchanged.
+	rl, rec := newTestLink(rate.Mbps(10))
+	rl.Receive(Packet{Type: PktJoin, Session: 1, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	rl.Receive(Packet{Type: PktJoin, Session: 2, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	rec.take()
+	rl.Receive(Packet{Type: PktResponse, Session: 1, Resp: RespResponse,
+		Rate: rate.Mbps(5), Bneck: rl.Ref()}, 1)
+	rec.take()
+	rl.Receive(Packet{Type: PktSetBottleneck, Session: 1, Beta: false}, 1)
+	e := rec.last(t)
+	if e.pkt.Type != PktSetBottleneck || e.pkt.Beta {
+		t.Fatalf("emitted %+v", e)
+	}
+}
+
+func TestRouterSetBottleneckDroppedWhenBusy(t *testing.T) {
+	rl, rec := newTestLink(rate.Mbps(10))
+	driveIdle(t, rl, rec, 1, rate.Mbps(10))
+	// An Update makes the session WAITING_PROBE; the SetBottleneck racing
+	// behind must be dropped.
+	rl.Receive(Packet{Type: PktUpdate, Session: 1}, 1)
+	rec.take()
+	rl.Receive(Packet{Type: PktSetBottleneck, Session: 1, Beta: true}, 1)
+	if got := rec.take(); len(got) != 0 {
+		t.Fatalf("stale SetBottleneck forwarded: %+v", got)
+	}
+}
+
+func TestRouterLeaveUpdatesPinnedPeers(t *testing.T) {
+	rl, rec := newTestLink(rate.Mbps(10))
+	rl.Receive(Packet{Type: PktJoin, Session: 1, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	rl.Receive(Packet{Type: PktJoin, Session: 2, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	rec.take()
+	rl.Receive(Packet{Type: PktResponse, Session: 1, Resp: RespResponse,
+		Rate: rate.Mbps(5), Bneck: rl.Ref()}, 1)
+	rl.Receive(Packet{Type: PktResponse, Session: 2, Resp: RespResponse,
+		Rate: rate.Mbps(5), Bneck: rl.Ref()}, 1)
+	rec.take()
+	rl.Receive(Packet{Type: PktLeave, Session: 1}, 1)
+	var sawUpdate2, sawLeave bool
+	for _, e := range rec.take() {
+		if e.pkt.Type == PktUpdate && e.pkt.Session == 2 {
+			sawUpdate2 = true
+		}
+		if e.pkt.Type == PktLeave && e.dir == Down {
+			sawLeave = true
+		}
+	}
+	if !sawUpdate2 || !sawLeave {
+		t.Fatalf("missing actions (update2=%t leave=%t)", sawUpdate2, sawLeave)
+	}
+	if rl.Sessions() != 1 {
+		t.Fatalf("sessions = %d", rl.Sessions())
+	}
+}
+
+func TestRouterLeaveUnknownStillForwards(t *testing.T) {
+	rl, rec := newTestLink(rate.Mbps(10))
+	rl.Receive(Packet{Type: PktLeave, Session: 42}, 1)
+	if e := rec.last(t); e.pkt.Type != PktLeave {
+		t.Fatalf("leave not forwarded for unknown session")
+	}
+}
+
+func TestRouterDropsPacketsForUnknownSessions(t *testing.T) {
+	rl, rec := newTestLink(rate.Mbps(10))
+	for _, pkt := range []Packet{
+		{Type: PktProbe, Session: 42, Rate: rate.Inf, Bneck: SourceRef},
+		{Type: PktResponse, Session: 42, Resp: RespResponse, Rate: rate.Mbps(1), Bneck: SourceRef},
+		{Type: PktUpdate, Session: 42},
+		{Type: PktBottleneck, Session: 42},
+		{Type: PktSetBottleneck, Session: 42, Beta: true},
+	} {
+		rl.Receive(pkt, 1)
+		if got := rec.take(); len(got) != 0 {
+			t.Fatalf("%v for unknown session emitted %+v", pkt.Type, got)
+		}
+	}
+}
+
+func TestRouterProbeMovesFeBackToRe(t *testing.T) {
+	rl, rec := newTestLink(rate.Mbps(10))
+	// s1 into Fe at 2 (via SetBottleneck), s2 idle at 8.
+	rl.Receive(Packet{Type: PktJoin, Session: 1, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	rl.Receive(Packet{Type: PktJoin, Session: 2, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	rec.take()
+	rl.Receive(Packet{Type: PktResponse, Session: 1, Resp: RespResponse,
+		Rate: rate.Mbps(2), Bneck: LinkRef(99)}, 1)
+	rl.Receive(Packet{Type: PktSetBottleneck, Session: 1, Beta: true}, 1)
+	rec.take()
+	if rl.tbl.get(1).inRe {
+		t.Fatalf("s1 not in Fe")
+	}
+	// A Probe for s1 must move it back to Re and cap at the new Be.
+	rl.Receive(Packet{Type: PktProbe, Session: 1, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	var probe *Packet
+	for _, e := range rec.take() {
+		if e.pkt.Type == PktProbe {
+			p := e.pkt
+			probe = &p
+		}
+	}
+	if probe == nil {
+		t.Fatalf("probe not forwarded")
+	}
+	if !rl.tbl.get(1).inRe {
+		t.Fatalf("s1 not back in Re")
+	}
+	// Be with both in Re: 10/2 = 5.
+	if !probe.Rate.Equal(rate.Mbps(5)) || probe.Bneck != rl.Ref() {
+		t.Fatalf("probe fields %+v", probe)
+	}
+}
+
+func TestRouterStableDefinition(t *testing.T) {
+	rl, rec := newTestLink(rate.Mbps(10))
+	if !rl.Stable() {
+		t.Fatalf("empty link not stable")
+	}
+	rl.Receive(Packet{Type: PktJoin, Session: 1, Rate: rate.Inf, Bneck: SourceRef}, 1)
+	if rl.Stable() {
+		t.Fatalf("stable with WAITING_RESPONSE session")
+	}
+	rl.Receive(Packet{Type: PktResponse, Session: 1, Resp: RespResponse,
+		Rate: rate.Mbps(10), Bneck: rl.Ref()}, 1)
+	rec.take()
+	if !rl.Stable() {
+		t.Fatalf("not stable with idle session at Be")
+	}
+	if err := rl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

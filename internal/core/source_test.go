@@ -1,0 +1,317 @@
+package core
+
+import (
+	"testing"
+
+	"bneck/internal/rate"
+)
+
+// recorder captures emissions from a single task.
+type recorder struct {
+	emitted []recorded
+}
+
+type recorded struct {
+	s    SessionID
+	from int
+	dir  Direction
+	pkt  Packet
+}
+
+func (r *recorder) Emit(s SessionID, from int, dir Direction, pkt Packet) {
+	r.emitted = append(r.emitted, recorded{s, from, dir, pkt})
+}
+
+func (r *recorder) take() []recorded {
+	out := r.emitted
+	r.emitted = nil
+	return out
+}
+
+func (r *recorder) last(t *testing.T) recorded {
+	t.Helper()
+	if len(r.emitted) == 0 {
+		t.Fatalf("no emission")
+	}
+	return r.emitted[len(r.emitted)-1]
+}
+
+func TestSourceJoinEmitsJoin(t *testing.T) {
+	rec := &recorder{}
+	var rates []rate.Rate
+	src := NewSourceNode(7, rec, func(_ SessionID, l rate.Rate) { rates = append(rates, l) })
+	src.Join(rate.Mbps(20))
+	e := rec.last(t)
+	if e.pkt.Type != PktJoin || e.dir != Down || e.from != 0 {
+		t.Fatalf("emitted %+v", e)
+	}
+	if !e.pkt.Rate.Equal(rate.Mbps(20)) || e.pkt.Bneck != SourceRef {
+		t.Fatalf("join fields %+v", e.pkt)
+	}
+	if !src.Active() {
+		t.Fatalf("not active after join")
+	}
+}
+
+func TestSourceSelfLimitedResponse(t *testing.T) {
+	rec := &recorder{}
+	var rates []rate.Rate
+	src := NewSourceNode(7, rec, func(_ SessionID, l rate.Rate) { rates = append(rates, l) })
+	src.Join(rate.Mbps(20))
+	rec.take()
+	// Response grants the full demand: self-bottleneck, β=TRUE.
+	src.Receive(Packet{Type: PktResponse, Session: 7, Resp: RespResponse,
+		Rate: rate.Mbps(20), Bneck: SourceRef})
+	e := rec.last(t)
+	if e.pkt.Type != PktSetBottleneck || !e.pkt.Beta {
+		t.Fatalf("emitted %+v", e)
+	}
+	if len(rates) != 1 || !rates[0].Equal(rate.Mbps(20)) {
+		t.Fatalf("rates = %v", rates)
+	}
+	if !src.Converged() {
+		t.Fatalf("not converged")
+	}
+}
+
+func TestSourceNetworkLimitedWaitsForBottleneck(t *testing.T) {
+	rec := &recorder{}
+	var rates []rate.Rate
+	src := NewSourceNode(7, rec, func(_ SessionID, l rate.Rate) { rates = append(rates, l) })
+	src.Join(rate.Inf)
+	rec.take()
+	// Response grants less than the demand: no SetBottleneck yet, the
+	// source waits for a Bottleneck packet.
+	src.Receive(Packet{Type: PktResponse, Session: 7, Resp: RespResponse,
+		Rate: rate.Mbps(5), Bneck: LinkRef(3)})
+	if len(rec.take()) != 0 {
+		t.Fatalf("source emitted before bottleneck confirmation")
+	}
+	if len(rates) != 0 {
+		t.Fatalf("rate notified early: %v", rates)
+	}
+	if src.Converged() {
+		t.Fatalf("converged without confirmation")
+	}
+	// The Bottleneck packet confirms: rate notified, SetBottleneck(β=false)
+	// since demand (∞) > λ.
+	src.Receive(Packet{Type: PktBottleneck, Session: 7})
+	e := rec.last(t)
+	if e.pkt.Type != PktSetBottleneck || e.pkt.Beta {
+		t.Fatalf("emitted %+v", e)
+	}
+	if len(rates) != 1 || !rates[0].Equal(rate.Mbps(5)) {
+		t.Fatalf("rates = %v", rates)
+	}
+	if !src.Converged() {
+		t.Fatalf("not converged after bottleneck")
+	}
+}
+
+func TestSourceResponseBottleneckKind(t *testing.T) {
+	rec := &recorder{}
+	src := NewSourceNode(7, rec, nil)
+	src.Join(rate.Inf)
+	rec.take()
+	src.Receive(Packet{Type: PktResponse, Session: 7, Resp: RespBottleneck,
+		Rate: rate.Mbps(8), Bneck: LinkRef(2)})
+	e := rec.last(t)
+	if e.pkt.Type != PktSetBottleneck || e.pkt.Beta {
+		t.Fatalf("emitted %+v", e)
+	}
+	if r, ok := src.Rate(); !ok || !r.Equal(rate.Mbps(8)) {
+		t.Fatalf("rate = %v", r)
+	}
+}
+
+func TestSourceUpdateTriggersReprobe(t *testing.T) {
+	rec := &recorder{}
+	src := NewSourceNode(7, rec, nil)
+	src.Join(rate.Inf)
+	src.Receive(Packet{Type: PktResponse, Session: 7, Resp: RespBottleneck,
+		Rate: rate.Mbps(8), Bneck: LinkRef(2)})
+	rec.take()
+	src.Receive(Packet{Type: PktUpdate, Session: 7})
+	e := rec.last(t)
+	if e.pkt.Type != PktProbe || !e.pkt.Rate.IsInf() || e.pkt.Bneck != SourceRef {
+		t.Fatalf("emitted %+v", e)
+	}
+	if src.Converged() {
+		t.Fatalf("still converged after update")
+	}
+}
+
+func TestSourceUpdateMidCycleDefersReprobe(t *testing.T) {
+	rec := &recorder{}
+	src := NewSourceNode(7, rec, nil)
+	src.Join(rate.Inf)
+	rec.take()
+	// Update arrives while WAITING_RESPONSE: absorbed into upd_rcv.
+	src.Receive(Packet{Type: PktUpdate, Session: 7})
+	if len(rec.take()) != 0 {
+		t.Fatalf("emitted during probe cycle")
+	}
+	// When the Response closes the cycle, a fresh Probe must start even
+	// though τ = BOTTLENECK.
+	src.Receive(Packet{Type: PktResponse, Session: 7, Resp: RespBottleneck,
+		Rate: rate.Mbps(8), Bneck: LinkRef(2)})
+	e := rec.last(t)
+	if e.pkt.Type != PktProbe {
+		t.Fatalf("emitted %+v, want deferred probe", e)
+	}
+}
+
+func TestSourceResponseUpdateKind(t *testing.T) {
+	rec := &recorder{}
+	src := NewSourceNode(7, rec, nil)
+	src.Join(rate.Inf)
+	rec.take()
+	src.Receive(Packet{Type: PktResponse, Session: 7, Resp: RespUpdate,
+		Rate: rate.Mbps(8), Bneck: LinkRef(2)})
+	e := rec.last(t)
+	if e.pkt.Type != PktProbe {
+		t.Fatalf("emitted %+v", e)
+	}
+}
+
+func TestSourceChangeIdleStartsProbe(t *testing.T) {
+	rec := &recorder{}
+	src := NewSourceNode(7, rec, nil)
+	src.Join(rate.Mbps(10))
+	src.Receive(Packet{Type: PktResponse, Session: 7, Resp: RespResponse,
+		Rate: rate.Mbps(10), Bneck: SourceRef})
+	rec.take()
+	src.Change(rate.Mbps(3))
+	e := rec.last(t)
+	if e.pkt.Type != PktProbe || !e.pkt.Rate.Equal(rate.Mbps(3)) {
+		t.Fatalf("emitted %+v", e)
+	}
+}
+
+func TestSourceChangeMidCycleDefers(t *testing.T) {
+	rec := &recorder{}
+	src := NewSourceNode(7, rec, nil)
+	src.Join(rate.Mbps(10))
+	rec.take()
+	src.Change(rate.Mbps(3))
+	if len(rec.take()) != 0 {
+		t.Fatalf("change emitted mid-cycle")
+	}
+	// Cycle closes → deferred probe with the new demand.
+	src.Receive(Packet{Type: PktResponse, Session: 7, Resp: RespResponse,
+		Rate: rate.Mbps(10), Bneck: SourceRef})
+	e := rec.last(t)
+	if e.pkt.Type != PktProbe || !e.pkt.Rate.Equal(rate.Mbps(3)) {
+		t.Fatalf("emitted %+v", e)
+	}
+}
+
+func TestSourceLeaveEmitsLeave(t *testing.T) {
+	rec := &recorder{}
+	src := NewSourceNode(7, rec, nil)
+	src.Join(rate.Inf)
+	rec.take()
+	src.Leave()
+	e := rec.last(t)
+	if e.pkt.Type != PktLeave {
+		t.Fatalf("emitted %+v", e)
+	}
+	if src.Active() {
+		t.Fatalf("still active")
+	}
+	// Stragglers after Leave are dropped silently.
+	src.Receive(Packet{Type: PktResponse, Session: 7, Resp: RespResponse,
+		Rate: rate.Mbps(1), Bneck: SourceRef})
+	if len(rec.take()) > 1 {
+		t.Fatalf("straggler triggered emission")
+	}
+}
+
+func TestSourceDuplicateBottleneckIgnored(t *testing.T) {
+	rec := &recorder{}
+	var rates int
+	src := NewSourceNode(7, rec, func(SessionID, rate.Rate) { rates++ })
+	src.Join(rate.Inf)
+	src.Receive(Packet{Type: PktResponse, Session: 7, Resp: RespBottleneck,
+		Rate: rate.Mbps(8), Bneck: LinkRef(2)})
+	rec.take()
+	n := rates
+	// A Bottleneck packet arriving after the Response already confirmed
+	// (bneck_rcv set) must not re-notify or re-emit.
+	src.Receive(Packet{Type: PktBottleneck, Session: 7})
+	if rates != n || len(rec.take()) != 0 {
+		t.Fatalf("duplicate bottleneck caused action")
+	}
+}
+
+func TestSourceAPIMisusePanics(t *testing.T) {
+	t.Run("double join", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("expected panic")
+			}
+		}()
+		src := NewSourceNode(1, &recorder{}, nil)
+		src.Join(rate.Inf)
+		src.Join(rate.Inf)
+	})
+	t.Run("leave inactive", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("expected panic")
+			}
+		}()
+		NewSourceNode(1, &recorder{}, nil).Leave()
+	})
+	t.Run("change inactive", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("expected panic")
+			}
+		}()
+		NewSourceNode(1, &recorder{}, nil).Change(rate.Inf)
+	})
+}
+
+func TestDestinationEchoesProbes(t *testing.T) {
+	rec := &recorder{}
+	dst := NewDestinationNode(9, rec)
+	dst.Receive(Packet{Type: PktJoin, Session: 9, Rate: rate.Mbps(4), Bneck: LinkRef(1)}, 5)
+	e := rec.last(t)
+	if e.pkt.Type != PktResponse || e.pkt.Resp != RespResponse || e.dir != Up || e.from != 5 {
+		t.Fatalf("emitted %+v", e)
+	}
+	if !e.pkt.Rate.Equal(rate.Mbps(4)) || e.pkt.Bneck != LinkRef(1) {
+		t.Fatalf("response fields %+v", e.pkt)
+	}
+	rec.take()
+	dst.Receive(Packet{Type: PktProbe, Session: 9, Rate: rate.Mbps(2), Bneck: LinkRef(2)}, 5)
+	if rec.last(t).pkt.Type != PktResponse {
+		t.Fatalf("probe not echoed")
+	}
+}
+
+func TestDestinationSetBottleneckBeta(t *testing.T) {
+	rec := &recorder{}
+	dst := NewDestinationNode(9, rec)
+	// β=true: path had a bottleneck; silence.
+	dst.Receive(Packet{Type: PktSetBottleneck, Session: 9, Beta: true}, 5)
+	if len(rec.take()) != 0 {
+		t.Fatalf("β=true triggered emission")
+	}
+	// β=false: no bottleneck found; the destination must demand a re-probe.
+	dst.Receive(Packet{Type: PktSetBottleneck, Session: 9, Beta: false}, 5)
+	e := rec.last(t)
+	if e.pkt.Type != PktUpdate || e.dir != Up {
+		t.Fatalf("emitted %+v", e)
+	}
+}
+
+func TestDestinationLeaveSilent(t *testing.T) {
+	rec := &recorder{}
+	dst := NewDestinationNode(9, rec)
+	dst.Receive(Packet{Type: PktLeave, Session: 9}, 5)
+	if len(rec.take()) != 0 {
+		t.Fatalf("leave triggered emission")
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+
+	"bneck/internal/rate"
+)
+
+// tableEntry is the per-session state a link keeps: which set the session is
+// in (R_e or F_e), its state μ, its recorded rate λ (meaningful only after
+// the first accepted Response), and the hop index of this link on the
+// session's path (needed to emit packets for sessions other than the one
+// currently being processed).
+type tableEntry struct {
+	inRe      bool
+	mu        State
+	lambda    rate.Rate
+	hasLambda bool
+	hop       int
+}
+
+// table is a link's session table: the paper's R_e and F_e with the
+// bookkeeping needed to evaluate every Figure 2 predicate in O(log k)
+// (k = number of distinct rates at the link) instead of O(|S_e|):
+//
+//   - sumFe: exact incremental Σ_{s∈F_e} λ_s, so B_e is O(1)
+//   - idleRates: rates of R_e members with μ = IDLE (these are exactly the
+//     sessions whose λ is meaningful and whose equality with B_e the
+//     protocol tests)
+//   - feRates: rates of F_e members (for ProcessNewRestricted's max test)
+type table struct {
+	capacity  rate.Rate
+	entries   map[SessionID]*tableEntry
+	sumFe     rate.Rate
+	reCount   int
+	reIdle    int
+	idleRates rateSet
+	feRates   rateSet
+
+	beCache rate.Rate
+	beValid bool
+}
+
+func newTable(capacity rate.Rate) *table {
+	return &table{
+		capacity: capacity,
+		entries:  make(map[SessionID]*tableEntry),
+	}
+}
+
+// be returns B_e = (C_e − Σ_{s∈F_e} λ_s)/|R_e|, or +∞ when R_e is empty
+// (an empty R_e restricts nothing).
+func (t *table) be() rate.Rate {
+	if t.reCount == 0 {
+		return rate.Inf
+	}
+	if !t.beValid {
+		t.beCache = t.capacity.Sub(t.sumFe).DivInt(t.reCount)
+		t.beValid = true
+	}
+	return t.beCache
+}
+
+func (t *table) invalidateBe() { t.beValid = false }
+
+// get returns the entry for s, or nil if the link does not know s.
+func (t *table) get(s SessionID) *tableEntry { return t.entries[s] }
+
+// addNew registers a session in R_e with μ = WAITING_RESPONSE (a Join just
+// passed). The caller must have ensured s is absent.
+func (t *table) addNew(s SessionID, hop int) *tableEntry {
+	if _, ok := t.entries[s]; ok {
+		panic(fmt.Sprintf("core: addNew of existing session %d", s))
+	}
+	ent := &tableEntry{inRe: true, mu: WaitingResponse, hop: hop}
+	t.entries[s] = ent
+	t.reCount++
+	t.invalidateBe()
+	return ent
+}
+
+// remove deletes all state for s.
+func (t *table) remove(s SessionID) {
+	ent, ok := t.entries[s]
+	if !ok {
+		return
+	}
+	if ent.inRe {
+		if ent.mu == Idle {
+			t.idleRates.remove(ent.lambda, s)
+			t.reIdle--
+		}
+		t.reCount--
+	} else {
+		t.feRates.remove(ent.lambda, s)
+		t.sumFe = t.sumFe.Sub(ent.lambda)
+	}
+	delete(t.entries, s)
+	t.invalidateBe()
+}
+
+// setState transitions μ for s, maintaining the idle index.
+func (t *table) setState(s SessionID, ent *tableEntry, mu State) {
+	if ent.mu == mu {
+		return
+	}
+	if mu == Idle {
+		panic("core: use setIdle to enter IDLE")
+	}
+	if ent.inRe && ent.mu == Idle {
+		t.idleRates.remove(ent.lambda, s)
+		t.reIdle--
+	}
+	ent.mu = mu
+}
+
+// setIdle records an accepted Response: λ is stored and μ becomes IDLE.
+// Only R_e members complete probe cycles.
+func (t *table) setIdle(s SessionID, ent *tableEntry, lambda rate.Rate) {
+	if !ent.inRe {
+		panic(fmt.Sprintf("core: setIdle on F_e member %d", s))
+	}
+	if ent.mu == Idle {
+		t.idleRates.remove(ent.lambda, s)
+		t.reIdle--
+	}
+	ent.lambda = lambda
+	ent.hasLambda = true
+	ent.mu = Idle
+	t.idleRates.add(lambda, s)
+	t.reIdle++
+}
+
+// moveFeToRe moves s from F_e to R_e (Probe arrival or ProcessNewRestricted),
+// keeping λ and μ.
+func (t *table) moveFeToRe(s SessionID, ent *tableEntry) {
+	if ent.inRe {
+		panic(fmt.Sprintf("core: moveFeToRe on R_e member %d", s))
+	}
+	t.feRates.remove(ent.lambda, s)
+	t.sumFe = t.sumFe.Sub(ent.lambda)
+	ent.inRe = true
+	t.reCount++
+	if ent.mu == Idle {
+		t.idleRates.add(ent.lambda, s)
+		t.reIdle++
+	}
+	t.invalidateBe()
+}
+
+// moveReToFe moves s from R_e to F_e (SetBottleneck at a non-restricting
+// link). The entry must be IDLE (its λ is meaningful).
+func (t *table) moveReToFe(s SessionID, ent *tableEntry) {
+	if !ent.inRe {
+		panic(fmt.Sprintf("core: moveReToFe on F_e member %d", s))
+	}
+	if ent.mu != Idle || !ent.hasLambda {
+		panic(fmt.Sprintf("core: moveReToFe on non-idle session %d", s))
+	}
+	t.idleRates.remove(ent.lambda, s)
+	t.reIdle--
+	ent.inRe = false
+	t.reCount--
+	t.sumFe = t.sumFe.Add(ent.lambda)
+	t.feRates.add(ent.lambda, s)
+	t.invalidateBe()
+}
+
+// allReIdleAtBe evaluates the paper's bottleneck predicate
+// ∀r ∈ R_e: λ_r = B_e ∧ μ_r = IDLE (false when R_e is empty: an empty link
+// is not a bottleneck for anyone).
+func (t *table) allReIdleAtBe() bool {
+	if t.reCount == 0 || t.reIdle != t.reCount {
+		return false
+	}
+	return t.idleRates.countAt(t.be()) == t.reCount
+}
+
+// feMax returns the largest λ among F_e members.
+func (t *table) feMax() (rate.Rate, bool) { return t.feRates.max() }
+
+// feSessionsAt returns the F_e members with λ = r, sorted.
+func (t *table) feSessionsAt(r rate.Rate) []SessionID { return t.feRates.sessionsAt(r) }
+
+// idleAt returns the R_e members that are IDLE with λ = r, sorted.
+func (t *table) idleAt(r rate.Rate) []SessionID { return t.idleRates.sessionsAt(r) }
+
+// idleAbove returns the R_e members that are IDLE with λ > r, sorted.
+func (t *table) idleAbove(r rate.Rate) []SessionID { return t.idleRates.sessionsAbove(r) }
+
+// sessions returns the number of sessions known at the link.
+func (t *table) sessions() int { return len(t.entries) }
+
+// checkInvariants verifies internal consistency; tests call it after every
+// operation sequence. It returns the first violation found.
+func (t *table) checkInvariants() error {
+	reCount, reIdle := 0, 0
+	sum := rate.Zero
+	for s, ent := range t.entries {
+		if ent.inRe {
+			reCount++
+			if ent.mu == Idle {
+				reIdle++
+				if !ent.hasLambda {
+					return fmt.Errorf("idle session %d without lambda", s)
+				}
+				if t.idleRates.countAt(ent.lambda) == 0 {
+					return fmt.Errorf("idle session %d missing from idle index", s)
+				}
+			}
+		} else {
+			if !ent.hasLambda {
+				return fmt.Errorf("F_e session %d without lambda", s)
+			}
+			sum = sum.Add(ent.lambda)
+			if t.feRates.countAt(ent.lambda) == 0 {
+				return fmt.Errorf("F_e session %d missing from fe index", s)
+			}
+		}
+	}
+	if reCount != t.reCount {
+		return fmt.Errorf("reCount = %d, counted %d", t.reCount, reCount)
+	}
+	if reIdle != t.reIdle {
+		return fmt.Errorf("reIdle = %d, counted %d", t.reIdle, reIdle)
+	}
+	if !sum.Equal(t.sumFe) {
+		return fmt.Errorf("sumFe = %v, counted %v", t.sumFe, sum)
+	}
+	if t.idleRates.len() != reIdle {
+		return fmt.Errorf("idle index size %d, want %d", t.idleRates.len(), reIdle)
+	}
+	if t.feRates.len() != len(t.entries)-reCount {
+		return fmt.Errorf("fe index size %d, want %d", t.feRates.len(), len(t.entries)-reCount)
+	}
+	if t.reCount > 0 && t.capacity.Sub(t.sumFe).Sign() < 0 {
+		return fmt.Errorf("F_e oversubscribed: sum %v > capacity %v", t.sumFe, t.capacity)
+	}
+	return nil
+}

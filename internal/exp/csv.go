@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"bneck/internal/core"
+	"bneck/internal/metrics"
+)
+
+// WriteExp1CSV emits Experiment 1 rows as CSV (one row per Figure 5 point).
+func WriteExp1CSV(w io.Writer, rows []Exp1Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"network", "scenario", "sessions", "quiescence_us", "packets", "packets_per_session",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Network, r.Scenario,
+			strconv.Itoa(r.Sessions),
+			strconv.FormatInt(r.Quiescence.Microseconds(), 10),
+			strconv.FormatUint(r.Packets, 10),
+			strconv.FormatFloat(r.PacketsPerSession, 'f', 2, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteExp2CSV emits Experiment 2's per-bin packet-type counts (Figure 6).
+func WriteExp2CSV(w io.Writer, res *Exp2Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"t_us", "total"}
+	for t := core.PktJoin; t <= core.PktLeave; t++ {
+		header = append(header, t.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, bin := range res.Bins {
+		rec := []string{
+			strconv.FormatInt(bin.Start.Microseconds(), 10),
+			strconv.FormatUint(bin.Total, 10),
+		}
+		for t := core.PktJoin; t <= core.PktLeave; t++ {
+			rec = append(rec, strconv.FormatUint(bin.ByType[t-1], 10))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteExp3ErrorCSV emits one protocol's Figure 7 error series (sources or
+// links).
+func WriteExp3ErrorCSV(w io.Writer, s metrics.Series, protocol string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"protocol", "t_us", "n", "mean_pct", "median_pct", "p10_pct", "p90_pct",
+	}); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		rec := []string{
+			protocol,
+			strconv.FormatInt(p.At.Microseconds(), 10),
+			strconv.Itoa(p.Summary.N),
+			strconv.FormatFloat(p.Summary.Mean, 'f', 4, 64),
+			strconv.FormatFloat(p.Summary.Median, 'f', 4, 64),
+			strconv.FormatFloat(p.Summary.P10, 'f', 4, 64),
+			strconv.FormatFloat(p.Summary.P90, 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteExp3PacketsCSV emits the Figure 8 packets-per-interval series for all
+// protocols in res, aligned on bin start times.
+func WriteExp3PacketsCSV(w io.Writer, res *Exp3Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"t_us"}
+	maxBins := 0
+	for _, s := range res.Series {
+		header = append(header, s.Protocol)
+		if len(s.Bins) > maxBins {
+			maxBins = len(s.Bins)
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < maxBins; i++ {
+		var start time.Duration
+		rec := make([]string, 0, len(res.Series)+1)
+		counts := make([]uint64, len(res.Series))
+		for j, s := range res.Series {
+			if i < len(s.Bins) {
+				start = s.Bins[i].Start
+				counts[j] = s.Bins[i].Total
+			}
+		}
+		rec = append(rec, strconv.FormatInt(start.Microseconds(), 10))
+		for _, c := range counts {
+			rec = append(rec, strconv.FormatUint(c, 10))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAllCSV writes every series of an experiment 3 result into per-figure
+// files under open, a callback creating a writer per name (typically a file
+// in an output directory).
+func WriteAllCSV(res *Exp3Result, open func(name string) (io.WriteCloser, error)) error {
+	for _, s := range res.Series {
+		src, err := open(fmt.Sprintf("fig7_sources_%s.csv", s.Protocol))
+		if err != nil {
+			return err
+		}
+		if err := WriteExp3ErrorCSV(src, s.SourceErr, s.Protocol); err != nil {
+			src.Close()
+			return err
+		}
+		if err := src.Close(); err != nil {
+			return err
+		}
+		lnk, err := open(fmt.Sprintf("fig7_links_%s.csv", s.Protocol))
+		if err != nil {
+			return err
+		}
+		if err := WriteExp3ErrorCSV(lnk, s.LinkErr, s.Protocol); err != nil {
+			lnk.Close()
+			return err
+		}
+		if err := lnk.Close(); err != nil {
+			return err
+		}
+	}
+	pk, err := open("fig8_packets.csv")
+	if err != nil {
+		return err
+	}
+	if err := WriteExp3PacketsCSV(pk, res); err != nil {
+		pk.Close()
+		return err
+	}
+	return pk.Close()
+}

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"bneck/internal/metrics"
+	"bneck/internal/topology"
+)
+
+func TestWriteExp1CSV(t *testing.T) {
+	rows := []Exp1Row{{
+		Network: "Small", Scenario: "LAN", Sessions: 100,
+		Quiescence: 1500 * time.Microsecond, Packets: 420, PacketsPerSession: 4.2,
+	}}
+	var buf bytes.Buffer
+	if err := WriteExp1CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.Contains(got, "network,scenario,sessions") {
+		t.Fatalf("missing header: %q", got)
+	}
+	if !strings.Contains(got, "Small,LAN,100,1500,420,4.20") {
+		t.Fatalf("missing row: %q", got)
+	}
+}
+
+func TestWriteExp2CSV(t *testing.T) {
+	cfg := DefaultExp2()
+	cfg.Topology = topology.Small
+	cfg.Base = 100
+	cfg.Dyn = 20
+	res, err := RunExperiment2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteExp2CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "t_us,total,Join,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestWriteExp3CSVs(t *testing.T) {
+	var series metrics.Series
+	series.Add(3*time.Millisecond, []float64{-10, -5, 0})
+	var buf bytes.Buffer
+	if err := WriteExp3ErrorCSV(&buf, series, "B-Neck"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "B-Neck,3000,3,-5.0000,-5.0000") {
+		t.Fatalf("bad error csv: %q", buf.String())
+	}
+
+	cfg := DefaultExp3()
+	cfg.Topology = topology.Small
+	cfg.Sessions = 50
+	cfg.Leavers = 5
+	cfg.Horizon = 30 * time.Millisecond
+	res, err := RunExperiment3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pk bytes.Buffer
+	if err := WriteExp3PacketsCSV(&pk, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(pk.String(), "t_us,B-Neck,BFYZ") {
+		t.Fatalf("bad packets csv header: %q", pk.String()[:40])
+	}
+
+	files := map[string]*bytes.Buffer{}
+	err = WriteAllCSV(res, func(name string) (io.WriteCloser, error) {
+		b := &bytes.Buffer{}
+		files[name] = b
+		return nopCloser{b}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"fig7_sources_B-Neck.csv", "fig7_links_B-Neck.csv",
+		"fig7_sources_BFYZ.csv", "fig7_links_BFYZ.csv", "fig8_packets.csv",
+	} {
+		if files[want] == nil || files[want].Len() == 0 {
+			t.Fatalf("file %s missing or empty", want)
+		}
+	}
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"bneck/internal/topology"
+)
+
+// The experiments must be bit-for-bit reproducible from their seeds — the
+// property that lets EXPERIMENTS.md quote exact numbers.
+
+func TestExp1Deterministic(t *testing.T) {
+	cfg := DefaultExp1()
+	cfg.Sizes = []topology.Params{topology.Small}
+	cfg.Scenarios = []topology.Scenario{topology.LAN}
+	cfg.SessionCounts = []int{200}
+	run := func() []Exp1Row {
+		rows, err := RunExperiment1(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rows {
+			rows[i].Wall = 0 // wall time legitimately differs
+		}
+		return rows
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("experiment 1 not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestExp2Deterministic(t *testing.T) {
+	cfg := DefaultExp2()
+	cfg.Topology = topology.Small
+	cfg.Base = 200
+	cfg.Dyn = 40
+	run := func() *Exp2Result {
+		res, err := RunExperiment2(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Phases, b.Phases) {
+		t.Fatalf("experiment 2 phases differ:\n%+v\n%+v", a.Phases, b.Phases)
+	}
+	if !reflect.DeepEqual(a.Bins, b.Bins) {
+		t.Fatalf("experiment 2 bins differ")
+	}
+}
+
+func TestExp3Deterministic(t *testing.T) {
+	cfg := DefaultExp3()
+	cfg.Topology = topology.Small
+	cfg.Sessions = 150
+	cfg.Leavers = 15
+	cfg.Horizon = 40 * time.Millisecond
+	run := func() *Exp3Result {
+		res, err := RunExperiment3(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("experiment 3 not deterministic")
+	}
+}

@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bneck/internal/core"
+	"bneck/internal/metrics"
+)
+
+// FormatExp1 renders Experiment 1 rows as the two Figure 5 tables: time to
+// quiescence and packets, one row per (network, scenario, sessions).
+func FormatExp1(rows []Exp1Row) string {
+	var b strings.Builder
+	b.WriteString("Figure 5 — Experiment 1: simultaneous session arrivals\n")
+	b.WriteString(fmt.Sprintf("%-8s %-5s %10s %16s %14s %12s %14s %14s\n",
+		"network", "scen", "sessions", "quiescence", "packets", "pkts/sess",
+		"settle p50", "settle p90"))
+	for _, r := range rows {
+		b.WriteString(fmt.Sprintf("%-8s %-5s %10d %16v %14d %12.1f %14v %14v\n",
+			r.Network, r.Scenario, r.Sessions, r.Quiescence, r.Packets, r.PacketsPerSession,
+			r.SettleP50.Round(time.Microsecond), r.SettleP90.Round(time.Microsecond)))
+	}
+	return b.String()
+}
+
+// FormatExp2 renders Experiment 2 as the Figure 6 phase table plus the
+// per-bin packet-type breakdown.
+func FormatExp2(res *Exp2Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 6 — Experiment 2: dynamics on Medium/LAN\n")
+	b.WriteString(fmt.Sprintf("%-22s %12s %14s %12s %14s\n",
+		"phase", "start", "quiescent at", "took", "packets"))
+	for _, p := range res.Phases {
+		b.WriteString(fmt.Sprintf("%-22s %12v %14v %12v %14d\n",
+			p.Name, p.Start.Round(time.Microsecond), p.Quiescence.Round(time.Microsecond),
+			p.Took.Round(time.Microsecond), p.Packets))
+	}
+	b.WriteString("\nPackets per interval by type:\n")
+	b.WriteString(fmt.Sprintf("%-10s %9s", "t", "total"))
+	for t := core.PktJoin; t <= core.PktLeave; t++ {
+		b.WriteString(fmt.Sprintf(" %13s", t.String()))
+	}
+	b.WriteString("\n")
+	for _, bin := range res.Bins {
+		if bin.Total == 0 {
+			continue
+		}
+		b.WriteString(fmt.Sprintf("%-10v %9d", bin.Start, bin.Total))
+		for t := core.PktJoin; t <= core.PktLeave; t++ {
+			b.WriteString(fmt.Sprintf(" %13d", bin.ByType[t-1]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatExp3 renders Experiment 3 as the Figure 7 error tables and the
+// Figure 8 packets-per-interval series.
+func FormatExp3(res *Exp3Result) string {
+	var b strings.Builder
+	for _, s := range res.Series {
+		b.WriteString(fmt.Sprintf("Figure 7 — Experiment 3, %s: rate error at sources (%%)\n", s.Protocol))
+		writeSeries(&b, s.SourceErr)
+		b.WriteString(fmt.Sprintf("\nFigure 7 — Experiment 3, %s: error on bottleneck links (%%)\n", s.Protocol))
+		writeSeries(&b, s.LinkErr)
+		b.WriteString("\n")
+	}
+	b.WriteString("Figure 8 — Experiment 3: packets per interval\n")
+	b.WriteString(fmt.Sprintf("%-10s", "t"))
+	for _, s := range res.Series {
+		b.WriteString(fmt.Sprintf(" %12s", s.Protocol))
+	}
+	b.WriteString("\n")
+	maxBins := 0
+	for _, s := range res.Series {
+		if len(s.Bins) > maxBins {
+			maxBins = len(s.Bins)
+		}
+	}
+	for i := 0; i < maxBins; i++ {
+		var start time.Duration
+		counts := make([]uint64, len(res.Series))
+		for j, s := range res.Series {
+			if i < len(s.Bins) {
+				start = s.Bins[i].Start
+				counts[j] = s.Bins[i].Total
+			}
+		}
+		b.WriteString(fmt.Sprintf("%-10v", start))
+		for _, c := range counts {
+			b.WriteString(fmt.Sprintf(" %12d", c))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\nSummary:\n")
+	for _, s := range res.Series {
+		b.WriteString(fmt.Sprintf("  %-6s packets=%-10d converged=%-12v quiescent=%t",
+			s.Protocol, s.Packets, s.ConvergedAt, s.Quiescent))
+		if s.Quiescent {
+			b.WriteString(fmt.Sprintf(" (at %v)", s.QuiescenceAt))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func writeSeries(b *strings.Builder, s metrics.Series) {
+	b.WriteString(fmt.Sprintf("%-10s %10s %10s %10s %10s\n", "t", "mean", "median", "p10", "p90"))
+	for _, p := range s.Points {
+		b.WriteString(fmt.Sprintf("%-10v %10.2f %10.2f %10.2f %10.2f\n",
+			p.At, p.Summary.Mean, p.Summary.Median, p.Summary.P10, p.Summary.P90))
+	}
+}

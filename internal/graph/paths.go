@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"fmt"
+)
+
+// Path is an ordered list of directed link IDs from a source host to a
+// destination host (the paper's π(s)).
+type Path []LinkID
+
+// Resolver computes shortest (minimum hop) host-to-host paths, the paper's
+// session path policy. Interior nodes are always routers: BFS never expands
+// through a host.
+//
+// BFS trees are computed per source router and cached with an LRU policy, so
+// resolving many sessions is cheap when they are grouped by source router
+// (the experiment harness sorts its workloads accordingly). A Resolver is not
+// safe for concurrent use.
+type Resolver struct {
+	g        *Graph
+	capacity int
+	cache    map[NodeID]*bfsTree
+	order    []NodeID // LRU order, least recent first
+}
+
+type bfsTree struct {
+	src NodeID
+	// parentLink[n] is the link used to reach router n from its BFS parent,
+	// or NoLink if unreached / the source itself.
+	parentLink []LinkID
+}
+
+// NewResolver returns a Resolver over g caching up to cacheSize BFS trees
+// (minimum 1; 128 is a good default for the paper's workloads).
+func NewResolver(g *Graph, cacheSize int) *Resolver {
+	if cacheSize < 1 {
+		cacheSize = 1
+	}
+	return &Resolver{
+		g:        g,
+		capacity: cacheSize,
+		cache:    make(map[NodeID]*bfsTree, cacheSize),
+	}
+}
+
+// HostPath returns a shortest path from host src to host dst:
+// [src→router, router hops..., router→dst]. It returns an error if the hosts
+// coincide or no path exists.
+func (r *Resolver) HostPath(src, dst NodeID) (Path, error) {
+	if src == dst {
+		return nil, fmt.Errorf("graph: source and destination host coincide (%d)", src)
+	}
+	if r.g.Node(src).Kind != Host || r.g.Node(dst).Kind != Host {
+		return nil, fmt.Errorf("graph: HostPath endpoints must be hosts (%d, %d)", src, dst)
+	}
+	srcRouter := r.g.HostRouter(src)
+	dstRouter := r.g.HostRouter(dst)
+
+	up := r.g.AccessLink(src)
+	down, err := r.hostDownLink(dst)
+	if err != nil {
+		return nil, err
+	}
+
+	if srcRouter == dstRouter {
+		return Path{up, down}, nil
+	}
+	mid, err := r.RouterPath(srcRouter, dstRouter)
+	if err != nil {
+		return nil, err
+	}
+	path := make(Path, 0, len(mid)+2)
+	path = append(path, up)
+	path = append(path, mid...)
+	path = append(path, down)
+	return path, nil
+}
+
+// RouterPath returns a shortest router-level path between two routers.
+func (r *Resolver) RouterPath(src, dst NodeID) (Path, error) {
+	if r.g.Node(src).Kind != Router || r.g.Node(dst).Kind != Router {
+		return nil, fmt.Errorf("graph: RouterPath endpoints must be routers (%d, %d)", src, dst)
+	}
+	if src == dst {
+		return Path{}, nil
+	}
+	t := r.tree(src)
+	if t.parentLink[dst] == NoLink {
+		return nil, fmt.Errorf("graph: no path from router %d to router %d", src, dst)
+	}
+	// Walk back from dst to src.
+	var rev Path
+	for n := dst; n != src; {
+		l := t.parentLink[n]
+		rev = append(rev, l)
+		n = r.g.Link(l).From
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+func (r *Resolver) hostDownLink(host NodeID) (LinkID, error) {
+	up := r.g.AccessLink(host)
+	down := r.g.Link(up).Reverse
+	if down == NoLink {
+		return NoLink, fmt.Errorf("graph: host %d has no router→host link", host)
+	}
+	return down, nil
+}
+
+// tree returns the BFS tree rooted at the given router, computing and
+// caching it if needed.
+func (r *Resolver) tree(src NodeID) *bfsTree {
+	if t, ok := r.cache[src]; ok {
+		r.touch(src)
+		return t
+	}
+	t := r.bfs(src)
+	if len(r.order) >= r.capacity {
+		evict := r.order[0]
+		r.order = r.order[1:]
+		delete(r.cache, evict)
+	}
+	r.cache[src] = t
+	r.order = append(r.order, src)
+	return t
+}
+
+func (r *Resolver) touch(src NodeID) {
+	for i, n := range r.order {
+		if n == src {
+			copy(r.order[i:], r.order[i+1:])
+			r.order[len(r.order)-1] = src
+			return
+		}
+	}
+}
+
+// bfs runs a breadth-first search over routers only. Ties are broken by link
+// insertion order, so results are deterministic.
+func (r *Resolver) bfs(src NodeID) *bfsTree {
+	g := r.g
+	t := &bfsTree{src: src, parentLink: make([]LinkID, g.NumNodes())}
+	for i := range t.parentLink {
+		t.parentLink[i] = NoLink
+	}
+	visited := make([]bool, g.NumNodes())
+	visited[src] = true
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, lid := range g.Out(n) {
+			l := g.Link(lid)
+			to := l.To
+			if visited[to] || g.Node(to).Kind != Router {
+				continue
+			}
+			visited[to] = true
+			t.parentLink[to] = lid
+			queue = append(queue, to)
+		}
+	}
+	return t
+}
+
+// PathNodes expands a path into its node sequence (source of the first link
+// followed by the destination of every link). Useful for debugging and
+// tests.
+func PathNodes(g *Graph, p Path) []NodeID {
+	if len(p) == 0 {
+		return nil
+	}
+	out := make([]NodeID, 0, len(p)+1)
+	out = append(out, g.Link(p[0]).From)
+	for _, l := range p {
+		out = append(out, g.Link(l).To)
+	}
+	return out
+}
+
+// ValidatePath checks that p is a connected host-to-host path in g.
+func ValidatePath(g *Graph, p Path) error {
+	if len(p) < 2 {
+		return fmt.Errorf("graph: path too short (%d links)", len(p))
+	}
+	for i := 1; i < len(p); i++ {
+		prev, cur := g.Link(p[i-1]), g.Link(p[i])
+		if prev.To != cur.From {
+			return fmt.Errorf("graph: path disconnected at hop %d (link %d→ link %d)", i, prev.ID, cur.ID)
+		}
+		if g.Node(cur.From).Kind != Router {
+			return fmt.Errorf("graph: interior path node %d is not a router", cur.From)
+		}
+	}
+	if g.Node(g.Link(p[0]).From).Kind != Host {
+		return fmt.Errorf("graph: path does not start at a host")
+	}
+	if g.Node(g.Link(p[len(p)-1]).To).Kind != Host {
+		return fmt.Errorf("graph: path does not end at a host")
+	}
+	return nil
+}

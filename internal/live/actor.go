@@ -1,0 +1,116 @@
+package live
+
+import "sync"
+
+// actor is a goroutine with an unbounded FIFO mailbox. Handlers run
+// sequentially, giving the per-task atomicity the protocol's when-blocks
+// require.
+type actor struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []message
+	stopped bool
+	acts    *activityCounter
+}
+
+func newActor(acts *activityCounter) *actor {
+	a := &actor{acts: acts}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// start launches the actor loop. handle is invoked once per message, in
+// FIFO order, never concurrently.
+func (a *actor) start(handle func(message)) {
+	go func() {
+		for {
+			a.mu.Lock()
+			for len(a.queue) == 0 && !a.stopped {
+				a.cond.Wait()
+			}
+			if a.stopped {
+				a.mu.Unlock()
+				return
+			}
+			m := a.queue[0]
+			a.queue = a.queue[1:]
+			a.mu.Unlock()
+
+			handle(m)
+			// The decrement happens after the handler: any messages the
+			// handler emitted have already incremented the counter, so it
+			// cannot reach zero mid-cascade.
+			a.acts.dec()
+		}
+	}()
+}
+
+// enqueue appends a message (counts as activity until processed).
+func (a *actor) enqueue(m message) {
+	a.acts.inc()
+	a.mu.Lock()
+	if a.stopped {
+		a.mu.Unlock()
+		a.acts.dec()
+		return
+	}
+	a.queue = append(a.queue, m)
+	a.mu.Unlock()
+	a.cond.Signal()
+}
+
+// stop terminates the actor loop; queued messages are dropped (and
+// un-counted) so Close never hangs the activity counter.
+func (a *actor) stop() {
+	a.mu.Lock()
+	dropped := len(a.queue)
+	a.queue = nil
+	a.stopped = true
+	a.mu.Unlock()
+	a.cond.Broadcast()
+	for i := 0; i < dropped; i++ {
+		a.acts.dec()
+	}
+}
+
+// activityCounter is a reusable quiescence detector: inc when a message is
+// enqueued, dec when fully processed; wait blocks while the count is
+// non-zero.
+type activityCounter struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count int64
+}
+
+func newActivityCounter() *activityCounter {
+	c := &activityCounter{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *activityCounter) inc() {
+	c.mu.Lock()
+	c.count++
+	c.mu.Unlock()
+}
+
+func (c *activityCounter) dec() {
+	c.mu.Lock()
+	c.count--
+	if c.count < 0 {
+		c.mu.Unlock()
+		panic("live: activity counter underflow")
+	}
+	if c.count == 0 {
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+func (c *activityCounter) wait() {
+	c.mu.Lock()
+	for c.count != 0 {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}

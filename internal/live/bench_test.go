@@ -1,0 +1,68 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"bneck/internal/graph"
+	"bneck/internal/rate"
+	"bneck/internal/topology"
+)
+
+// BenchmarkLiveConvergence measures wall-clock time for a full
+// join-to-quiescence cycle on the concurrent actor runtime (no simulator):
+// the protocol's real message-passing cost on this machine.
+func BenchmarkLiveConvergence(b *testing.B) {
+	for _, n := range []int{8, 64, 256} {
+		b.Run("sessions="+itoaLive(n), func(b *testing.B) {
+			topo, err := topology.Generate(topology.Small, topology.LAN, 17)
+			if err != nil {
+				b.Fatal(err)
+			}
+			topo.AddHosts(2 * n)
+			res := graph.NewResolver(topo.Graph, 128)
+			paths := make([]graph.Path, n)
+			for i := range paths {
+				src, dst := topo.RandomHostPair()
+				p, err := res.HostPath(src, dst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				paths[i] = p
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt := New(topo.Graph)
+				sessions := make([]*Session, n)
+				for j, p := range paths {
+					s, err := rt.NewSession(p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sessions[j] = s
+				}
+				start := time.Now()
+				for _, s := range sessions {
+					s.Join(rate.Inf)
+				}
+				rt.WaitQuiescent()
+				b.ReportMetric(float64(time.Since(start).Microseconds()), "us_to_quiescence")
+				rt.Close()
+			}
+		})
+	}
+}
+
+func itoaLive(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

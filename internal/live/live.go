@@ -1,0 +1,223 @@
+// Package live runs the B-Neck protocol as a genuinely concurrent system:
+// every protocol task (each session's source and destination, and each
+// directed link's router task) is an actor goroutine with an unbounded FIFO
+// mailbox. This is the deployment shape the paper describes — asynchronous
+// tasks that execute their when-blocks atomically and exchange packets over
+// FIFO links — realized with goroutines instead of a simulator.
+//
+// Quiescence, the paper's headline property, becomes observable termination:
+// a global activity counter tracks enqueued-but-unprocessed messages
+// (a counter-based variant of Dijkstra–Scholten termination detection,
+// possible here because all sends happen inside message handlers), and
+// WaitQuiescent blocks until the network goes silent.
+//
+// Mailboxes are unbounded by design: B-Neck generates bounded traffic per
+// reconfiguration, and bounded mailboxes could deadlock the bidirectional
+// packet flow (links send both up- and downstream).
+package live
+
+import (
+	"fmt"
+	"sync"
+
+	"bneck/internal/core"
+	"bneck/internal/graph"
+	"bneck/internal/rate"
+)
+
+// Runtime hosts a concurrent B-Neck deployment over a static graph.
+type Runtime struct {
+	g *graph.Graph
+
+	mu       sync.Mutex
+	links    map[graph.LinkID]*actor
+	sessions map[core.SessionID]*Session
+	nextID   core.SessionID
+	closed   bool
+
+	activity *activityCounter
+
+	ratesMu sync.Mutex
+	rates   map[core.SessionID]rate.Rate
+}
+
+// New returns a runtime over g.
+func New(g *graph.Graph) *Runtime {
+	return &Runtime{
+		g:        g,
+		links:    make(map[graph.LinkID]*actor),
+		sessions: make(map[core.SessionID]*Session),
+		nextID:   1,
+		activity: newActivityCounter(),
+		rates:    make(map[core.SessionID]rate.Rate),
+	}
+}
+
+// Session is a live protocol session. Its source and destination tasks run
+// on their own actors.
+type Session struct {
+	ID   core.SessionID
+	Path graph.Path
+	rt   *Runtime
+	src  *actor
+	dst  *actor
+	srcT *core.SourceNode
+}
+
+// NewSession creates a session along path (see graph.Resolver.HostPath).
+func (rt *Runtime) NewSession(path graph.Path) (*Session, error) {
+	if err := graph.ValidatePath(rt.g, path); err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return nil, fmt.Errorf("live: runtime closed")
+	}
+	id := rt.nextID
+	rt.nextID++
+	s := &Session{ID: id, Path: append(graph.Path(nil), path...), rt: rt}
+	s.srcT = core.NewSourceNode(id, (*emitter)(rt), func(sid core.SessionID, lambda rate.Rate) {
+		rt.ratesMu.Lock()
+		rt.rates[sid] = lambda
+		rt.ratesMu.Unlock()
+	})
+	dstT := core.NewDestinationNode(id, (*emitter)(rt))
+	s.src = newActor(rt.activity)
+	s.dst = newActor(rt.activity)
+	srcT, dst := s.srcT, dstT
+	s.src.start(func(m message) {
+		switch m.kind {
+		case msgPacket:
+			srcT.Receive(m.pkt)
+		case msgJoin:
+			srcT.Join(m.demand)
+		case msgLeave:
+			srcT.Leave()
+		case msgChange:
+			srcT.Change(m.demand)
+		}
+	})
+	hop := len(path) + 1
+	s.dst.start(func(m message) { dst.Receive(m.pkt, hop) })
+	rt.sessions[id] = s
+	return s, nil
+}
+
+// Join asynchronously invokes API.Join(s, demand).
+func (s *Session) Join(demand rate.Rate) { s.src.enqueue(message{kind: msgJoin, demand: demand}) }
+
+// Leave asynchronously invokes API.Leave(s).
+func (s *Session) Leave() { s.src.enqueue(message{kind: msgLeave}) }
+
+// Change asynchronously invokes API.Change(s, demand).
+func (s *Session) Change(demand rate.Rate) { s.src.enqueue(message{kind: msgChange, demand: demand}) }
+
+// Rate returns the session's last granted rate. Safe to call from any
+// goroutine; stable once WaitQuiescent has returned.
+func (s *Session) Rate() (rate.Rate, bool) {
+	s.rt.ratesMu.Lock()
+	defer s.rt.ratesMu.Unlock()
+	r, ok := s.rt.rates[s.ID]
+	return r, ok
+}
+
+// WaitQuiescent blocks until no message is queued or being processed
+// anywhere — the paper's quiescence. It returns immediately if the network
+// is already silent.
+//
+// Callers racing WaitQuiescent against concurrent Join/Leave/Change calls
+// from other goroutines can observe a transiently idle network; make sure
+// all API calls have returned (they enqueue synchronously) before waiting.
+func (rt *Runtime) WaitQuiescent() { rt.activity.wait() }
+
+// Rates returns a snapshot of all granted rates.
+func (rt *Runtime) Rates() map[core.SessionID]rate.Rate {
+	rt.ratesMu.Lock()
+	defer rt.ratesMu.Unlock()
+	out := make(map[core.SessionID]rate.Rate, len(rt.rates))
+	for k, v := range rt.rates {
+		out[k] = v
+	}
+	return out
+}
+
+// Close stops all actors. The runtime must be quiescent (WaitQuiescent).
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return
+	}
+	rt.closed = true
+	for _, a := range rt.links {
+		a.stop()
+	}
+	for _, s := range rt.sessions {
+		s.src.stop()
+		s.dst.stop()
+	}
+}
+
+// linkActor returns (creating if needed) the actor hosting the RouterLink
+// task of a directed link.
+func (rt *Runtime) linkActor(id graph.LinkID) *actor {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if a, ok := rt.links[id]; ok {
+		return a
+	}
+	l := rt.g.Link(id)
+	task := core.NewRouterLink(core.LinkRef(id), l.Capacity, (*emitter)(rt))
+	a := newActor(rt.activity)
+	a.start(func(m message) { task.Receive(m.pkt, m.hop) })
+	rt.links[id] = a
+	return a
+}
+
+// emitter adapts the Runtime to core.Emitter. Emissions always happen inside
+// an actor's handler, so the activity counter can never reach zero while a
+// cascade is in flight.
+type emitter Runtime
+
+// Emit implements core.Emitter.
+func (e *emitter) Emit(s core.SessionID, from int, dir core.Direction, pkt core.Packet) {
+	rt := (*Runtime)(e)
+	rt.mu.Lock()
+	sess := rt.sessions[s]
+	rt.mu.Unlock()
+	if sess == nil {
+		return
+	}
+	to := from + 1
+	if dir == core.Up {
+		to = from - 1
+	}
+	var target *actor
+	var hop int
+	switch {
+	case to <= 0:
+		target, hop = sess.src, 0
+	case to >= len(sess.Path)+1:
+		target, hop = sess.dst, len(sess.Path)+1
+	default:
+		target, hop = rt.linkActor(sess.Path[to-1]), to
+	}
+	target.enqueue(message{kind: msgPacket, pkt: pkt, hop: hop})
+}
+
+type msgKind int
+
+const (
+	msgPacket msgKind = iota + 1
+	msgJoin
+	msgLeave
+	msgChange
+)
+
+type message struct {
+	kind   msgKind
+	pkt    core.Packet
+	hop    int
+	demand rate.Rate
+}

@@ -1,0 +1,264 @@
+package live
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"bneck/internal/core"
+	"bneck/internal/graph"
+	"bneck/internal/rate"
+	"bneck/internal/topology"
+	"bneck/internal/waterfill"
+)
+
+func buildDumbbell(t *testing.T) (*graph.Graph, []graph.Path) {
+	t.Helper()
+	g := graph.New()
+	r1 := g.AddRouter("r1")
+	r2 := g.AddRouter("r2")
+	g.Connect(r1, r2, rate.Mbps(60), time.Microsecond)
+	res := graph.NewResolver(g, 16)
+	var paths []graph.Path
+	for i := 0; i < 2; i++ {
+		ha := g.AddHost("ha")
+		hb := g.AddHost("hb")
+		g.Connect(ha, r1, rate.Mbps(100), time.Microsecond)
+		g.Connect(hb, r2, rate.Mbps(100), time.Microsecond)
+		p, err := graph.NewResolver(g, 16).HostPath(ha, hb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	_ = res
+	return g, paths
+}
+
+func TestLiveConvergesAndQuiesces(t *testing.T) {
+	g, paths := buildDumbbell(t)
+	rt := New(g)
+	defer rt.Close()
+	s1, err := rt.NewSession(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := rt.NewSession(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Join(rate.Inf)
+	s2.Join(rate.Inf)
+	rt.WaitQuiescent()
+	want := rate.Mbps(30)
+	if r, ok := s1.Rate(); !ok || !r.Equal(want) {
+		t.Fatalf("s1 rate = %v (%t)", r, ok)
+	}
+	if r, ok := s2.Rate(); !ok || !r.Equal(want) {
+		t.Fatalf("s2 rate = %v (%t)", r, ok)
+	}
+}
+
+func TestLiveDynamics(t *testing.T) {
+	g, paths := buildDumbbell(t)
+	rt := New(g)
+	defer rt.Close()
+	s1, _ := rt.NewSession(paths[0])
+	s2, _ := rt.NewSession(paths[1])
+	s1.Join(rate.Inf)
+	rt.WaitQuiescent()
+	if r, _ := s1.Rate(); !r.Equal(rate.Mbps(60)) {
+		t.Fatalf("solo rate = %v", r)
+	}
+	s2.Join(rate.Inf)
+	rt.WaitQuiescent()
+	if r, _ := s2.Rate(); !r.Equal(rate.Mbps(30)) {
+		t.Fatalf("shared rate = %v", r)
+	}
+	s1.Leave()
+	rt.WaitQuiescent()
+	if r, _ := s2.Rate(); !r.Equal(rate.Mbps(60)) {
+		t.Fatalf("post-leave rate = %v", r)
+	}
+	s2.Change(rate.Mbps(10))
+	rt.WaitQuiescent()
+	if r, _ := s2.Rate(); !r.Equal(rate.Mbps(10)) {
+		t.Fatalf("post-change rate = %v", r)
+	}
+}
+
+// TestLiveMatchesOracleOnTopology runs a real concurrent deployment over a
+// generated topology and validates against the centralized oracle — the
+// paper's validation, but with true parallelism instead of a simulator.
+func TestLiveMatchesOracleOnTopology(t *testing.T) {
+	topo, err := topology.Generate(topology.Small, topology.LAN, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.AddHosts(80)
+	g := topo.Graph
+	res := graph.NewResolver(g, 64)
+	rt := New(g)
+	defer rt.Close()
+
+	const n = 40
+	sessions := make([]*Session, 0, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		src, dst := topo.RandomHostPair()
+		p, err := res.HostPath(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := rt.NewSession(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+	}
+	// Join concurrently from many goroutines.
+	for _, s := range sessions {
+		wg.Add(1)
+		go func(s *Session) {
+			defer wg.Done()
+			s.Join(rate.Inf)
+		}(s)
+	}
+	wg.Wait()
+	rt.WaitQuiescent()
+
+	// Oracle comparison.
+	linkIdx := make(map[graph.LinkID]int)
+	var inst waterfill.Instance
+	for _, s := range sessions {
+		ws := waterfill.Session{Demand: rate.Inf}
+		for _, l := range s.Path {
+			li, ok := linkIdx[l]
+			if !ok {
+				li = len(inst.Capacity)
+				linkIdx[l] = li
+				inst.Capacity = append(inst.Capacity, g.Link(l).Capacity)
+			}
+			ws.Path = append(ws.Path, li)
+		}
+		inst.Sessions = append(inst.Sessions, ws)
+	}
+	want, err := waterfill.Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sessions {
+		got, ok := s.Rate()
+		if !ok {
+			t.Fatalf("session %d has no rate", i)
+		}
+		if !got.Equal(want[i]) {
+			t.Fatalf("session %d rate = %v, oracle %v", i, got, want[i])
+		}
+	}
+}
+
+func TestLiveChurnStress(t *testing.T) {
+	topo, err := topology.Generate(topology.Small, topology.LAN, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo.AddHosts(60)
+	g := topo.Graph
+	res := graph.NewResolver(g, 64)
+	rt := New(g)
+	defer rt.Close()
+	rng := rand.New(rand.NewSource(3))
+
+	var sessions []*Session
+	for round := 0; round < 5; round++ {
+		// Join a batch.
+		for i := 0; i < 10; i++ {
+			src, dst := topo.RandomHostPair()
+			p, err := res.HostPath(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := rt.NewSession(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Join(rate.Inf)
+			sessions = append(sessions, s)
+		}
+		// Leave/change a few concurrently with the joins settling.
+		if len(sessions) > 5 {
+			sessions[rng.Intn(len(sessions))].Change(rate.Mbps(int64(1 + rng.Intn(40))))
+		}
+		rt.WaitQuiescent()
+	}
+	// All sessions must hold some confirmed rate.
+	for i, s := range sessions {
+		if _, ok := s.Rate(); !ok {
+			t.Fatalf("session %d has no rate after churn", i)
+		}
+	}
+}
+
+func TestWaitQuiescentIdempotent(t *testing.T) {
+	g, paths := buildDumbbell(t)
+	rt := New(g)
+	defer rt.Close()
+	rt.WaitQuiescent() // empty network is quiescent
+	s, _ := rt.NewSession(paths[0])
+	s.Join(rate.Mbps(5))
+	rt.WaitQuiescent()
+	rt.WaitQuiescent()
+	if r, _ := s.Rate(); !r.Equal(rate.Mbps(5)) {
+		t.Fatalf("rate = %v", r)
+	}
+}
+
+func TestCloseDropsQueuedWork(t *testing.T) {
+	g, paths := buildDumbbell(t)
+	rt := New(g)
+	s, _ := rt.NewSession(paths[0])
+	s.Join(rate.Inf)
+	rt.Close()
+	// Enqueue after close must be a no-op rather than a hang or panic.
+	s.Leave()
+	_ = s
+}
+
+func TestActorFIFO(t *testing.T) {
+	acts := newActivityCounter()
+	a := newActor(acts)
+	var mu sync.Mutex
+	var got []int
+	a.start(func(m message) {
+		mu.Lock()
+		got = append(got, m.hop)
+		mu.Unlock()
+	})
+	for i := 0; i < 1000; i++ {
+		a.enqueue(message{kind: msgPacket, hop: i})
+	}
+	acts.wait()
+	a.stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1000 {
+		t.Fatalf("processed %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated at %d: %d", i, v)
+		}
+	}
+}
+
+func TestSessionUnknownDrops(t *testing.T) {
+	g, paths := buildDumbbell(t)
+	rt := New(g)
+	defer rt.Close()
+	// Emitting for an unknown session must not panic or hang.
+	(*emitter)(rt).Emit(core.SessionID(999), 0, core.Down, core.Packet{Type: core.PktJoin})
+	rt.WaitQuiescent()
+	_ = paths
+}

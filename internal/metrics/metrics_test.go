@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"bneck/internal/core"
+)
+
+func TestPacketStatsCounts(t *testing.T) {
+	ps := NewPacketStats(5 * time.Millisecond)
+	ps.Record(core.PktJoin, 1*time.Millisecond)
+	ps.Record(core.PktJoin, 2*time.Millisecond)
+	ps.Record(core.PktResponse, 6*time.Millisecond)
+	ps.Record(core.PktLeave, 12*time.Millisecond)
+	if ps.Total() != 4 {
+		t.Fatalf("Total = %d", ps.Total())
+	}
+	if ps.ByType(core.PktJoin) != 2 {
+		t.Fatalf("Join count = %d", ps.ByType(core.PktJoin))
+	}
+	bins := ps.Bins()
+	if len(bins) != 3 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	if bins[0].Total != 2 || bins[1].Total != 1 || bins[2].Total != 1 {
+		t.Fatalf("bin totals = %d %d %d", bins[0].Total, bins[1].Total, bins[2].Total)
+	}
+	if bins[2].ByType[core.PktLeave-1] != 1 {
+		t.Fatalf("leave not in third bin")
+	}
+	if bins[1].Start != 5*time.Millisecond {
+		t.Fatalf("bin start = %v", bins[1].Start)
+	}
+}
+
+func TestPacketStatsNoBinning(t *testing.T) {
+	ps := NewPacketStats(0)
+	ps.Record(core.PktProbe, time.Second)
+	if ps.Total() != 1 || len(ps.Bins()) != 0 {
+		t.Fatalf("unexpected binning")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Median != 7 || s.P10 != 7 || s.P90 != 7 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	// 0..100: median 50, p10 10, p90 90.
+	vals := make([]float64, 101)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := Summarize(vals)
+	if s.Median != 50 || s.P10 != 10 || s.P90 != 90 || s.Mean != 50 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Min != 0 || s.Max != 100 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Summarize(vals)
+	if vals[0] != 3 || vals[1] != 1 || vals[2] != 2 {
+		t.Fatalf("input mutated: %v", vals)
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + r.Intn(50)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.NormFloat64() * 100
+		}
+		s := Summarize(vals)
+		if !(s.P10 <= s.Median && s.Median <= s.P90) {
+			t.Fatalf("percentiles not monotone: %+v", s)
+		}
+		if s.Min > s.P10 || s.Max < s.P90 {
+			t.Fatalf("percentiles outside range: %+v", s)
+		}
+		if s.Mean < s.Min || s.Mean > s.Max {
+			t.Fatalf("mean outside range: %+v", s)
+		}
+	}
+}
+
+func TestRelativeErrorPct(t *testing.T) {
+	if got := RelativeErrorPct(110, 100); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("overshoot error = %v", got)
+	}
+	if got := RelativeErrorPct(90, 100); math.Abs(got+10) > 1e-12 {
+		t.Fatalf("undershoot error = %v", got)
+	}
+	if got := RelativeErrorPct(5, 0); got != 0 {
+		t.Fatalf("zero-fair error = %v", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(time.Millisecond, []float64{1, 2, 3})
+	s.Add(2*time.Millisecond, []float64{4})
+	if len(s.Points) != 2 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	if s.Points[0].Summary.Median != 2 || s.Points[1].Summary.Mean != 4 {
+		t.Fatalf("series summaries wrong: %+v", s.Points)
+	}
+}

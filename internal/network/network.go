@@ -1,0 +1,358 @@
+// Package network wires everything together for simulation runs: it places
+// the B-Neck tasks (source, destination, one RouterLink per directed link in
+// use) over a topology graph, transports their packets across the discrete
+// event simulator's FIFO wires, schedules session dynamics, detects
+// quiescence, and validates converged rates against the centralized oracle —
+// exactly the methodology of the paper's Section IV.
+package network
+
+import (
+	"fmt"
+	"time"
+
+	"bneck/internal/core"
+	"bneck/internal/graph"
+	"bneck/internal/metrics"
+	"bneck/internal/rate"
+	"bneck/internal/sim"
+	"bneck/internal/waterfill"
+)
+
+// Config tunes a simulation run.
+type Config struct {
+	// ControlPacketBits is the size used to compute per-packet transmission
+	// (serialization) time on each link: tx = bits / capacity. The paper
+	// models transmission times of control packets without consuming data
+	// bandwidth; 512 bits approximates its small RM-style control packets.
+	// Zero disables serialization delay.
+	ControlPacketBits int64
+	// BinSize is the packet-count binning interval (Figure 6 uses 5 ms).
+	// Zero disables binning.
+	BinSize time.Duration
+	// OnRate, if set, observes every API.Rate upcall with its virtual time.
+	OnRate func(s core.SessionID, lambda rate.Rate, at sim.Time)
+	// OnPacket, if set, observes every packet as it is sent across a
+	// physical link (intra-host hand-offs are not reported). Useful for
+	// protocol tracing and debugging.
+	OnPacket func(link graph.LinkID, pkt core.Packet, at sim.Time)
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{ControlPacketBits: 512, BinSize: 5 * time.Millisecond}
+}
+
+// Session is one session living in a simulated network.
+type Session struct {
+	ID       core.SessionID
+	SrcHost  graph.NodeID
+	DstHost  graph.NodeID
+	Path     graph.Path
+	src      *core.SourceNode
+	dst      *core.DestinationNode
+	joinedAt sim.Time
+	rateAt   sim.Time
+	active   bool
+	departed bool
+}
+
+// JoinedAt returns the virtual time of the session's (last) join.
+func (s *Session) JoinedAt() sim.Time { return s.joinedAt }
+
+// SettlingTime returns how long after joining the session received its last
+// rate notification — its individual convergence latency.
+func (s *Session) SettlingTime() sim.Time { return s.rateAt - s.joinedAt }
+
+// Rate returns the session's last granted rate (valid once ok).
+func (s *Session) Rate() (rate.Rate, bool) { return s.src.Rate() }
+
+// RateTime returns the virtual time of the last API.Rate upcall.
+func (s *Session) RateTime() sim.Time { return s.rateAt }
+
+// Active reports whether the session has joined and not left.
+func (s *Session) Active() bool { return s.active }
+
+// Demand returns the session's current requested maximum rate.
+func (s *Session) Demand() rate.Rate { return s.src.Demand() }
+
+// Converged reports whether the session holds a confirmed max-min rate.
+func (s *Session) Converged() bool { return s.src.Converged() }
+
+// Network is a simulated B-Neck deployment.
+type Network struct {
+	cfg      Config
+	g        *graph.Graph
+	eng      *sim.Engine
+	links    map[graph.LinkID]*core.RouterLink
+	wires    map[graph.LinkID]*sim.Wire
+	sessions map[core.SessionID]*Session
+	order    []core.SessionID // insertion order, for deterministic iteration
+	stats    *metrics.PacketStats
+	nextID   core.SessionID
+}
+
+// New returns a network over g driven by eng.
+func New(g *graph.Graph, eng *sim.Engine, cfg Config) *Network {
+	return &Network{
+		cfg:      cfg,
+		g:        g,
+		eng:      eng,
+		links:    make(map[graph.LinkID]*core.RouterLink),
+		wires:    make(map[graph.LinkID]*sim.Wire),
+		sessions: make(map[core.SessionID]*Session),
+		stats:    metrics.NewPacketStats(cfg.BinSize),
+		nextID:   1,
+	}
+}
+
+// Engine returns the driving simulator.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Stats returns the packet statistics collector.
+func (n *Network) Stats() *metrics.PacketStats { return n.stats }
+
+// Sessions returns all sessions ever created, in creation order.
+func (n *Network) Sessions() []*Session {
+	out := make([]*Session, 0, len(n.order))
+	for _, id := range n.order {
+		out = append(out, n.sessions[id])
+	}
+	return out
+}
+
+// NewSession creates a session between two hosts along path, without joining
+// it (schedule the join separately). The path must come from the graph
+// (e.g., graph.Resolver.HostPath).
+func (n *Network) NewSession(srcHost, dstHost graph.NodeID, path graph.Path) (*Session, error) {
+	if err := graph.ValidatePath(n.g, path); err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+	id := n.nextID
+	n.nextID++
+	s := &Session{ID: id, SrcHost: srcHost, DstHost: dstHost, Path: path}
+	s.src = core.NewSourceNode(id, n, func(sid core.SessionID, lambda rate.Rate) {
+		s.rateAt = n.eng.Now()
+		if n.cfg.OnRate != nil {
+			n.cfg.OnRate(sid, lambda, n.eng.Now())
+		}
+	})
+	s.dst = core.NewDestinationNode(id, n)
+	n.sessions[id] = s
+	n.order = append(n.order, id)
+	return s, nil
+}
+
+// ScheduleJoin joins the session at virtual time at with the given demand.
+func (n *Network) ScheduleJoin(s *Session, at sim.Time, demand rate.Rate) {
+	n.eng.At(at, func() {
+		s.active = true
+		s.joinedAt = n.eng.Now()
+		s.src.Join(demand)
+	})
+}
+
+// ScheduleLeave departs the session at virtual time at.
+func (n *Network) ScheduleLeave(s *Session, at sim.Time) {
+	n.eng.At(at, func() {
+		s.active = false
+		s.departed = true
+		s.src.Leave()
+	})
+}
+
+// ScheduleChange changes the session's demand at virtual time at.
+func (n *Network) ScheduleChange(s *Session, at sim.Time, demand rate.Rate) {
+	n.eng.At(at, func() { s.src.Change(demand) })
+}
+
+// Run drives the simulation to quiescence and returns the quiescence time
+// (the timestamp of the last protocol event).
+func (n *Network) Run() sim.Time { return n.eng.Run() }
+
+// Emit implements core.Emitter: it moves a packet one hop along (or against)
+// the session's path, crossing the corresponding physical wire.
+func (n *Network) Emit(s core.SessionID, from int, dir core.Direction, pkt core.Packet) {
+	sess := n.sessions[s]
+	if sess == nil {
+		panic(fmt.Sprintf("network: emit for unknown session %d", s))
+	}
+	var to int
+	wireLink := graph.NoLink
+	if dir == core.Down {
+		to = from + 1
+		if from >= 1 {
+			wireLink = sess.Path[from-1]
+		}
+	} else {
+		to = from - 1
+		if from >= 2 {
+			wireLink = n.g.Link(sess.Path[from-2]).Reverse
+		}
+	}
+	deliver := func() { n.deliver(sess, to, pkt) }
+	if wireLink == graph.NoLink {
+		// Intra-host hand-off (source ↔ its access-link task): no wire.
+		n.eng.After(0, deliver)
+		return
+	}
+	// The packet crosses a physical link: account it (the paper counts
+	// every packet sent across a link) and serialize it on the wire.
+	n.stats.Record(pkt.Type, n.eng.Now())
+	if n.cfg.OnPacket != nil {
+		n.cfg.OnPacket(wireLink, pkt, n.eng.Now())
+	}
+	n.wire(wireLink).Send(deliver)
+}
+
+func (n *Network) deliver(sess *Session, hop int, pkt core.Packet) {
+	switch {
+	case hop == 0:
+		sess.src.Receive(pkt)
+	case hop == len(sess.Path)+1:
+		sess.dst.Receive(pkt, hop)
+	default:
+		n.routerLink(sess.Path[hop-1]).Receive(pkt, hop)
+	}
+}
+
+// routerLink lazily creates the RouterLink task for a directed link.
+func (n *Network) routerLink(id graph.LinkID) *core.RouterLink {
+	if rl, ok := n.links[id]; ok {
+		return rl
+	}
+	l := n.g.Link(id)
+	rl := core.NewRouterLink(core.LinkRef(id), l.Capacity, n)
+	n.links[id] = rl
+	return rl
+}
+
+// wire lazily creates the simulator wire for a directed link.
+func (n *Network) wire(id graph.LinkID) *sim.Wire {
+	if w, ok := n.wires[id]; ok {
+		return w
+	}
+	l := n.g.Link(id)
+	var tx time.Duration
+	if n.cfg.ControlPacketBits > 0 {
+		// tx = bits / capacity, in seconds.
+		bps := l.Capacity.Float64()
+		if bps > 0 {
+			tx = time.Duration(float64(n.cfg.ControlPacketBits) / bps * float64(time.Second))
+		}
+	}
+	w := sim.NewWire(n.eng, l.Propagation, tx)
+	n.wires[id] = w
+	return w
+}
+
+// Oracle computes the max-min fair rates of the currently active sessions
+// with Centralized B-Neck. The result maps session IDs to rates.
+func (n *Network) Oracle() (map[core.SessionID]rate.Rate, error) {
+	linkIdx := make(map[graph.LinkID]int)
+	var in waterfill.Instance
+	var ids []core.SessionID
+	for _, id := range n.order {
+		s := n.sessions[id]
+		if !s.active {
+			continue
+		}
+		ws := waterfill.Session{Demand: s.src.Demand()}
+		for _, l := range s.Path {
+			i, ok := linkIdx[l]
+			if !ok {
+				i = len(in.Capacity)
+				linkIdx[l] = i
+				in.Capacity = append(in.Capacity, n.g.Link(l).Capacity)
+			}
+			ws.Path = append(ws.Path, i)
+		}
+		in.Sessions = append(in.Sessions, ws)
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return map[core.SessionID]rate.Rate{}, nil
+	}
+	rates, err := waterfill.Solve(in)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[core.SessionID]rate.Rate, len(ids))
+	for i, id := range ids {
+		out[id] = rates[i]
+	}
+	return out, nil
+}
+
+// Validate checks, after quiescence, that every active session holds exactly
+// its max-min fair rate (the paper validates every run this way), and that
+// every link task is stable per Definition 2 with consistent internal state.
+func (n *Network) Validate() error {
+	oracle, err := n.Oracle()
+	if err != nil {
+		return fmt.Errorf("network: oracle failed: %w", err)
+	}
+	for _, id := range n.order {
+		s := n.sessions[id]
+		if !s.active {
+			continue
+		}
+		got, ok := s.src.Rate()
+		if !ok {
+			return fmt.Errorf("network: session %d has no rate after quiescence", id)
+		}
+		want := oracle[id]
+		if !got.Equal(want) {
+			return fmt.Errorf("network: session %d rate %v, oracle %v", id, got, want)
+		}
+		if !s.src.Converged() {
+			return fmt.Errorf("network: session %d rate not confirmed (no bottleneck received)", id)
+		}
+	}
+	for lid, rl := range n.links {
+		if err := rl.CheckInvariants(); err != nil {
+			return fmt.Errorf("network: link %d: %w", lid, err)
+		}
+		if !rl.Stable() {
+			return fmt.Errorf("network: link %d unstable after quiescence", lid)
+		}
+	}
+	return nil
+}
+
+// SnapshotRates returns every active session's current granted rate (zero
+// if none yet), for transient measurements (Figure 7).
+func (n *Network) SnapshotRates() map[core.SessionID]rate.Rate {
+	out := make(map[core.SessionID]rate.Rate)
+	for _, id := range n.order {
+		s := n.sessions[id]
+		if !s.active {
+			continue
+		}
+		if r, ok := s.src.Rate(); ok {
+			out[id] = r
+		} else {
+			out[id] = rate.Zero
+		}
+	}
+	return out
+}
+
+// LinkLoad sums the granted rates of active sessions over every link in
+// use; keys are directed link IDs (Figure 7 right's link-level view).
+func (n *Network) LinkLoad() map[graph.LinkID]rate.Rate {
+	out := make(map[graph.LinkID]rate.Rate)
+	for _, id := range n.order {
+		s := n.sessions[id]
+		if !s.active {
+			continue
+		}
+		r, ok := s.src.Rate()
+		if !ok {
+			continue
+		}
+		for _, l := range s.Path {
+			out[l] = out[l].Add(r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package rate
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Parse converts a string produced by String/Key back into a Rate. Accepted
+// forms: "inf", an integer ("100000000"), or a fraction ("5/3"). Arbitrary
+// precision is supported via math/big.
+func Parse(s string) (Rate, error) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "":
+		return Rate{}, fmt.Errorf("rate: empty string")
+	case "inf", "Inf", "+inf", "+Inf", "∞":
+		return Inf, nil
+	}
+	r, ok := new(big.Rat).SetString(s)
+	if !ok {
+		return Rate{}, fmt.Errorf("rate: cannot parse %q", s)
+	}
+	return normalizeBig(r), nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (r Rate) MarshalText() ([]byte, error) {
+	return []byte(r.Key()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (r *Rate) UnmarshalText(text []byte) error {
+	parsed, err := Parse(string(text))
+	if err != nil {
+		return err
+	}
+	*r = parsed
+	return nil
+}

@@ -1,0 +1,81 @@
+package rate
+
+import (
+	"encoding"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+var (
+	_ encoding.TextMarshaler   = Rate{}
+	_ encoding.TextUnmarshaler = (*Rate)(nil)
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Rate
+	}{
+		{"inf", Inf},
+		{"∞", Inf},
+		{"0", Zero},
+		{"100000000", Mbps(100)},
+		{"5/3", FromFrac(5, 3)},
+		{"-7/2", FromFrac(-7, 2)},
+		{" 42 ", FromInt64(42)},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "1/2/3", "1//2"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestPropRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		v := arb(r)
+		got, err := Parse(v.Key())
+		if err != nil {
+			t.Fatalf("round trip of %v: %v", v, err)
+		}
+		if !got.Equal(v) {
+			t.Fatalf("round trip of %v gave %v", v, got)
+		}
+	}
+	if got, err := Parse(Inf.Key()); err != nil || !got.IsInf() {
+		t.Fatalf("inf round trip: %v %v", got, err)
+	}
+}
+
+func TestJSONIntegration(t *testing.T) {
+	type payload struct {
+		Demand Rate `json:"demand"`
+		Cap    Rate `json:"cap"`
+	}
+	in := payload{Demand: Inf, Cap: FromFrac(200_000_000, 3)}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Demand.IsInf() || !out.Cap.Equal(in.Cap) {
+		t.Fatalf("json round trip: %+v", out)
+	}
+}

@@ -1,0 +1,145 @@
+package rate
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// arb builds an arbitrary finite Rate from random components, biased toward
+// small denominators (like real bottleneck rates) but occasionally huge, to
+// exercise the big.Rat promotion path.
+func arb(r *rand.Rand) Rate {
+	den := int64(1 + r.Intn(12))
+	num := r.Int63n(1_000_000) - 500_000
+	if r.Intn(8) == 0 { // huge values to force overflow handling
+		num = r.Int63() - (1 << 62)
+		den = 1 + r.Int63n(1<<31)
+	}
+	return FromFrac(num, den)
+}
+
+func ref(r Rate) *big.Rat {
+	if r.IsInf() {
+		panic("ref on inf")
+	}
+	return new(big.Rat).SetFrac(
+		new(big.Int).Set(r.toBig().Num()),
+		new(big.Int).Set(r.toBig().Denom()),
+	)
+}
+
+func TestPropAddMatchesBigRat(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		a, b := arb(r), arb(r)
+		got := a.Add(b)
+		want := new(big.Rat).Add(ref(a), ref(b))
+		if got.Key() != want.RatString() {
+			t.Fatalf("iter %d: %v + %v = %v, want %v", i, a, b, got, want.RatString())
+		}
+	}
+}
+
+func TestPropSubMatchesBigRat(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		a, b := arb(r), arb(r)
+		got := a.Sub(b)
+		want := new(big.Rat).Sub(ref(a), ref(b))
+		if got.Key() != want.RatString() {
+			t.Fatalf("iter %d: %v - %v = %v, want %v", i, a, b, got, want.RatString())
+		}
+	}
+}
+
+func TestPropDivIntMatchesBigRat(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		a := arb(r)
+		n := 1 + r.Intn(1000)
+		got := a.DivInt(n)
+		want := new(big.Rat).Quo(ref(a), big.NewRat(int64(n), 1))
+		if got.Key() != want.RatString() {
+			t.Fatalf("iter %d: %v / %d = %v, want %v", i, a, n, got, want.RatString())
+		}
+	}
+}
+
+func TestPropCmpMatchesBigRat(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		a, b := arb(r), arb(r)
+		if got, want := a.Cmp(b), ref(a).Cmp(ref(b)); got != want {
+			t.Fatalf("iter %d: Cmp(%v,%v) = %d, want %d", i, a, b, got, want)
+		}
+	}
+}
+
+// TestPropSumInvertible is the property the protocol relies on: maintaining a
+// running sum by adding and later subtracting the same values returns exactly
+// to the starting point, regardless of interleaving.
+func TestPropSumInvertible(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + r.Intn(50)
+		vals := make([]Rate, n)
+		sum := Zero
+		for i := range vals {
+			vals[i] = arb(r)
+			sum = sum.Add(vals[i])
+		}
+		// Remove in a random order.
+		r.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		for _, v := range vals {
+			sum = sum.Sub(v)
+		}
+		if !sum.IsZero() {
+			t.Fatalf("iter %d: sum did not return to zero: %v", iter, sum)
+		}
+	}
+}
+
+// TestPropAddCommutesAssociates uses testing/quick's checker via a function
+// over int64 fraction parts.
+func TestPropAddCommutesAssociates(t *testing.T) {
+	f := func(an, bn, cn int64, adRaw, bdRaw, cdRaw uint32) bool {
+		ad := int64(adRaw%1000) + 1
+		bd := int64(bdRaw%1000) + 1
+		cd := int64(cdRaw%1000) + 1
+		a, b, c := FromFrac(an%100000, ad), FromFrac(bn%100000, bd), FromFrac(cn%100000, cd)
+		if !a.Add(b).Equal(b.Add(a)) {
+			return false
+		}
+		return a.Add(b).Add(c).Equal(a.Add(b.Add(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropKeyInjective: equal values have equal keys and unequal values have
+// unequal keys.
+func TestPropKeyInjective(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 5000; i++ {
+		a, b := arb(r), arb(r)
+		if a.Equal(b) != (a.Key() == b.Key()) {
+			t.Fatalf("Key injectivity broken for %v and %v", a, b)
+		}
+	}
+}
+
+func TestPropMinMaxLattice(t *testing.T) {
+	f := func(an, bn int64, adRaw, bdRaw uint32) bool {
+		a := FromFrac(an%1_000_000, int64(adRaw%100)+1)
+		b := FromFrac(bn%1_000_000, int64(bdRaw%100)+1)
+		lo, hi := Min(a, b), Max(a, b)
+		return lo.LessEq(a) && lo.LessEq(b) && hi.GreaterEq(a) && hi.GreaterEq(b) &&
+			(lo.Equal(a) || lo.Equal(b)) && (hi.Equal(a) || hi.Equal(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package sim is a deterministic discrete event simulator, the substitute
+// for the modified Peersim substrate the paper evaluates on. It provides a
+// virtual clock, an event heap with stable FIFO tie-breaking, and a FIFO
+// link (wire) model with transmission serialization and propagation delay.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is virtual simulation time measured from the start of the run.
+type Time = time.Duration
+
+// Engine is a single-threaded discrete event scheduler. Events scheduled for
+// the same instant run in scheduling order, which makes runs deterministic.
+//
+// Events come in two flavors: regular events keep Run alive, daemon events
+// (periodic measurement ticks and the like) do not — Run returns when only
+// daemon events remain, which is exactly the paper's quiescence instant for
+// a workload with finitely many session events.
+type Engine struct {
+	now      Time
+	events   eventHeap
+	seq      uint64
+	regular  int  // number of non-daemon events in the heap
+	stopped  bool // Stop was called; Run unwinds
+	nEvents  uint64
+	lastBusy Time // time of the most recently executed regular event
+}
+
+// New returns an engine with the clock at 0.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// LastBusy returns the execution time of the most recent regular
+// (non-daemon) event — once Run returns, this is the quiescence instant.
+func (e *Engine) LastBusy() Time { return e.lastBusy }
+
+// Events returns the total number of events executed.
+func (e *Engine) Events() uint64 { return e.nEvents }
+
+// At schedules fn to run at the given absolute virtual time, which must not
+// be in the past.
+func (e *Engine) At(t Time, fn func()) {
+	e.schedule(t, fn, false)
+}
+
+// After schedules fn to run d from now (d < 0 is clamped to now).
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now+d, fn, false)
+}
+
+// DaemonAt schedules a daemon event: it runs like a regular event, but does
+// not keep Run alive.
+func (e *Engine) DaemonAt(t Time, fn func()) {
+	e.schedule(t, fn, true)
+}
+
+func (e *Engine) schedule(t Time, fn func(), daemon bool) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn, daemon: daemon})
+	if !daemon {
+		e.regular++
+	}
+}
+
+// Step executes the next event. It returns false when no events remain.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	if !ev.daemon {
+		e.regular--
+		e.lastBusy = ev.at
+	}
+	e.nEvents++
+	ev.fn()
+	return true
+}
+
+// Run executes events until no regular events remain (daemon events that are
+// already due before the last regular event still run in order). It returns
+// the quiescence time: the timestamp of the last regular event executed.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for e.regular > 0 && !e.stopped {
+		if !e.Step() {
+			break
+		}
+	}
+	return e.lastBusy
+}
+
+// RunUntil executes all events (regular and daemon) scheduled strictly
+// before or at t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for e.events.Len() > 0 && e.events[0].at <= t && !e.stopped {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of regular (non-daemon) events in the heap.
+func (e *Engine) Pending() int { return e.regular }
+
+type event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	daemon bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

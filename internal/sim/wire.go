@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"time"
+)
+
+// Wire models one directed physical link carrying control packets: a FIFO
+// transmitter serialized at a fixed per-packet transmission time followed by
+// a propagation delay. All control packets of all sessions crossing the same
+// directed link share its wire, so hot links serialize control traffic —
+// this queueing is what makes time-to-quiescence grow with session count in
+// the paper's LAN scenarios.
+//
+// FIFO order is guaranteed: departures are serialized (monotone departure
+// times) and the engine breaks equal-time ties in scheduling order.
+type Wire struct {
+	eng  *Engine
+	prop time.Duration
+	tx   time.Duration // per-packet transmission (serialization) time
+	free Time          // when the transmitter next becomes idle
+	sent uint64
+}
+
+// NewWire returns a wire on the given engine with a propagation delay and a
+// per-packet transmission time (0 for an ideal link).
+func NewWire(eng *Engine, propagation, txPerPacket time.Duration) *Wire {
+	return &Wire{eng: eng, prop: propagation, tx: txPerPacket}
+}
+
+// Send schedules deliver to run after the packet is serialized onto the wire
+// and propagates. It returns the arrival time.
+func (w *Wire) Send(deliver func()) Time {
+	start := w.free
+	if now := w.eng.Now(); start < now {
+		start = now
+	}
+	w.free = start + w.tx
+	arrival := w.free + w.prop
+	w.sent++
+	w.eng.At(arrival, deliver)
+	return arrival
+}
+
+// Sent returns the number of packets sent on this wire.
+func (w *Wire) Sent() uint64 { return w.sent }
+
+// Backlog returns how long a packet enqueued now would wait before starting
+// transmission (a congestion signal for tests and metrics).
+func (w *Wire) Backlog() time.Duration {
+	if b := w.free - w.eng.Now(); b > 0 {
+		return b
+	}
+	return 0
+}

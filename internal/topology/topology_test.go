@@ -1,0 +1,198 @@
+package topology
+
+import (
+	"testing"
+	"time"
+
+	"bneck/internal/graph"
+)
+
+func TestSizesMatchPaper(t *testing.T) {
+	cases := []struct {
+		p    Params
+		want int
+	}{
+		{Small, 110},
+		{Medium, 1100},
+		{Big, 11000},
+	}
+	for _, c := range cases {
+		if got := c.p.Routers(); got != c.want {
+			t.Errorf("%s.Routers() = %d, want %d", c.p.Name, got, c.want)
+		}
+	}
+}
+
+func TestGenerateSmall(t *testing.T) {
+	n, err := Generate(Small, LAN, 1)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if got := len(n.TransitRouters) + len(n.StubRouters); got != 110 {
+		t.Fatalf("router count = %d", got)
+	}
+	if err := n.Graph.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestGenerateMediumConnected(t *testing.T) {
+	n, err := Generate(Medium, LAN, 2)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	hosts := n.AddHosts(50)
+	res := graph.NewResolver(n.Graph, 64)
+	// Every pair of a sample must be connected.
+	for i := 0; i < 20; i++ {
+		src, dst := n.RandomHostPair()
+		p, err := res.HostPath(src, dst)
+		if err != nil {
+			t.Fatalf("HostPath(%d,%d): %v", src, dst, err)
+		}
+		if err := graph.ValidatePath(n.Graph, p); err != nil {
+			t.Fatalf("ValidatePath: %v", err)
+		}
+	}
+	_ = hosts
+}
+
+func TestCapacityTiers(t *testing.T) {
+	n, err := Generate(Small, LAN, 3)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	n.AddHosts(10)
+	g := n.Graph
+	transit := make(map[graph.NodeID]bool)
+	for _, r := range n.TransitRouters {
+		transit[r] = true
+	}
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(graph.LinkID(i))
+		fromKind := g.Node(l.From).Kind
+		toKind := g.Node(l.To).Kind
+		switch {
+		case fromKind == graph.Host || toKind == graph.Host:
+			if !l.Capacity.Equal(HostLinkCapacity) {
+				t.Fatalf("host link %d capacity %v", i, l.Capacity)
+			}
+		case transit[l.From] || transit[l.To]:
+			if !l.Capacity.Equal(TransitLinkCapacity) {
+				t.Fatalf("transit link %d capacity %v", i, l.Capacity)
+			}
+		default:
+			if !l.Capacity.Equal(StubLinkCapacity) {
+				t.Fatalf("stub link %d capacity %v", i, l.Capacity)
+			}
+		}
+	}
+}
+
+func TestPropagationModels(t *testing.T) {
+	lan, err := Generate(Small, LAN, 4)
+	if err != nil {
+		t.Fatalf("Generate LAN: %v", err)
+	}
+	for i := 0; i < lan.Graph.NumLinks(); i++ {
+		if d := lan.Graph.Link(graph.LinkID(i)).Propagation; d != time.Microsecond {
+			t.Fatalf("LAN link %d propagation %v", i, d)
+		}
+	}
+	wan, err := Generate(Small, WAN, 4)
+	if err != nil {
+		t.Fatalf("Generate WAN: %v", err)
+	}
+	wan.AddHosts(5)
+	g := wan.Graph
+	sawLong := false
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(graph.LinkID(i))
+		isHostLink := g.Node(l.From).Kind == graph.Host || g.Node(l.To).Kind == graph.Host
+		if isHostLink {
+			if l.Propagation != time.Microsecond {
+				t.Fatalf("WAN host link %d propagation %v", i, l.Propagation)
+			}
+			continue
+		}
+		if l.Propagation < time.Millisecond || l.Propagation > 10*time.Millisecond {
+			t.Fatalf("WAN router link %d propagation %v outside [1ms,10ms]", i, l.Propagation)
+		}
+		if l.Propagation > 5*time.Millisecond {
+			sawLong = true
+		}
+	}
+	if !sawLong {
+		t.Fatalf("WAN delays suspiciously uniform")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Generate(Small, WAN, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Small, WAN, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumLinks() != b.Graph.NumLinks() || a.Graph.NumNodes() != b.Graph.NumNodes() {
+		t.Fatalf("structure differs across identical seeds")
+	}
+	for i := 0; i < a.Graph.NumLinks(); i++ {
+		la, lb := a.Graph.Link(graph.LinkID(i)), b.Graph.Link(graph.LinkID(i))
+		if la.From != lb.From || la.To != lb.To || la.Propagation != lb.Propagation {
+			t.Fatalf("link %d differs across identical seeds", i)
+		}
+	}
+	ha := a.AddHosts(20)
+	hb := b.AddHosts(20)
+	for i := range ha {
+		if a.Graph.HostRouter(ha[i]) != b.Graph.HostRouter(hb[i]) {
+			t.Fatalf("host attachment differs across identical seeds")
+		}
+	}
+}
+
+func TestHostsAttachToStubRouters(t *testing.T) {
+	n, err := Generate(Small, LAN, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := make(map[graph.NodeID]bool)
+	for _, r := range n.StubRouters {
+		stub[r] = true
+	}
+	for _, h := range n.AddHosts(30) {
+		if !stub[n.Graph.HostRouter(h)] {
+			t.Fatalf("host %d attached to non-stub router", h)
+		}
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	if _, err := Generate(Params{}, LAN, 1); err == nil {
+		t.Fatalf("expected error for zero params")
+	}
+}
+
+func TestBigGenerates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	n, err := Generate(Big, LAN, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.TransitRouters) + len(n.StubRouters); got != 11000 {
+		t.Fatalf("router count = %d", got)
+	}
+	n.AddHosts(100)
+	res := graph.NewResolver(n.Graph, 16)
+	for i := 0; i < 10; i++ {
+		src, dst := n.RandomHostPair()
+		if _, err := res.HostPath(src, dst); err != nil {
+			t.Fatalf("HostPath: %v", err)
+		}
+	}
+}

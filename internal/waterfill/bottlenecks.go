@@ -1,0 +1,55 @@
+package waterfill
+
+import "bneck/internal/rate"
+
+// Bottlenecks returns, for each session, the links of its path that are its
+// bottlenecks under the given max-min rates (Definition 1 of the paper:
+// link e is a bottleneck of s iff Σ_{s'∈Se} λ_s' = C_e and λ_s = max over
+// Se). Sessions restricted only by their demand get an empty list.
+//
+// This is the attribution question a network operator asks — "which link
+// limits this session?" — and also what the paper's R*_e / F*_e partition
+// formalizes.
+func Bottlenecks(in Instance, rates []rate.Rate) [][]int {
+	load := make([]rate.Rate, len(in.Capacity))
+	maxAt := make([]rate.Rate, len(in.Capacity))
+	for i, s := range in.Sessions {
+		for _, e := range s.Path {
+			load[e] = load[e].Add(rates[i])
+			maxAt[e] = rate.Max(maxAt[e], rates[i])
+		}
+	}
+	out := make([][]int, len(in.Sessions))
+	for i, s := range in.Sessions {
+		for _, e := range s.Path {
+			if load[e].Equal(in.Capacity[e]) && rates[i].Equal(maxAt[e]) {
+				out[i] = append(out[i], e)
+			}
+		}
+	}
+	return out
+}
+
+// SystemBottlenecks returns the links that are bottlenecks of the system:
+// bottlenecks for every session crossing them (R*_e = S_e in the paper's
+// terms), given max-min rates.
+func SystemBottlenecks(in Instance, rates []rate.Rate) []int {
+	perSession := Bottlenecks(in, rates)
+	crossing := make([]int, len(in.Capacity))   // sessions crossing each link
+	restricted := make([]int, len(in.Capacity)) // sessions restricted there
+	for i, s := range in.Sessions {
+		for _, e := range s.Path {
+			crossing[e]++
+		}
+		for _, e := range perSession[i] {
+			restricted[e]++
+		}
+	}
+	var out []int
+	for e := range in.Capacity {
+		if crossing[e] > 0 && crossing[e] == restricted[e] {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+// Package waterfill computes max-min fair rates centrally. It implements
+// both Centralized B-Neck (Figure 1 of the paper) and the classic
+// Water-Filling algorithm, which serve as each other's cross-check and as
+// the correctness oracle for every distributed run (the paper validates its
+// simulations the same way, Section IV).
+package waterfill
+
+import (
+	"fmt"
+
+	"bneck/internal/rate"
+)
+
+// Session is one session of a static max-min instance: a demand (possibly
+// +∞) and a path given as indexes into the instance's link set.
+type Session struct {
+	Demand rate.Rate
+	Path   []int
+}
+
+// Instance is a static max-min fairness problem.
+type Instance struct {
+	Capacity []rate.Rate // per-link capacity, indexed by link
+	Sessions []Session
+}
+
+// Validate checks that paths reference existing links and demands are
+// positive.
+func (in Instance) Validate() error {
+	for i, s := range in.Sessions {
+		if len(s.Path) == 0 {
+			return fmt.Errorf("session %d has an empty path", i)
+		}
+		for _, e := range s.Path {
+			if e < 0 || e >= len(in.Capacity) {
+				return fmt.Errorf("session %d references unknown link %d", i, e)
+			}
+		}
+		if s.Demand.Sign() <= 0 && !s.Demand.IsInf() {
+			return fmt.Errorf("session %d has non-positive demand %v", i, s.Demand)
+		}
+	}
+	return nil
+}
+
+// demandLinks returns an expanded instance in which every finite-demand
+// session crosses a private virtual link with capacity equal to its demand —
+// the paper's D_s = min(C_e, r_s) trick, which reduces bounded demands to
+// the unbounded problem.
+func (in Instance) demandLinks() Instance {
+	out := Instance{
+		Capacity: append([]rate.Rate(nil), in.Capacity...),
+		Sessions: make([]Session, len(in.Sessions)),
+	}
+	for i, s := range in.Sessions {
+		path := append([]int(nil), s.Path...)
+		if !s.Demand.IsInf() {
+			out.Capacity = append(out.Capacity, s.Demand)
+			path = append(path, len(out.Capacity)-1)
+		}
+		out.Sessions[i] = Session{Demand: rate.Inf, Path: path}
+	}
+	return out
+}
+
+// Solve runs Centralized B-Neck (Figure 1) and returns the max-min fair rate
+// of every session.
+func Solve(in Instance) ([]rate.Rate, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	ex := in.demandLinks()
+	nL, nS := len(ex.Capacity), len(ex.Sessions)
+
+	// Re / Fe as per-link session lists; sumFe incrementally.
+	re := make([]map[int]struct{}, nL)
+	sumFe := make([]rate.Rate, nL)
+	for e := 0; e < nL; e++ {
+		re[e] = make(map[int]struct{})
+	}
+	for i, s := range ex.Sessions {
+		for _, e := range s.Path {
+			re[e][i] = struct{}{}
+		}
+	}
+	inL := make([]bool, nL)
+	var live []int
+	for e := 0; e < nL; e++ {
+		if len(re[e]) > 0 {
+			inL[e] = true
+			live = append(live, e)
+		}
+	}
+
+	lambda := make([]rate.Rate, nS)
+	assigned := make([]bool, nS)
+
+	for len(live) > 0 {
+		// B ← min over live links of Be = (Ce − ΣFe)/|Re|.
+		var b rate.Rate
+		first := true
+		for _, e := range live {
+			be := ex.Capacity[e].Sub(sumFe[e]).DivInt(len(re[e]))
+			if first || be.Less(b) {
+				b = be
+				first = false
+			}
+		}
+		// L' = argmin links; X = sessions they restrict.
+		x := make(map[int]struct{})
+		var lPrime []int
+		for _, e := range live {
+			be := ex.Capacity[e].Sub(sumFe[e]).DivInt(len(re[e]))
+			if be.Equal(b) {
+				lPrime = append(lPrime, e)
+				for s := range re[e] {
+					x[s] = struct{}{}
+				}
+			}
+		}
+		for s := range x {
+			lambda[s] = b
+			assigned[s] = true
+		}
+		// Move X members from Re to Fe on surviving links; drop L' and
+		// emptied links from L.
+		isLPrime := make(map[int]bool, len(lPrime))
+		for _, e := range lPrime {
+			isLPrime[e] = true
+			inL[e] = false
+		}
+		var nextLive []int
+		for _, e := range live {
+			if isLPrime[e] {
+				continue
+			}
+			for s := range x {
+				if _, ok := re[e][s]; ok {
+					delete(re[e], s)
+					sumFe[e] = sumFe[e].Add(b)
+				}
+			}
+			if len(re[e]) > 0 {
+				nextLive = append(nextLive, e)
+			} else {
+				inL[e] = false
+			}
+		}
+		live = nextLive
+	}
+
+	for i := range ex.Sessions {
+		if !assigned[i] {
+			return nil, fmt.Errorf("waterfill: session %d left unassigned", i)
+		}
+	}
+	return lambda, nil
+}
+
+// WaterFilling computes the same rates with the classic progressive-filling
+// formulation: repeatedly saturate the single most constrained link and fix
+// the sessions crossing it. It uses different tie-breaking from Solve, so
+// agreement between the two is a meaningful cross-check (max-min rates are
+// unique).
+func WaterFilling(in Instance) ([]rate.Rate, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	ex := in.demandLinks()
+	nL, nS := len(ex.Capacity), len(ex.Sessions)
+
+	active := make([]map[int]struct{}, nL)
+	used := make([]rate.Rate, nL)
+	for e := 0; e < nL; e++ {
+		active[e] = make(map[int]struct{})
+	}
+	for i, s := range ex.Sessions {
+		for _, e := range s.Path {
+			active[e][i] = struct{}{}
+		}
+	}
+	lambda := make([]rate.Rate, nS)
+	fixed := make([]bool, nS)
+	remaining := nS
+
+	for remaining > 0 {
+		// Find the most constrained link among links with active sessions.
+		bestLink := -1
+		var bestShare rate.Rate
+		for e := 0; e < nL; e++ {
+			if len(active[e]) == 0 {
+				continue
+			}
+			share := ex.Capacity[e].Sub(used[e]).DivInt(len(active[e]))
+			if bestLink == -1 || share.Less(bestShare) {
+				bestLink, bestShare = e, share
+			}
+		}
+		if bestLink == -1 {
+			return nil, fmt.Errorf("waterfill: %d sessions unconstrained by any link", remaining)
+		}
+		// Fix the sessions crossing it at the fair share.
+		for s := range active[bestLink] {
+			lambda[s] = bestShare
+			fixed[s] = true
+			remaining--
+			for _, e := range ex.Sessions[s].Path {
+				delete(active[e], s)
+				if e != bestLink {
+					used[e] = used[e].Add(bestShare)
+				}
+			}
+		}
+		active[bestLink] = make(map[int]struct{})
+	}
+	return lambda, nil
+}
+
+// Verify checks that rates is the max-min fair allocation for in:
+// feasibility (no link oversubscribed, no demand exceeded) and maximality
+// (every session is restricted at some bottleneck link, or by its demand).
+// Restriction at a bottleneck per Definition 1 of the paper: link e with
+// Σ_{s'∈Se} λ_s' = C_e and λ_s = max_{s'∈Se} λ_s'.
+func Verify(in Instance, rates []rate.Rate) error {
+	if len(rates) != len(in.Sessions) {
+		return fmt.Errorf("waterfill: %d rates for %d sessions", len(rates), len(in.Sessions))
+	}
+	load := make([]rate.Rate, len(in.Capacity))
+	maxAt := make([]rate.Rate, len(in.Capacity))
+	for i, s := range in.Sessions {
+		if rates[i].Sign() <= 0 {
+			return fmt.Errorf("session %d has non-positive rate %v", i, rates[i])
+		}
+		if rates[i].Greater(s.Demand) {
+			return fmt.Errorf("session %d rate %v exceeds demand %v", i, rates[i], s.Demand)
+		}
+		for _, e := range s.Path {
+			load[e] = load[e].Add(rates[i])
+			maxAt[e] = rate.Max(maxAt[e], rates[i])
+		}
+	}
+	for e, c := range in.Capacity {
+		if load[e].Greater(c) {
+			return fmt.Errorf("link %d oversubscribed: %v > %v", e, load[e], c)
+		}
+	}
+	for i, s := range in.Sessions {
+		if rates[i].Equal(s.Demand) {
+			continue // restricted by its own demand
+		}
+		restricted := false
+		for _, e := range s.Path {
+			if load[e].Equal(in.Capacity[e]) && rates[i].Equal(maxAt[e]) {
+				restricted = true
+				break
+			}
+		}
+		if !restricted {
+			return fmt.Errorf("session %d (rate %v) has no bottleneck and is below its demand %v",
+				i, rates[i], s.Demand)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package waterfill
+
+import (
+	"math/rand"
+	"testing"
+
+	"bneck/internal/rate"
+)
+
+func mbps(v int64) rate.Rate { return rate.Mbps(v) }
+
+func solveBoth(t *testing.T, in Instance) []rate.Rate {
+	t.Helper()
+	a, err := Solve(in)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	b, err := WaterFilling(in)
+	if err != nil {
+		t.Fatalf("WaterFilling: %v", err)
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("Solve and WaterFilling disagree on session %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if err := Verify(in, a); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return a
+}
+
+func TestSingleSession(t *testing.T) {
+	in := Instance{
+		Capacity: []rate.Rate{mbps(10)},
+		Sessions: []Session{{Demand: rate.Inf, Path: []int{0}}},
+	}
+	got := solveBoth(t, in)
+	if !got[0].Equal(mbps(10)) {
+		t.Fatalf("rate = %v", got[0])
+	}
+}
+
+func TestDemandRestricts(t *testing.T) {
+	in := Instance{
+		Capacity: []rate.Rate{mbps(10)},
+		Sessions: []Session{{Demand: mbps(4), Path: []int{0}}},
+	}
+	got := solveBoth(t, in)
+	if !got[0].Equal(mbps(4)) {
+		t.Fatalf("rate = %v", got[0])
+	}
+}
+
+func TestEqualShare(t *testing.T) {
+	in := Instance{
+		Capacity: []rate.Rate{mbps(10)},
+		Sessions: []Session{
+			{Demand: rate.Inf, Path: []int{0}},
+			{Demand: rate.Inf, Path: []int{0}},
+			{Demand: rate.Inf, Path: []int{0}},
+		},
+	}
+	got := solveBoth(t, in)
+	want := mbps(10).DivInt(3)
+	for i, r := range got {
+		if !r.Equal(want) {
+			t.Fatalf("session %d rate = %v, want %v", i, r, want)
+		}
+	}
+}
+
+// TestClassicChain is the textbook example: s1 on link A (cap 10),
+// s2 on links A,B, s3 on link B (cap 4). Max-min: s2=s3=2, s1=8.
+func TestClassicChain(t *testing.T) {
+	in := Instance{
+		Capacity: []rate.Rate{mbps(10), mbps(4)},
+		Sessions: []Session{
+			{Demand: rate.Inf, Path: []int{0}},
+			{Demand: rate.Inf, Path: []int{0, 1}},
+			{Demand: rate.Inf, Path: []int{1}},
+		},
+	}
+	got := solveBoth(t, in)
+	want := []rate.Rate{mbps(8), mbps(2), mbps(2)}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("session %d rate = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestResidualRedistribution: a session limited by a small demand frees
+// capacity for its peers.
+func TestResidualRedistribution(t *testing.T) {
+	in := Instance{
+		Capacity: []rate.Rate{mbps(12)},
+		Sessions: []Session{
+			{Demand: mbps(2), Path: []int{0}},
+			{Demand: rate.Inf, Path: []int{0}},
+			{Demand: rate.Inf, Path: []int{0}},
+		},
+	}
+	got := solveBoth(t, in)
+	want := []rate.Rate{mbps(2), mbps(5), mbps(5)}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("session %d rate = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBertsekasGallagerExample: the classic 5-session example from Data
+// Networks §6.5.2 structure: a chain of 3 links with crossing sessions.
+func TestChainNetwork(t *testing.T) {
+	// Links: 0 (cap 10), 1 (cap 10), 2 (cap 10).
+	// s0 crosses all three; s1 on link 0; s2 on link 1; s3 on link 1;
+	// s4 on link 2.
+	in := Instance{
+		Capacity: []rate.Rate{mbps(10), mbps(10), mbps(10)},
+		Sessions: []Session{
+			{Demand: rate.Inf, Path: []int{0, 1, 2}},
+			{Demand: rate.Inf, Path: []int{0}},
+			{Demand: rate.Inf, Path: []int{1}},
+			{Demand: rate.Inf, Path: []int{1}},
+			{Demand: rate.Inf, Path: []int{2}},
+		},
+	}
+	got := solveBoth(t, in)
+	// Link 1 is the bottleneck for s0, s2, s3: 10/3 each. Then s1 gets
+	// 10 - 10/3 = 20/3 on link 0, s4 the same on link 2.
+	third := mbps(10).DivInt(3)
+	twoThirds := mbps(20).DivInt(3)
+	want := []rate.Rate{third, twoThirds, third, third, twoThirds}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("session %d rate = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCascadedBottlenecks(t *testing.T) {
+	// Bottlenecks must be discovered in increasing rate order across
+	// dependent links.
+	in := Instance{
+		Capacity: []rate.Rate{mbps(6), mbps(20)},
+		Sessions: []Session{
+			{Demand: rate.Inf, Path: []int{0, 1}},
+			{Demand: rate.Inf, Path: []int{0, 1}},
+			{Demand: rate.Inf, Path: []int{1}},
+		},
+	}
+	got := solveBoth(t, in)
+	// Link 0: 3 each for s0, s1. Link 1: s2 gets 20-6 = 14.
+	want := []rate.Rate{mbps(3), mbps(3), mbps(14)}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("session %d rate = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := Solve(Instance{
+		Capacity: []rate.Rate{mbps(1)},
+		Sessions: []Session{{Demand: rate.Inf, Path: nil}},
+	}); err == nil {
+		t.Errorf("expected error for empty path")
+	}
+	if _, err := Solve(Instance{
+		Capacity: []rate.Rate{mbps(1)},
+		Sessions: []Session{{Demand: rate.Inf, Path: []int{3}}},
+	}); err == nil {
+		t.Errorf("expected error for unknown link")
+	}
+	if _, err := Solve(Instance{
+		Capacity: []rate.Rate{mbps(1)},
+		Sessions: []Session{{Demand: rate.Zero, Path: []int{0}}},
+	}); err == nil {
+		t.Errorf("expected error for zero demand")
+	}
+}
+
+func TestVerifyCatchesWrongRates(t *testing.T) {
+	in := Instance{
+		Capacity: []rate.Rate{mbps(10)},
+		Sessions: []Session{
+			{Demand: rate.Inf, Path: []int{0}},
+			{Demand: rate.Inf, Path: []int{0}},
+		},
+	}
+	// Oversubscribed.
+	if err := Verify(in, []rate.Rate{mbps(6), mbps(6)}); err == nil {
+		t.Errorf("Verify accepted oversubscription")
+	}
+	// Feasible but not maximal.
+	if err := Verify(in, []rate.Rate{mbps(4), mbps(4)}); err == nil {
+		t.Errorf("Verify accepted non-maximal allocation")
+	}
+	// Unfair (no bottleneck for the small session).
+	if err := Verify(in, []rate.Rate{mbps(3), mbps(7)}); err == nil {
+		t.Errorf("Verify accepted unfair allocation")
+	}
+	// Correct.
+	if err := Verify(in, []rate.Rate{mbps(5), mbps(5)}); err != nil {
+		t.Errorf("Verify rejected correct allocation: %v", err)
+	}
+}
+
+// randomInstance builds a random instance over a random set of links.
+func randomInstance(r *rand.Rand) Instance {
+	nLinks := 2 + r.Intn(10)
+	nSessions := 1 + r.Intn(20)
+	in := Instance{Capacity: make([]rate.Rate, nLinks)}
+	for e := range in.Capacity {
+		in.Capacity[e] = rate.FromInt64(int64(1+r.Intn(1000)) * 1000)
+	}
+	for s := 0; s < nSessions; s++ {
+		pathLen := 1 + r.Intn(4)
+		if pathLen > nLinks {
+			pathLen = nLinks
+		}
+		perm := r.Perm(nLinks)
+		path := perm[:pathLen]
+		demand := rate.Inf
+		if r.Intn(3) == 0 {
+			demand = rate.FromInt64(int64(1+r.Intn(500)) * 1000)
+		}
+		in.Sessions = append(in.Sessions, Session{Demand: demand, Path: append([]int(nil), path...)})
+	}
+	return in
+}
+
+// TestPropRandomInstances: on random instances, Solve and WaterFilling agree
+// and the result passes Verify (which encodes Definition 1).
+func TestPropRandomInstances(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		in := randomInstance(r)
+		a, err := Solve(in)
+		if err != nil {
+			t.Fatalf("iter %d: Solve: %v", i, err)
+		}
+		b, err := WaterFilling(in)
+		if err != nil {
+			t.Fatalf("iter %d: WaterFilling: %v", i, err)
+		}
+		for s := range a {
+			if !a[s].Equal(b[s]) {
+				t.Fatalf("iter %d: session %d: Solve %v != WaterFilling %v", i, s, a[s], b[s])
+			}
+		}
+		if err := Verify(in, a); err != nil {
+			t.Fatalf("iter %d: Verify: %v", i, err)
+		}
+	}
+}
+
+// TestPropMaxMinUniqueUnderPerturbation: lowering any session below its
+// max-min rate and raising another must break Verify — i.e. Verify pins the
+// exact allocation.
+func TestPropVerifyRejectsPerturbations(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		in := randomInstance(r)
+		rates, err := Solve(in)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		if len(rates) < 2 {
+			continue
+		}
+		j := r.Intn(len(rates))
+		perturbed := append([]rate.Rate(nil), rates...)
+		delta := rates[j].DivInt(10)
+		if delta.IsZero() {
+			continue
+		}
+		perturbed[j] = rates[j].Sub(delta)
+		if err := Verify(in, perturbed); err == nil {
+			t.Fatalf("iter %d: Verify accepted a lowered session %d", i, j)
+		}
+	}
+}

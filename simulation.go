@@ -1,0 +1,185 @@
+package bneck
+
+import (
+	"fmt"
+	"time"
+
+	"bneck/internal/core"
+	"bneck/internal/graph"
+	"bneck/internal/metrics"
+	"bneck/internal/network"
+	"bneck/internal/sim"
+	"bneck/internal/topology"
+)
+
+// Simulation is a B-Neck deployment over a virtual network: protocol tasks
+// on every link, a deterministic event-driven transport, and a centralized
+// oracle for validation. It is not safe for concurrent use.
+type Simulation struct {
+	g        *graph.Graph
+	topo     *topology.Network // nil for hand-built networks
+	eng      *sim.Engine
+	net      *network.Network
+	resolver *graph.Resolver
+	sessions map[SessionID]*Session
+}
+
+func newSimulation(g *graph.Graph, topo *topology.Network, opts ...Option) (*Simulation, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	eng := sim.New()
+	cfg := network.Config{
+		ControlPacketBits: o.controlPacketBits,
+		BinSize:           o.binSize,
+	}
+	if o.onRate != nil {
+		cb := o.onRate
+		cfg.OnRate = func(s core.SessionID, r Rate, at sim.Time) {
+			cb(SessionID(s), r, at)
+		}
+	}
+	return &Simulation{
+		g:        g,
+		topo:     topo,
+		eng:      eng,
+		net:      network.New(g, eng, cfg),
+		resolver: graph.NewResolver(g, 256),
+		sessions: make(map[SessionID]*Session),
+	}, nil
+}
+
+// AddHosts attaches n hosts to random stub routers of a generated topology.
+// It errors on hand-built networks (add hosts through the builder there).
+func (s *Simulation) AddHosts(n int) ([]Node, error) {
+	if s.topo == nil {
+		return nil, fmt.Errorf("bneck: AddHosts requires a generated topology")
+	}
+	ids := s.topo.AddHosts(n)
+	out := make([]Node, len(ids))
+	for i, id := range ids {
+		out[i] = Node{id: id}
+	}
+	return out, nil
+}
+
+// RandomHostPair draws a distinct source/destination pair on a generated
+// topology.
+func (s *Simulation) RandomHostPair() (Node, Node, error) {
+	if s.topo == nil {
+		return Node{}, Node{}, fmt.Errorf("bneck: RandomHostPair requires a generated topology")
+	}
+	a, b := s.topo.RandomHostPair()
+	return Node{id: a}, Node{id: b}, nil
+}
+
+// Session creates a session from src to dst along a shortest path. The
+// session is inert until JoinAt.
+func (s *Simulation) Session(src, dst Node) (*Session, error) {
+	path, err := s.resolver.HostPath(src.id, dst.id)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := s.net.NewSession(src.id, dst.id, path)
+	if err != nil {
+		return nil, err
+	}
+	sess := &Session{sim: s, inner: ns}
+	s.sessions[SessionID(ns.ID)] = sess
+	return sess, nil
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() time.Duration { return s.eng.Now() }
+
+// RunToQuiescence advances virtual time until the protocol goes silent and
+// returns the state of the world. It may be called repeatedly as dynamics
+// are scheduled.
+func (s *Simulation) RunToQuiescence() Report {
+	q := s.net.Run()
+	rates := make(map[SessionID]Rate)
+	for _, ns := range s.net.Sessions() {
+		if !ns.Active() {
+			continue
+		}
+		if r, ok := ns.Rate(); ok {
+			rates[SessionID(ns.ID)] = r
+		}
+	}
+	return Report{
+		Quiescence: q,
+		Packets:    s.net.Stats().Total(),
+		Rates:      rates,
+	}
+}
+
+// StepUntil advances virtual time to t, processing due events (for
+// observing transients).
+func (s *Simulation) StepUntil(t time.Duration) { s.eng.RunUntil(t) }
+
+// Validate cross-checks every active session's granted rate against the
+// centralized water-filling oracle and every link task's stability
+// (Definition 2 of the paper). Call it after RunToQuiescence.
+func (s *Simulation) Validate() error { return s.net.Validate() }
+
+// Oracle returns the max-min fair rates of the currently active sessions as
+// computed centrally (Figure 1 of the paper), without touching the
+// distributed state.
+func (s *Simulation) Oracle() (map[SessionID]Rate, error) {
+	m, err := s.net.Oracle()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[SessionID]Rate, len(m))
+	for id, r := range m {
+		out[SessionID(id)] = r
+	}
+	return out, nil
+}
+
+// Packets returns the cumulative number of control packets sent across
+// links.
+func (s *Simulation) Packets() uint64 { return s.net.Stats().Total() }
+
+// TrafficBins returns per-interval packet counts by type (Figure 6's view
+// of the control traffic).
+func (s *Simulation) TrafficBins() []metrics.Bin { return s.net.Stats().Bins() }
+
+// Session is a handle to one session.
+type Session struct {
+	sim   *Simulation
+	inner *network.Session
+}
+
+// ID returns the session's identifier.
+func (s *Session) ID() SessionID { return SessionID(s.inner.ID) }
+
+// JoinAt schedules API.Join(s, demand) at virtual time at (which must not be
+// in the past).
+func (s *Session) JoinAt(at time.Duration, demand Rate) {
+	s.sim.net.ScheduleJoin(s.inner, at, demand)
+}
+
+// LeaveAt schedules API.Leave(s) at virtual time at.
+func (s *Session) LeaveAt(at time.Duration) {
+	s.sim.net.ScheduleLeave(s.inner, at)
+}
+
+// ChangeAt schedules API.Change(s, demand) at virtual time at.
+func (s *Session) ChangeAt(at time.Duration, demand Rate) {
+	s.sim.net.ScheduleChange(s.inner, at, demand)
+}
+
+// Rate returns the last granted rate (ok reports whether one exists yet).
+func (s *Session) Rate() (Rate, bool) { return s.inner.Rate() }
+
+// Converged reports whether the network has confirmed the session's current
+// rate as max-min fair.
+func (s *Session) Converged() bool { return s.inner.Converged() }
+
+// Active reports whether the session has joined and not left.
+func (s *Session) Active() bool { return s.inner.Active() }
+
+// PathLen returns the number of links on the session's path.
+func (s *Session) PathLen() int { return len(s.inner.Path) }
