@@ -1,0 +1,31 @@
+# Development and CI entry points. `make check` is the PR gate; `make bench`
+# captures the perf trajectory of the simulator hot path per PR.
+
+GO ?= go
+
+.PHONY: check vet build test test-full bench bench-full fmt
+
+check: vet build test bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -short ./...
+
+test-full:
+	$(GO) test ./...
+
+# The perf gate: engine scheduling microbenchmarks, allocation counts on.
+bench:
+	$(GO) test -bench=SimEngine -benchmem -run='^$$' .
+
+# Full benchmark sweep, including the figure-shaped end-to-end runs.
+bench-full:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+fmt:
+	gofmt -w .

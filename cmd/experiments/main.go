@@ -9,9 +9,17 @@
 // Defaults are laptop-scale; use -scale to multiply session counts toward
 // the paper's numbers (e.g. -scale 10 runs Experiment 2 with 100,000 base
 // sessions, the paper's exact setting).
+//
+// -workers N fans the sweeps across goroutines at each level: the selected
+// experiments run concurrently, and within them experiment 1's
+// (topology, scenario, session count) cells and experiment 3's protocols
+// fan out again, so nested levels can briefly run more than N simulations
+// at once. Every replication runs on its own engine with its own seeded
+// RNG, so tables and CSVs are byte-identical to -workers 1.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -40,8 +48,12 @@ func main() {
 		validate  = flag.Bool("validate", true, "cross-check B-Neck runs against the centralized oracle")
 		quiet     = flag.Bool("q", false, "suppress progress lines")
 		csvDir    = flag.String("csv", "", "also write figure data as CSV files into this directory")
+		workers   = flag.Int("workers", 1, "parallel sweep workers per fan-out level (1 = serial, negative = GOMAXPROCS); output is identical at any setting")
 	)
 	flag.Parse()
+	if *workers == 0 {
+		*workers = 1 // align with the config semantics: 0 and 1 are serial
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -52,7 +64,7 @@ func main() {
 		return os.Create(filepath.Join(*csvDir, name))
 	}
 
-	progress := os.Stderr
+	progress := io.Writer(os.Stderr)
 	if *quiet {
 		progress = nil
 	}
@@ -67,97 +79,118 @@ func main() {
 		log.Fatalf("unknown -exp %q", *which)
 	}
 
+	// Each experiment is one job writing its tables to its own buffer; jobs
+	// run under the shared worker budget and the buffers print in experiment
+	// order, so stdout is the same bytes regardless of -workers.
+	var jobs []func(out io.Writer) error
+
 	if runs["1"] {
-		cfg := exp.DefaultExp1()
-		cfg.Seed = *seed
-		cfg.Validate = *validate
-		if progress != nil {
+		jobs = append(jobs, func(out io.Writer) error {
+			cfg := exp.DefaultExp1()
+			cfg.Seed = *seed
+			cfg.Validate = *validate
 			cfg.Progress = progress
-		}
-		if *big {
-			cfg.Sizes = append(cfg.Sizes, topology.Big)
-		}
-		if *counts != "" {
-			cfg.SessionCounts = nil
-			for _, c := range strings.Split(*counts, ",") {
-				n, err := strconv.Atoi(strings.TrimSpace(c))
-				if err != nil {
-					log.Fatalf("bad -counts: %v", err)
+			cfg.Workers = *workers
+			if *big {
+				cfg.Sizes = append(cfg.Sizes, topology.Big)
+			}
+			if *counts != "" {
+				cfg.SessionCounts = nil
+				for _, c := range strings.Split(*counts, ",") {
+					n, err := strconv.Atoi(strings.TrimSpace(c))
+					if err != nil {
+						return fmt.Errorf("bad -counts: %v", err)
+					}
+					cfg.SessionCounts = append(cfg.SessionCounts, n)
 				}
-				cfg.SessionCounts = append(cfg.SessionCounts, n)
+			} else if *scale != 1.0 {
+				for i := range cfg.SessionCounts {
+					cfg.SessionCounts[i] = int(float64(cfg.SessionCounts[i]) * *scale)
+				}
 			}
-		} else if *scale != 1.0 {
-			for i := range cfg.SessionCounts {
-				cfg.SessionCounts[i] = int(float64(cfg.SessionCounts[i]) * *scale)
+			start := time.Now()
+			rows, err := exp.RunExperiment1(cfg)
+			if err != nil {
+				return fmt.Errorf("experiment 1: %v", err)
 			}
-		}
-		start := time.Now()
-		rows, err := exp.RunExperiment1(cfg)
-		if err != nil {
-			log.Fatalf("experiment 1: %v", err)
-		}
-		fmt.Println(exp.FormatExp1(rows))
-		fmt.Printf("(experiment 1 wall time: %v)\n\n", time.Since(start).Round(time.Second))
-		if *csvDir != "" {
+			fmt.Fprintln(out, exp.FormatExp1(rows))
+			fmt.Fprintf(out, "(experiment 1 wall time: %v)\n\n", time.Since(start).Round(time.Second))
+			if *csvDir == "" {
+				return nil
+			}
 			f, err := openCSV("fig5.csv")
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if err := exp.WriteExp1CSV(f, rows); err != nil {
-				log.Fatal(err)
+				f.Close()
+				return err
 			}
-			f.Close()
-		}
+			return f.Close()
+		})
 	}
 
 	if runs["2"] {
-		cfg := exp.DefaultExp2()
-		cfg.Seed = *seed
-		cfg.Validate = *validate
-		cfg.Base = int(float64(cfg.Base) * *scale)
-		cfg.Dyn = int(float64(cfg.Dyn) * *scale)
-		if progress != nil {
+		jobs = append(jobs, func(out io.Writer) error {
+			cfg := exp.DefaultExp2()
+			cfg.Seed = *seed
+			cfg.Validate = *validate
+			cfg.Base = int(float64(cfg.Base) * *scale)
+			cfg.Dyn = int(float64(cfg.Dyn) * *scale)
 			cfg.Progress = progress
-		}
-		start := time.Now()
-		res, err := exp.RunExperiment2(cfg)
-		if err != nil {
-			log.Fatalf("experiment 2: %v", err)
-		}
-		fmt.Println(exp.FormatExp2(res))
-		fmt.Printf("(experiment 2 wall time: %v)\n\n", time.Since(start).Round(time.Second))
-		if *csvDir != "" {
+			start := time.Now()
+			res, err := exp.RunExperiment2(cfg)
+			if err != nil {
+				return fmt.Errorf("experiment 2: %v", err)
+			}
+			fmt.Fprintln(out, exp.FormatExp2(res))
+			fmt.Fprintf(out, "(experiment 2 wall time: %v)\n\n", time.Since(start).Round(time.Second))
+			if *csvDir == "" {
+				return nil
+			}
 			f, err := openCSV("fig6.csv")
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if err := exp.WriteExp2CSV(f, res); err != nil {
-				log.Fatal(err)
+				f.Close()
+				return err
 			}
-			f.Close()
-		}
+			return f.Close()
+		})
 	}
 
 	if runs["3"] {
-		cfg := exp.DefaultExp3()
-		cfg.Seed = *seed
-		cfg.Sessions = int(float64(cfg.Sessions) * *scale)
-		cfg.Leavers = int(float64(cfg.Leavers) * *scale)
-		cfg.Protocols = strings.Split(*protocols, ",")
-		if progress != nil {
+		jobs = append(jobs, func(out io.Writer) error {
+			cfg := exp.DefaultExp3()
+			cfg.Seed = *seed
+			cfg.Sessions = int(float64(cfg.Sessions) * *scale)
+			cfg.Leavers = int(float64(cfg.Leavers) * *scale)
+			cfg.Protocols = strings.Split(*protocols, ",")
 			cfg.Progress = progress
-		}
-		start := time.Now()
-		res, err := exp.RunExperiment3(cfg)
-		if err != nil {
-			log.Fatalf("experiment 3: %v", err)
-		}
-		fmt.Println(exp.FormatExp3(res))
-		fmt.Printf("(experiment 3 wall time: %v)\n", time.Since(start).Round(time.Second))
-		if *csvDir != "" {
-			if err := exp.WriteAllCSV(res, openCSV); err != nil {
-				log.Fatal(err)
+			cfg.Workers = *workers
+			start := time.Now()
+			res, err := exp.RunExperiment3(cfg)
+			if err != nil {
+				return fmt.Errorf("experiment 3: %v", err)
 			}
-		}
+			fmt.Fprintln(out, exp.FormatExp3(res))
+			fmt.Fprintf(out, "(experiment 3 wall time: %v)\n", time.Since(start).Round(time.Second))
+			if *csvDir == "" {
+				return nil
+			}
+			return exp.WriteAllCSV(res, openCSV)
+		})
+	}
+
+	outs := make([]bytes.Buffer, len(jobs))
+	err := exp.RunParallel(len(jobs), *workers, func(i int) error {
+		return jobs[i](&outs[i])
+	})
+	for i := range outs {
+		os.Stdout.Write(outs[i].Bytes())
+	}
+	if err != nil {
+		log.Fatal(err)
 	}
 }

@@ -1,0 +1,3 @@
+module bneck
+
+go 1.24

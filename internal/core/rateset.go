@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
 	"bneck/internal/rate"
@@ -10,9 +11,15 @@ import (
 // The number of distinct rates at one link is small in practice (bounded by
 // the number of bottleneck levels that ever touched the link), so a sorted
 // slice of buckets with binary search is both simple and fast.
+//
+// Buckets whose last session leaves are parked on a free list instead of
+// being dropped: rates churn heavily while a link converges (every B_e
+// revision empties one bucket and fills another), and reusing the bucket and
+// its session map keeps that churn allocation-free.
 type rateSet struct {
 	buckets []*rateBucket // ascending by rate
 	size    int
+	free    []*rateBucket // emptied buckets kept for reuse
 }
 
 type rateBucket struct {
@@ -26,7 +33,15 @@ func (rs *rateSet) add(r rate.Rate, s SessionID) {
 	if i < len(rs.buckets) && rs.buckets[i].rate.Equal(r) {
 		rs.buckets[i].sessions[s] = struct{}{}
 	} else {
-		b := &rateBucket{rate: r, sessions: map[SessionID]struct{}{s: {}}}
+		var b *rateBucket
+		if k := len(rs.free); k > 0 {
+			b = rs.free[k-1]
+			rs.free = rs.free[:k-1]
+			b.rate = r
+		} else {
+			b = &rateBucket{rate: r, sessions: make(map[SessionID]struct{})}
+		}
+		b.sessions[s] = struct{}{}
 		rs.buckets = append(rs.buckets, nil)
 		copy(rs.buckets[i+1:], rs.buckets[i:])
 		rs.buckets[i] = b
@@ -49,6 +64,8 @@ func (rs *rateSet) remove(r rate.Rate, s SessionID) {
 	rs.size--
 	if len(b.sessions) == 0 {
 		rs.buckets = append(rs.buckets[:i], rs.buckets[i+1:]...)
+		b.rate = rate.Zero
+		rs.free = append(rs.free, b)
 	}
 }
 
@@ -80,36 +97,45 @@ func (rs *rateSet) countAt(r rate.Rate) int {
 // emission order (and hence the whole simulation) is deterministic. The
 // caller owns the returned slice.
 func (rs *rateSet) sessionsAt(r rate.Rate) []SessionID {
+	return rs.appendSessionsAt(nil, r)
+}
+
+// appendSessionsAt appends the sessions with exactly rate r to dst, sorted
+// by ID, and returns the extended slice. Passing a reused scratch slice
+// (dst[:0]) makes the snapshot allocation-free once warm.
+func (rs *rateSet) appendSessionsAt(dst []SessionID, r rate.Rate) []SessionID {
 	i := rs.search(r)
 	if i >= len(rs.buckets) || !rs.buckets[i].rate.Equal(r) {
-		return nil
+		return dst
 	}
-	out := make([]SessionID, 0, len(rs.buckets[i].sessions))
+	base := len(dst)
 	for s := range rs.buckets[i].sessions {
-		out = append(out, s)
+		dst = append(dst, s)
 	}
-	sortSessions(out)
-	return out
+	slices.Sort(dst[base:])
+	return dst
 }
 
 // sessionsAbove returns all sessions with rate strictly greater than r,
 // sorted by ID.
 func (rs *rateSet) sessionsAbove(r rate.Rate) []SessionID {
+	return rs.appendSessionsAbove(nil, r)
+}
+
+// appendSessionsAbove appends all sessions with rate strictly greater than r
+// to dst, sorted by ID, and returns the extended slice.
+func (rs *rateSet) appendSessionsAbove(dst []SessionID, r rate.Rate) []SessionID {
 	i := sort.Search(len(rs.buckets), func(i int) bool {
 		return rs.buckets[i].rate.Greater(r)
 	})
-	var out []SessionID
+	base := len(dst)
 	for ; i < len(rs.buckets); i++ {
 		for s := range rs.buckets[i].sessions {
-			out = append(out, s)
+			dst = append(dst, s)
 		}
 	}
-	sortSessions(out)
-	return out
-}
-
-func sortSessions(s []SessionID) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(dst[base:])
+	return dst
 }
 
 // len returns the number of sessions in the set.

@@ -13,6 +13,10 @@ type RouterLink struct {
 	ref LinkRef
 	tbl *table
 	em  Emitter
+	// scratch is a reusable buffer for session-set snapshots taken while
+	// mutating the table underneath (handlers never run reentrantly, and no
+	// snapshot outlives its loop, so one buffer suffices).
+	scratch []SessionID
 }
 
 // NewRouterLink returns the task for link ref with the given data capacity.
@@ -65,12 +69,14 @@ func (rl *RouterLink) processNewRestricted() {
 		if !ok || maxR.Less(t.be()) {
 			break
 		}
-		for _, r := range t.feSessionsAt(maxR) {
+		rl.scratch = t.appendFeSessionsAt(rl.scratch[:0], maxR)
+		for _, r := range rl.scratch {
 			t.moveFeToRe(r, t.get(r))
 		}
 	}
 	be := t.be()
-	for _, r := range t.idleAbove(be) {
+	rl.scratch = t.appendIdleAbove(rl.scratch[:0], be)
+	for _, r := range rl.scratch {
 		ent := t.get(r)
 		t.setState(r, ent, WaitingProbe)
 		rl.em.Emit(r, ent.hop, Up, Packet{Type: PktUpdate, Session: r})
@@ -143,7 +149,8 @@ func (rl *RouterLink) onResponse(pkt Packet, hop int) {
 			// Bottleneck packets.
 			tau = RespBottleneck
 			eta = rl.ref
-			for _, r := range t.idleAt(be) {
+			rl.scratch = t.appendIdleAt(rl.scratch[:0], be)
+			for _, r := range rl.scratch {
 				if r == s {
 					continue
 				}
@@ -195,7 +202,8 @@ func (rl *RouterLink) onSetBottleneck(pkt Packet, hop int) {
 	case ent.mu == Idle && ent.hasLambda && ent.lambda.Less(be):
 		// s is restricted elsewhere: move it to F_e. Idle sessions pinned at
 		// the old estimate can now get more, so they must re-probe.
-		for _, r := range t.idleAt(be) {
+		rl.scratch = t.appendIdleAt(rl.scratch[:0], be)
+		for _, r := range rl.scratch {
 			rEnt := t.get(r)
 			t.setState(r, rEnt, WaitingProbe)
 			rl.em.Emit(r, rEnt.hop, Up, Packet{Type: PktUpdate, Session: r})
@@ -220,16 +228,15 @@ func (rl *RouterLink) onLeave(pkt Packet, hop int) {
 	if ent := t.get(s); ent != nil {
 		// R′ with the *old* B_e: sessions pinned at the current estimate can
 		// grow once s's share is freed.
-		var updates []SessionID
+		rl.scratch = rl.scratch[:0]
 		if t.reCount > 0 {
-			for _, r := range t.idleAt(t.be()) {
-				if r != s {
-					updates = append(updates, r)
-				}
-			}
+			rl.scratch = t.appendIdleAt(rl.scratch, t.be())
 		}
 		t.remove(s)
-		for _, r := range updates {
+		for _, r := range rl.scratch {
+			if r == s {
+				continue
+			}
 			rEnt := t.get(r)
 			t.setState(r, rEnt, WaitingProbe)
 			rl.em.Emit(r, rEnt.hop, Up, Packet{Type: PktUpdate, Session: r})

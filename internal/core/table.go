@@ -188,6 +188,21 @@ func (t *table) idleAt(r rate.Rate) []SessionID { return t.idleRates.sessionsAt(
 // idleAbove returns the R_e members that are IDLE with λ > r, sorted.
 func (t *table) idleAbove(r rate.Rate) []SessionID { return t.idleRates.sessionsAbove(r) }
 
+// appendFeSessionsAt, appendIdleAt and appendIdleAbove are the scratch-slice
+// forms of the snapshots above: they append to dst and return it, so a
+// caller reusing one buffer takes a stable snapshot without allocating.
+func (t *table) appendFeSessionsAt(dst []SessionID, r rate.Rate) []SessionID {
+	return t.feRates.appendSessionsAt(dst, r)
+}
+
+func (t *table) appendIdleAt(dst []SessionID, r rate.Rate) []SessionID {
+	return t.idleRates.appendSessionsAt(dst, r)
+}
+
+func (t *table) appendIdleAbove(dst []SessionID, r rate.Rate) []SessionID {
+	return t.idleRates.appendSessionsAbove(dst, r)
+}
+
 // sessions returns the number of sessions known at the link.
 func (t *table) sessions() int { return len(t.entries) }
 

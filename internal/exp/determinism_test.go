@@ -1,7 +1,10 @@
 package exp
 
 import (
+	"bytes"
+	"errors"
 	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -29,6 +32,111 @@ func TestExp1Deterministic(t *testing.T) {
 	a, b := run(), run()
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("experiment 1 not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestExp1ParallelMatchesSerial locks in RunParallel's contract: a parallel
+// sweep must produce the same rows, the same CSV bytes, and the same
+// progress lines as a serial one.
+func TestExp1ParallelMatchesSerial(t *testing.T) {
+	base := DefaultExp1()
+	base.Sizes = []topology.Params{topology.Small}
+	base.Scenarios = []topology.Scenario{topology.LAN, topology.WAN}
+	base.SessionCounts = []int{50, 150, 400}
+	run := func(workers int) ([]Exp1Row, []byte, []byte) {
+		cfg := base
+		cfg.Workers = workers
+		var progress bytes.Buffer
+		cfg.Progress = &progress
+		rows, err := RunExperiment1(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rows {
+			rows[i].Wall = 0
+		}
+		var csv bytes.Buffer
+		if err := WriteExp1CSV(&csv, rows); err != nil {
+			t.Fatal(err)
+		}
+		return rows, csv.Bytes(), progress.Bytes()
+	}
+	serialRows, serialCSV, serialProgress := run(1)
+	parallelRows, parallelCSV, parallelProgress := run(4)
+	if !reflect.DeepEqual(serialRows, parallelRows) {
+		t.Fatalf("parallel rows differ from serial:\n%+v\n%+v", serialRows, parallelRows)
+	}
+	if !bytes.Equal(serialCSV, parallelCSV) {
+		t.Fatalf("parallel CSV differs from serial:\n%s\n%s", serialCSV, parallelCSV)
+	}
+	if !bytes.Equal(serialProgress, parallelProgress) {
+		t.Fatalf("parallel progress differs from serial:\n%s\n%s", serialProgress, parallelProgress)
+	}
+}
+
+func TestExp3ParallelMatchesSerial(t *testing.T) {
+	base := DefaultExp3()
+	base.Topology = topology.Small
+	base.Sessions = 150
+	base.Leavers = 15
+	base.Horizon = 40 * time.Millisecond
+	base.Protocols = []string{"bneck", "bfyz", "cg", "rcp"}
+	run := func(workers int) *Exp3Result {
+		cfg := base
+		cfg.Workers = workers
+		res, err := RunExperiment3(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(1), run(4); !reflect.DeepEqual(a, b) {
+		t.Fatal("experiment 3 parallel result differs from serial")
+	}
+}
+
+func TestRunParallel(t *testing.T) {
+	for _, workers := range []int{-1, 1, 3, 16} {
+		var calls atomic.Int64
+		out := make([]int, 100)
+		if err := RunParallel(len(out), workers, func(i int) error {
+			calls.Add(1)
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if calls.Load() != 100 {
+			t.Fatalf("workers=%d: %d calls", workers, calls.Load())
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: job %d not run (got %d)", workers, i, v)
+			}
+		}
+	}
+	// The reported error is the lowest-index failure, and later jobs still
+	// run (results must not depend on scheduling).
+	errA, errB := errors.New("a"), errors.New("b")
+	var ran atomic.Int64
+	err := RunParallel(10, 4, func(i int) error {
+		ran.Add(1)
+		switch i {
+		case 7:
+			return errB
+		case 3:
+			return errA
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want lowest-index error", err)
+	}
+	if ran.Load() != 10 {
+		t.Fatalf("ran = %d, want all jobs despite failures", ran.Load())
+	}
+	if err := RunParallel(0, 4, func(int) error { return errA }); err != nil {
+		t.Fatalf("n=0: %v", err)
 	}
 }
 

@@ -34,6 +34,11 @@ type Exp1Config struct {
 	Validate bool
 	// Progress, if non-nil, receives one line per completed run.
 	Progress io.Writer
+	// Workers bounds how many sweep cells run concurrently. Every cell has
+	// its own engine, topology and seeded RNG, so results (and CSV output)
+	// are byte-identical to a serial run. 0 or 1 runs serially; negative
+	// selects GOMAXPROCS.
+	Workers int
 }
 
 // DefaultExp1 is a laptop-scale default: the paper sweeps 10…300,000
@@ -71,26 +76,61 @@ type Exp1Row struct {
 	SettleMax time.Duration
 }
 
-// RunExperiment1 executes the sweep and returns one row per cell.
+// RunExperiment1 executes the sweep and returns one row per cell. Cells run
+// across cfg.Workers goroutines; the row order, the rows themselves and the
+// progress lines are identical to a serial run.
 func RunExperiment1(cfg Exp1Config) ([]Exp1Row, error) {
 	if cfg.JoinWindow <= 0 {
 		cfg.JoinWindow = time.Millisecond
 	}
-	var rows []Exp1Row
+	type cell struct {
+		size  topology.Params
+		scen  topology.Scenario
+		count int
+	}
+	var cells []cell
 	for _, size := range cfg.Sizes {
 		for _, scen := range cfg.Scenarios {
 			for _, count := range cfg.SessionCounts {
-				row, err := runExp1Cell(cfg, size, scen, count)
-				if err != nil {
-					return rows, fmt.Errorf("exp1 %s/%s/%d: %w", size.Name, scen, count, err)
-				}
-				rows = append(rows, row)
-				if cfg.Progress != nil {
-					fmt.Fprintf(cfg.Progress,
-						"exp1 %-6s %-3s sessions=%-7d quiescence=%-12v packets=%d\n",
-						row.Network, row.Scenario, row.Sessions, row.Quiescence, row.Packets)
-				}
+				cells = append(cells, cell{size, scen, count})
 			}
+		}
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	rows := make([]Exp1Row, len(cells))
+	errs := make([]error, len(cells))
+	var progress *progressTracker
+	if cfg.Progress != nil {
+		progress = newProgressTracker(len(cells), func(line string) {
+			fmt.Fprint(cfg.Progress, line)
+		})
+	}
+	_ = RunParallel(len(cells), workers, func(i int) error {
+		c := cells[i]
+		row, err := runExp1Cell(cfg, c.size, c.scen, c.count)
+		if err != nil {
+			errs[i] = fmt.Errorf("exp1 %s/%s/%d: %w", c.size.Name, c.scen, c.count, err)
+			if progress != nil {
+				progress.report(i, "")
+			}
+			return errs[i]
+		}
+		rows[i] = row
+		if progress != nil {
+			progress.report(i, fmt.Sprintf(
+				"exp1 %-6s %-3s sessions=%-7d quiescence=%-12v packets=%d\n",
+				row.Network, row.Scenario, row.Sessions, row.Quiescence, row.Packets))
+		}
+		return nil
+	})
+	// Match the serial contract: on failure return the rows of the cells
+	// before the first failing one, plus that cell's error.
+	for i, err := range errs {
+		if err != nil {
+			return rows[:i], err
 		}
 	}
 	return rows, nil

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"bneck/internal/baseline"
@@ -40,6 +41,11 @@ type Exp3Config struct {
 	ProbePeriod time.Duration
 	Seed        int64
 	Progress    io.Writer
+	// Workers bounds how many protocols run concurrently. Every protocol
+	// gets its own engine over the shared (read-only) workload, so results
+	// are byte-identical to a serial run. 0 or 1 runs serially; negative
+	// selects GOMAXPROCS.
+	Workers int
 }
 
 // DefaultExp3 is the laptop-scale default (paper: 100,000/10,000).
@@ -97,6 +103,7 @@ type exp3Workload struct {
 	window  time.Duration
 	stays   []int // session indexes active at the end
 
+	mu      sync.Mutex                    // guards oracles (shared across protocol runs)
 	oracles map[time.Duration]*exp3Oracle // per sample instant (burst phase)
 	final   *exp3Oracle
 }
@@ -112,13 +119,46 @@ type exp3Oracle struct {
 }
 
 // RunExperiment3 runs every requested protocol on the shared workload.
+// Protocols run across cfg.Workers goroutines; the series order and content
+// are identical to a serial run.
 func RunExperiment3(cfg Exp3Config) (*Exp3Result, error) {
+	// Reject typos before simulating anything: at paper scale a single
+	// protocol run costs minutes, and RunParallel runs every job to
+	// completion regardless of other jobs' failures.
+	for _, p := range cfg.Protocols {
+		switch p {
+		case "bneck", "bfyz", "cg", "rcp":
+		default:
+			return nil, fmt.Errorf("exp3: unknown protocol %q", p)
+		}
+	}
 	w, err := buildExp3Workload(cfg)
 	if err != nil {
 		return nil, err
 	}
-	res := &Exp3Result{}
-	for _, p := range cfg.Protocols {
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	if workers != 1 {
+		// Warm the burst-phase oracle cache up front so concurrent protocol
+		// runs only read the workload (the mutex in oracleAt is a backstop).
+		for t := cfg.SampleEvery; t <= cfg.Horizon && t < w.window; t += cfg.SampleEvery {
+			if _, err := w.oracleAt(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	series := make([]*Exp3Series, len(cfg.Protocols))
+	errs := make([]error, len(cfg.Protocols))
+	var progress *progressTracker
+	if cfg.Progress != nil {
+		progress = newProgressTracker(len(cfg.Protocols), func(line string) {
+			fmt.Fprint(cfg.Progress, line)
+		})
+	}
+	_ = RunParallel(len(cfg.Protocols), workers, func(i int) error {
+		p := cfg.Protocols[i]
 		var s *Exp3Series
 		var err error
 		switch p {
@@ -131,16 +171,35 @@ func RunExperiment3(cfg Exp3Config) (*Exp3Result, error) {
 		case "rcp":
 			s, err = runExp3Baseline(cfg, w, baseline.RCP{})
 		default:
-			return nil, fmt.Errorf("exp3: unknown protocol %q", p)
+			errs[i] = fmt.Errorf("exp3: unknown protocol %q", p)
+			if progress != nil {
+				progress.report(i, "")
+			}
+			return errs[i]
 		}
 		if err != nil {
-			return nil, fmt.Errorf("exp3 %s: %w", p, err)
+			errs[i] = fmt.Errorf("exp3 %s: %w", p, err)
+			if progress != nil {
+				progress.report(i, "")
+			}
+			return errs[i]
 		}
+		series[i] = s
+		if progress != nil {
+			progress.report(i, fmt.Sprintf(
+				"exp3 %-6s packets=%-10d converged=%-10v quiescent=%t\n",
+				s.Protocol, s.Packets, s.ConvergedAt, s.Quiescent))
+		}
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Exp3Result{}
+	for _, s := range series {
 		res.Series = append(res.Series, *s)
-		if cfg.Progress != nil {
-			fmt.Fprintf(cfg.Progress, "exp3 %-6s packets=%-10d converged=%-10v quiescent=%t\n",
-				s.Protocol, s.Packets, s.ConvergedAt, s.Quiescent)
-		}
 	}
 	return res, nil
 }
@@ -295,6 +354,8 @@ func (w *exp3Workload) oracleAt(t time.Duration) (*exp3Oracle, error) {
 	if t >= w.window {
 		return w.final, nil
 	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if o, ok := w.oracles[t]; ok {
 		return o, nil
 	}

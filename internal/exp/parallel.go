@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunParallel invokes job(0), …, job(n-1) on up to `workers` goroutines and
+// returns the error of the lowest-index failing job, if any. Every job runs
+// exactly once regardless of other jobs' failures, so results indexed by job
+// number are complete and identical to a serial sweep — parallelism must
+// never change experiment output, only wall time.
+//
+// workers <= 0 selects GOMAXPROCS; workers == 1 runs the jobs inline in
+// index order with no goroutines at all.
+func RunParallel(n, workers int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// progressTracker serializes per-job progress reporting for a parallel
+// sweep so lines appear in job-index order (exactly the serial output):
+// each completed job hands in its line, and the tracker flushes the
+// contiguous prefix of completed jobs.
+type progressTracker struct {
+	mu      sync.Mutex
+	lines   []string
+	done    []bool
+	next    int
+	emit    func(string)
+	enabled bool
+}
+
+func newProgressTracker(n int, emit func(string)) *progressTracker {
+	return &progressTracker{
+		lines:   make([]string, n),
+		done:    make([]bool, n),
+		emit:    emit,
+		enabled: emit != nil,
+	}
+}
+
+// report records job i's progress line and flushes every line whose
+// predecessors have all reported.
+func (p *progressTracker) report(i int, line string) {
+	if !p.enabled {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lines[i] = line
+	p.done[i] = true
+	for p.next < len(p.done) && p.done[p.next] {
+		p.emit(p.lines[p.next])
+		p.lines[p.next] = ""
+		p.next++
+	}
+}

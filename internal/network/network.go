@@ -89,6 +89,42 @@ type Network struct {
 	order    []core.SessionID // insertion order, for deterministic iteration
 	stats    *metrics.PacketStats
 	nextID   core.SessionID
+	free     []*deliverEvent // recycled packet deliveries (see Emit)
+}
+
+// deliverEvent carries one in-flight packet delivery. Emit runs once per
+// packet per hop — the hottest call site in the whole simulator — and a
+// naive closure there costs two heap allocations per packet (the closure and
+// its captured variables). Instead each Network keeps a free list of
+// deliverEvents, each with a closure built exactly once over the event
+// itself; Emit pops one, fills in the pending delivery, and the closure
+// recycles its event before delivering, so steady-state packet traffic
+// allocates nothing.
+type deliverEvent struct {
+	sess *Session
+	hop  int
+	pkt  core.Packet
+	fn   func()
+}
+
+// takeDeliver returns a ready-to-schedule callback delivering pkt to hop on
+// sess, drawing from the free list when possible.
+func (n *Network) takeDeliver(sess *Session, hop int, pkt core.Packet) func() {
+	var d *deliverEvent
+	if k := len(n.free); k > 0 {
+		d = n.free[k-1]
+		n.free = n.free[:k-1]
+	} else {
+		d = &deliverEvent{}
+		d.fn = func() {
+			sess, hop, pkt := d.sess, d.hop, d.pkt
+			d.sess = nil
+			n.free = append(n.free, d)
+			n.deliver(sess, hop, pkt)
+		}
+	}
+	d.sess, d.hop, d.pkt = sess, hop, pkt
+	return d.fn
 }
 
 // New returns a network over g driven by eng.
@@ -189,7 +225,7 @@ func (n *Network) Emit(s core.SessionID, from int, dir core.Direction, pkt core.
 			wireLink = n.g.Link(sess.Path[from-2]).Reverse
 		}
 	}
-	deliver := func() { n.deliver(sess, to, pkt) }
+	deliver := n.takeDeliver(sess, to, pkt)
 	if wireLink == graph.NoLink {
 		// Intra-host hand-off (source ↔ its access-link task): no wire.
 		n.eng.After(0, deliver)

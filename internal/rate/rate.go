@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+	"math/bits"
 )
 
 // Rate is an exact rational number of bits per second (or any other unit the
@@ -180,10 +181,15 @@ func (r Rate) Add(o Rate) Rate {
 	rn, rd, rok := r.parts()
 	on, od, ook := o.parts()
 	if rok && ook {
-		// r + o = (rn*od + on*rd) / (rd*od)
-		a, ok1 := mul64(rn, od)
-		b, ok2 := mul64(on, rd)
-		d, ok3 := mul64(rd, od)
+		// Knuth's reduced rational addition: with g = gcd(rd, od),
+		// r + o = (rn*(od/g) + on*(rd/g)) / (rd*(od/g)), which keeps the
+		// intermediates as small as possible and so stays on the int64 fast
+		// path far longer than the textbook cross-multiplication.
+		g := gcd64(rd, od)
+		odg, rdg := od/g, rd/g
+		a, ok1 := mul64(rn, odg)
+		b, ok2 := mul64(on, rdg)
+		d, ok3 := mul64(rd, odg)
 		if ok1 && ok2 && ok3 {
 			if n, ok := add64(a, b); ok {
 				return normalizeInt(n, d)
@@ -230,8 +236,11 @@ func (r Rate) DivInt(n int) Rate {
 	}
 	rn, rd, ok := r.parts()
 	if ok {
-		if d, ok := mul64(rd, int64(n)); ok {
-			return normalizeInt(rn, d)
+		// Divide the gcd out of the numerator first so the new denominator
+		// grows as little as possible.
+		g := gcd64(abs64(rn), int64(n))
+		if d, ok := mul64(rd, int64(n)/g); ok {
+			return normalizeInt(rn/g, d)
 		}
 	}
 	q := new(big.Rat).SetFrac(big.NewInt(1), big.NewInt(int64(n)))
@@ -249,8 +258,9 @@ func (r Rate) MulInt(n int) Rate {
 	}
 	rn, rd, ok := r.parts()
 	if ok {
-		if p, ok := mul64(rn, int64(n)); ok {
-			return normalizeInt(p, rd)
+		g := gcd64(rd, int64(n))
+		if p, ok := mul64(rn, int64(n)/g); ok {
+			return normalizeInt(p, rd/g)
 		}
 	}
 	q := new(big.Rat).SetInt64(int64(n))
@@ -271,20 +281,53 @@ func (r Rate) Cmp(o Rate) int {
 	rn, rd, rok := r.parts()
 	on, od, ook := o.parts()
 	if rok && ook {
-		a, ok1 := mul64(rn, od)
-		b, ok2 := mul64(on, rd)
-		if ok1 && ok2 {
-			switch {
-			case a < b:
-				return -1
-			case a > b:
-				return 1
-			default:
-				return 0
-			}
-		}
+		// Compare rn/rd vs on/od as exact 128-bit cross products: never
+		// overflows and never allocates (denominators are positive, so the
+		// comparison direction is preserved).
+		return cmp128(rn, od, on, rd)
 	}
 	return r.toBig().Cmp(o.toBig())
+}
+
+// cmp128 compares the exact products a·b and c·d using 128-bit arithmetic.
+func cmp128(a, b, c, d int64) int {
+	negAB := (a < 0) != (b < 0)
+	negCD := (c < 0) != (d < 0)
+	// uint64(abs64(x)) is the true |x| for every int64 including MinInt64
+	// (two's complement wraparound lands on 2^63).
+	hiAB, loAB := bits.Mul64(uint64(abs64(a)), uint64(abs64(b)))
+	hiCD, loCD := bits.Mul64(uint64(abs64(c)), uint64(abs64(d)))
+	if hiAB == 0 && loAB == 0 {
+		negAB = false
+	}
+	if hiCD == 0 && loCD == 0 {
+		negCD = false
+	}
+	if negAB != negCD {
+		if negAB {
+			return -1
+		}
+		return 1
+	}
+	cmp := 0
+	switch {
+	case hiAB != hiCD:
+		if hiAB < hiCD {
+			cmp = -1
+		} else {
+			cmp = 1
+		}
+	case loAB != loCD:
+		if loAB < loCD {
+			cmp = -1
+		} else {
+			cmp = 1
+		}
+	}
+	if negAB {
+		return -cmp
+	}
+	return cmp
 }
 
 // Equal reports whether r == o exactly.
