@@ -1,9 +1,12 @@
 # Development and CI entry points. `make check` is the PR gate; `make bench`
-# captures the perf trajectory of the simulator hot path per PR.
+# captures the perf trajectory of the simulator hot path per PR, and
+# `make bench-json` snapshots it as BENCH_<date>.json for the perf-trajectory
+# archive (CI uploads it as an artifact).
 
 GO ?= go
+DATE := $(shell date +%Y%m%d)
 
-.PHONY: check vet build test test-full bench bench-full fmt
+.PHONY: check vet build test test-full bench bench-full bench-json fmt
 
 check: vet build test bench
 
@@ -26,6 +29,12 @@ bench:
 # Full benchmark sweep, including the figure-shaped end-to-end runs.
 bench-full:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Machine-readable perf snapshot: engine scheduling, protocol throughput and
+# the dynamic-topology reconfiguration benchmark, as BENCH_<date>.json.
+bench-json:
+	$(GO) test -bench='SimEngine|ProtocolThroughput|Reconfiguration' -benchmem -run='^$$' . \
+		| $(GO) run ./cmd/benchjson -out BENCH_$(DATE).json
 
 fmt:
 	gofmt -w .

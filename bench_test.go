@@ -247,6 +247,42 @@ func BenchmarkSimEngine(b *testing.B) {
 	})
 }
 
+// BenchmarkReconfiguration measures the cost of one topology-event epoch —
+// fail an in-use link, migrate the crossing sessions, re-converge, restore —
+// on a loaded Small/LAN network (the Experiment 4 shape). The custom metrics
+// report the virtual re-quiescence latency and control-packet cost per
+// reconfiguration, the perf counters of the dynamic-topology subsystem.
+func BenchmarkReconfiguration(b *testing.B) {
+	cfg := exp.DefaultExp4()
+	cfg.Sizes = []topology.Params{topology.Small}
+	cfg.Scenarios = []topology.Scenario{topology.LAN}
+	cfg.Sessions = 300
+	cfg.Epochs = 6
+	cfg.Churn = 0 // isolate the topology-event cost from session churn
+	cfg.Validate = false
+	var virtUS, pkts, epochs float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seeds = []int64{int64(i + 1)}
+		rows, err := exp.RunExperiment4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Epoch == 0 {
+				continue
+			}
+			virtUS += float64(r.Requiescence.Microseconds())
+			pkts += float64(r.Packets)
+			epochs++
+		}
+	}
+	if epochs > 0 {
+		b.ReportMetric(virtUS/epochs/1e3, "virt_ms/reconfig")
+		b.ReportMetric(pkts/epochs, "pkts/reconfig")
+	}
+}
+
 // BenchmarkProtocolThroughput measures end-to-end packets processed per
 // second of wall time for a standard Experiment 1 cell.
 func BenchmarkProtocolThroughput(b *testing.B) {

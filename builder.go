@@ -16,8 +16,9 @@ type Node struct {
 // NetworkBuilder assembles a hand-built topology. All links are duplex with
 // symmetric capacity and propagation delay, per the paper's model.
 type NetworkBuilder struct {
-	g   *graph.Graph
-	err error
+	g     *graph.Graph
+	links []*Link
+	err   error
 }
 
 // NewNetwork returns an empty builder.
@@ -36,10 +37,13 @@ func (b *NetworkBuilder) Host(name string) Node {
 	return Node{id: b.g.AddHost(name)}
 }
 
-// Link connects two nodes with a duplex link.
-func (b *NetworkBuilder) Link(x, y Node, capacity Rate, propagation time.Duration) {
+// Link connects two nodes with a duplex link and returns a handle that can
+// schedule topology events (capacity changes, failures, restorations) once
+// the network is built.
+func (b *NetworkBuilder) Link(x, y Node, capacity Rate, propagation time.Duration) *Link {
+	l := &Link{}
 	if b.err != nil {
-		return
+		return l
 	}
 	func() {
 		defer func() {
@@ -47,12 +51,15 @@ func (b *NetworkBuilder) Link(x, y Node, capacity Rate, propagation time.Duratio
 				b.err = fmt.Errorf("bneck: %v", r)
 			}
 		}()
-		b.g.Connect(x.id, y.id, capacity, propagation)
+		l.ab, l.ba = b.g.Connect(x.id, y.id, capacity, propagation)
+		b.links = append(b.links, l)
 	}()
+	return l
 }
 
 // Build validates the topology and returns a Simulation with default
-// options.
+// options. Link handles created by this builder are bound to the returned
+// Simulation (the latest Build wins if called repeatedly).
 func (b *NetworkBuilder) Build(opts ...Option) (*Simulation, error) {
 	if b.err != nil {
 		return nil, b.err
@@ -60,7 +67,14 @@ func (b *NetworkBuilder) Build(opts ...Option) (*Simulation, error) {
 	if err := b.g.Validate(); err != nil {
 		return nil, fmt.Errorf("bneck: invalid topology: %w", err)
 	}
-	return newSimulation(b.g, nil, opts...)
+	sim, err := newSimulation(b.g, nil, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range b.links {
+		l.sim = sim
+	}
+	return sim, nil
 }
 
 // Size selects one of the paper's topology scales for NewTransitStub.

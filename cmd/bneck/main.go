@@ -7,10 +7,17 @@
 //
 //	bneck [-size small|medium|big] [-scenario lan|wan] [-sessions N]
 //	      [-demand-cap P] [-seed S] [-validate] [-v] [-live]
+//	bneck -run-scenario <script> [-live]
 //
 // With -live the protocol runs on the concurrent actor runtime (one
 // goroutine per task, no simulator): quiescence becomes wall-clock
 // termination and the scenario exercises real parallelism.
+//
+// With -run-scenario the command executes a declarative event script — one
+// timeline mixing session churn with link failures, restorations and
+// capacity changes — validating the allocation against the water-filling
+// oracle after every epoch. See internal/scenario for the script grammar and
+// examples/scenarios/ for ready-made scripts.
 package main
 
 import (
@@ -28,10 +35,10 @@ import (
 	"bneck/internal/live"
 	"bneck/internal/network"
 	"bneck/internal/rate"
+	"bneck/internal/scenario"
 	"bneck/internal/sim"
 	"bneck/internal/topology"
 	"bneck/internal/trace"
-	"bneck/internal/waterfill"
 )
 
 func main() {
@@ -47,8 +54,14 @@ func main() {
 		validate  = flag.Bool("validate", true, "cross-check against the centralized oracle")
 		verbose   = flag.Bool("v", false, "print every session's rate")
 		liveMode  = flag.Bool("live", false, "run on the concurrent actor runtime instead of the simulator")
+		scenFile  = flag.String("run-scenario", "", "execute a declarative scenario script (see internal/scenario)")
 	)
 	flag.Parse()
+
+	if *scenFile != "" {
+		runScenario(*scenFile, *liveMode)
+		return
+	}
 
 	size, err := sizeByName(*sizeName)
 	if err != nil {
@@ -115,6 +128,33 @@ func main() {
 	os.Exit(0)
 }
 
+// runScenario parses and executes a scenario script, printing the per-epoch
+// re-quiescence table. Every epoch is validated against the oracle.
+func runScenario(path string, liveMode bool) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := scenario.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var res *scenario.Result
+	wall := time.Now()
+	if liveMode {
+		res, err = scenario.RunLive(sc)
+	} else {
+		res, err = scenario.RunSim(sc)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scenario   : %s (%d sessions, %d events, %s transport)\n",
+		path, len(sc.Sessions), len(sc.Events), res.Transport)
+	fmt.Printf("wall time  : %v\n\n", time.Since(wall).Round(time.Millisecond))
+	scenario.Format(os.Stdout, res)
+}
+
 // runLive executes the scenario on the goroutine/actor runtime: joins fire
 // from concurrent goroutines and quiescence is detected by termination.
 func runLive(topo *topology.Network, size topology.Params, sessions int, demandCap float64, seed int64, validate bool) {
@@ -168,30 +208,8 @@ func runLive(topo *topology.Network, size topology.Params, sessions int, demandC
 	fmt.Printf("quiescence : %v (wall clock, detected by termination)\n", wallDur.Round(time.Microsecond))
 
 	if validate {
-		linkIdx := make(map[graph.LinkID]int)
-		var inst waterfill.Instance
-		for _, x := range all {
-			ws := waterfill.Session{Demand: x.demand}
-			for _, l := range x.s.Path {
-				li, ok := linkIdx[l]
-				if !ok {
-					li = len(inst.Capacity)
-					linkIdx[l] = li
-					inst.Capacity = append(inst.Capacity, g.Link(l).Capacity)
-				}
-				ws.Path = append(ws.Path, li)
-			}
-			inst.Sessions = append(inst.Sessions, ws)
-		}
-		want, err := waterfill.Solve(inst)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for i, x := range all {
-			got, ok := x.s.Rate()
-			if !ok || !got.Equal(want[i]) {
-				log.Fatalf("validation FAILED: session %d rate %v, oracle %v", i, got, want[i])
-			}
+		if err := rt.Validate(); err != nil {
+			log.Fatalf("validation FAILED: %v", err)
 		}
 		fmt.Println("validation : all rates equal the centralized max-min fair rates ✓")
 	}

@@ -4,6 +4,8 @@
 //	-exp 1  → Figure 5   (time to quiescence and packets vs session count)
 //	-exp 2  → Figure 6   (traffic by packet type across five dynamic phases)
 //	-exp 3  → Figures 7+8 (error distributions and packets vs BFYZ/CG/RCP)
+//	-exp 4  → topology churn (quiescence across link failures, restores and
+//	          capacity changes — the dynamics dimension the paper left out)
 //	-exp all → everything
 //
 // Defaults are laptop-scale; use -scale to multiply session counts toward
@@ -72,8 +74,8 @@ func main() {
 	runs := map[string]bool{}
 	switch *which {
 	case "all":
-		runs["1"], runs["2"], runs["3"] = true, true, true
-	case "1", "2", "3":
+		runs["1"], runs["2"], runs["3"], runs["4"] = true, true, true, true
+	case "1", "2", "3", "4":
 		runs[*which] = true
 	default:
 		log.Fatalf("unknown -exp %q", *which)
@@ -180,6 +182,40 @@ func main() {
 				return nil
 			}
 			return exp.WriteAllCSV(res, openCSV)
+		})
+	}
+
+	if runs["4"] {
+		jobs = append(jobs, func(out io.Writer) error {
+			cfg := exp.DefaultExp4()
+			cfg.Seeds = []int64{*seed, *seed + 1, *seed + 2}
+			cfg.Validate = *validate
+			cfg.Sessions = int(float64(cfg.Sessions) * *scale)
+			cfg.Churn = int(float64(cfg.Churn) * *scale)
+			cfg.Progress = progress
+			cfg.Workers = *workers
+			if *big {
+				cfg.Sizes = append(cfg.Sizes, topology.Big)
+			}
+			start := time.Now()
+			rows, err := exp.RunExperiment4(cfg)
+			if err != nil {
+				return fmt.Errorf("experiment 4: %v", err)
+			}
+			fmt.Fprintln(out, exp.FormatExp4(rows))
+			fmt.Fprintf(out, "(experiment 4 wall time: %v)\n\n", time.Since(start).Round(time.Second))
+			if *csvDir == "" {
+				return nil
+			}
+			f, err := openCSV("exp4_reconfig.csv")
+			if err != nil {
+				return err
+			}
+			if err := exp.WriteExp4CSV(f, rows); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
 		})
 	}
 

@@ -1,10 +1,12 @@
-// Dynamic: quiescence under churn. Sessions join, leave and change their
-// demands on a generated Small/LAN transit-stub topology; after every burst
-// of dynamics the protocol re-converges and goes silent again. The program
-// prints, for each burst, the time B-Neck needed to re-reach quiescence and
-// the control packets it spent — and demonstrates that between bursts the
-// network is completely silent (the property that distinguishes B-Neck from
-// every prior distributed max-min algorithm).
+// Dynamic: quiescence under churn — of sessions AND of the topology itself.
+// Sessions join, leave and change their demands on a generated Small/LAN
+// transit-stub topology; then links fail, change capacity and come back.
+// After every burst the protocol re-converges (failures migrate the crossing
+// sessions through B-Neck's own Leave → reroute → Join) and goes silent
+// again. The program prints, for each burst, the time B-Neck needed to
+// re-reach quiescence and the control packets it spent — and demonstrates
+// that between bursts the network is completely silent (the property that
+// distinguishes B-Neck from every prior distributed max-min algorithm).
 package main
 
 import (
@@ -110,6 +112,30 @@ func main() {
 				s.ChangeAt(at, bneck.Mbps(1+rng.Int63n(50)))
 			}
 			done++
+		}
+	})
+
+	// Topology dynamics: the same quiescence story with the network itself
+	// changing underneath the sessions.
+	links := sim.RouterLinks()
+	victims := []*bneck.Link{links[3], links[17], links[41]}
+
+	burst("3 links fail (reroute)", func(start time.Duration) {
+		for i, l := range victims {
+			l.FailAt(start + time.Duration(i)*100*time.Microsecond)
+		}
+	})
+	fmt.Printf("%-28s %d sessions migrated onto surviving paths, %d stranded\n",
+		"", sim.Migrations(), sim.StrandedSessions())
+
+	burst("2 links change capacity", func(start time.Duration) {
+		links[5].SetCapacityAt(start, bneck.Mbps(80))
+		links[23].SetCapacityAt(start+100*time.Microsecond, bneck.Mbps(350))
+	})
+
+	burst("3 links restored", func(start time.Duration) {
+		for i, l := range victims {
+			l.RestoreAt(start + time.Duration(i)*100*time.Microsecond)
 		}
 	})
 

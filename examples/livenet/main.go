@@ -18,7 +18,6 @@ import (
 	"bneck/internal/graph"
 	"bneck/internal/live"
 	"bneck/internal/rate"
-	"bneck/internal/waterfill"
 )
 
 func main() {
@@ -57,11 +56,6 @@ func main() {
 		sessions = append(sessions, s)
 	}
 
-	demands := make([]rate.Rate, len(sessions))
-	for i := range demands {
-		demands[i] = rate.Inf
-	}
-
 	// Join all twelve concurrently — true parallelism, no simulator.
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -76,20 +70,19 @@ func main() {
 	rt.WaitQuiescent()
 	fmt.Printf("12 concurrent joins: quiescent after %v (wall clock)\n", time.Since(start).Round(time.Microsecond))
 
-	validate(g, sessions, demands)
+	validate(rt)
 	printRates(sessions)
 
 	// Perturb: half the sessions cap themselves at 10 Mbps.
 	start = time.Now()
 	for i, s := range sessions {
 		if i%2 == 0 {
-			demands[i] = rate.Mbps(10)
-			s.Change(demands[i])
+			s.Change(rate.Mbps(10))
 		}
 	}
 	rt.WaitQuiescent()
 	fmt.Printf("\n6 concurrent demand changes: quiescent after %v\n", time.Since(start).Round(time.Microsecond))
-	validate(g, sessions, demands)
+	validate(rt)
 	printRates(sessions)
 
 	fmt.Println("\nall live allocations match the centralized oracle ✓")
@@ -105,35 +98,9 @@ func printRates(sessions []*live.Session) {
 	}
 }
 
-// validate rebuilds the instance and checks the live rates against
-// Centralized B-Neck (Figure 1).
-func validate(g *graph.Graph, sessions []*live.Session, demands []rate.Rate) {
-	linkIdx := make(map[graph.LinkID]int)
-	var inst waterfill.Instance
-	for i, s := range sessions {
-		ws := waterfill.Session{Demand: demands[i]}
-		for _, l := range s.Path {
-			li, ok := linkIdx[l]
-			if !ok {
-				li = len(inst.Capacity)
-				linkIdx[l] = li
-				inst.Capacity = append(inst.Capacity, g.Link(l).Capacity)
-			}
-			ws.Path = append(ws.Path, li)
-		}
-		inst.Sessions = append(inst.Sessions, ws)
-	}
-	want, err := waterfill.Solve(inst)
-	if err != nil {
+// validate checks the live rates against Centralized B-Neck (Figure 1).
+func validate(rt *live.Runtime) {
+	if err := rt.Validate(); err != nil {
 		log.Fatal(err)
-	}
-	for i, s := range sessions {
-		got, ok := s.Rate()
-		if !ok {
-			log.Fatalf("session %d has no rate", i)
-		}
-		if !got.Equal(want[i]) {
-			log.Fatalf("session %d: live %v, oracle %v", i, got, want[i])
-		}
 	}
 }

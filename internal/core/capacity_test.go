@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"bneck/internal/rate"
+)
+
+// setCapacity applies a capacity change to a link through the protocol task,
+// keeping the pump's oracle capacities in sync.
+func (p *pump) setCapacity(ref LinkRef, c rate.Rate) {
+	p.caps[ref] = c
+	p.link(ref).SetCapacity(c)
+}
+
+func TestSetCapacityIncrease(t *testing.T) {
+	p := newPump(t)
+	p.addLink(1, rate.Mbps(10))
+	s1 := p.addSession(1, 1)
+	s2 := p.addSession(2, 1)
+	s1.Join(rate.Inf)
+	s2.Join(rate.Inf)
+	p.run(1000)
+	if got, _ := s1.Rate(); !got.Equal(rate.Mbps(5)) {
+		t.Fatalf("pre-change s1 rate = %v", got)
+	}
+	p.setCapacity(1, rate.Mbps(30))
+	p.run(1000)
+	p.checkAll()
+	for id, s := range map[SessionID]*SourceNode{1: s1, 2: s2} {
+		if got, _ := s.Rate(); !got.Equal(rate.Mbps(15)) {
+			t.Fatalf("s%d rate = %v, want 15 Mbps", id, got)
+		}
+	}
+}
+
+func TestSetCapacityDecrease(t *testing.T) {
+	p := newPump(t)
+	p.addLink(1, rate.Mbps(30))
+	s1 := p.addSession(1, 1)
+	s2 := p.addSession(2, 1)
+	s1.Join(rate.Inf)
+	s2.Join(rate.Inf)
+	p.run(1000)
+	p.setCapacity(1, rate.Mbps(8))
+	p.run(1000)
+	p.checkAll()
+	if got, _ := s1.Rate(); !got.Equal(rate.Mbps(4)) {
+		t.Fatalf("s1 rate = %v, want 4 Mbps", got)
+	}
+}
+
+// TestSetCapacityReclassifiesRestricted covers the F_e path: a session
+// restricted elsewhere must be pulled back into R_e and re-judged when this
+// link's capacity drops below its recorded rate.
+func TestSetCapacityReclassifiesRestricted(t *testing.T) {
+	// s1 crosses links 1 (wide) and 2 (narrow, 4): restricted at 2, so it
+	// sits in F_e of link 1. s2 crosses link 1 only.
+	p := newPump(t)
+	p.addLink(1, rate.Mbps(20))
+	p.addLink(2, rate.Mbps(4))
+	s1 := p.addSession(1, 1, 2)
+	s2 := p.addSession(2, 1)
+	s1.Join(rate.Inf)
+	s2.Join(rate.Inf)
+	p.run(2000)
+	if got, _ := s1.Rate(); !got.Equal(rate.Mbps(4)) {
+		t.Fatalf("s1 rate = %v, want 4 Mbps", got)
+	}
+	if got, _ := s2.Rate(); !got.Equal(rate.Mbps(16)) {
+		t.Fatalf("s2 rate = %v, want 16 Mbps", got)
+	}
+	// Shrink link 1 below 2·4: it becomes the bottleneck for both.
+	p.setCapacity(1, rate.Mbps(6))
+	p.run(2000)
+	p.checkAll()
+	if got, _ := s1.Rate(); !got.Equal(rate.Mbps(3)) {
+		t.Fatalf("s1 rate after shrink = %v, want 3 Mbps", got)
+	}
+	if got, _ := s2.Rate(); !got.Equal(rate.Mbps(3)) {
+		t.Fatalf("s2 rate after shrink = %v, want 3 Mbps", got)
+	}
+	// And widen it again: s1 returns to its link-2 bottleneck.
+	p.setCapacity(1, rate.Mbps(20))
+	p.run(2000)
+	p.checkAll()
+	if got, _ := s1.Rate(); !got.Equal(rate.Mbps(4)) {
+		t.Fatalf("s1 rate after widen = %v, want 4 Mbps", got)
+	}
+	if got, _ := s2.Rate(); !got.Equal(rate.Mbps(16)) {
+		t.Fatalf("s2 rate after widen = %v, want 16 Mbps", got)
+	}
+}
+
+func TestSetCapacityNoOp(t *testing.T) {
+	p := newPump(t)
+	p.addLink(1, rate.Mbps(10))
+	s := p.addSession(1, 1)
+	s.Join(rate.Inf)
+	p.run(1000)
+	sent := p.sent
+	p.setCapacity(1, rate.Mbps(10)) // unchanged capacity: must stay silent
+	p.run(1000)
+	if p.sent != sent {
+		t.Fatalf("no-op capacity change generated %d packets", p.sent-sent)
+	}
+	p.checkAll()
+}
+
+// TestSetCapacityMidConvergence changes capacity while probe cycles are in
+// flight: the Response consistency check must still drive the link to the
+// correct final state.
+func TestSetCapacityMidConvergence(t *testing.T) {
+	p := newPump(t)
+	p.addLink(1, rate.Mbps(10))
+	const n = 8
+	srcs := make([]*SourceNode, n)
+	for i := range srcs {
+		srcs[i] = p.addSession(SessionID(i+1), 1)
+		srcs[i].Join(rate.Inf)
+	}
+	// Deliver only a few packets, then reconfigure mid-flight.
+	for i := 0; i < 5 && len(p.queue) > 0; i++ {
+		m := p.queue[0]
+		p.queue = p.queue[1:]
+		ps := p.sessions[m.s]
+		switch {
+		case m.hop == 0:
+			ps.src.Receive(m.pkt)
+		case m.hop == len(ps.path)+1:
+			ps.dst.Receive(m.pkt, m.hop)
+		default:
+			p.link(ps.path[m.hop-1]).Receive(m.pkt, m.hop)
+		}
+	}
+	p.setCapacity(1, rate.Mbps(24))
+	p.run(100000)
+	p.checkAll()
+	want := rate.Mbps(3)
+	for i, s := range srcs {
+		if got, _ := s.Rate(); !got.Equal(want) {
+			t.Fatalf("s%d rate = %v, want %v", i+1, got, want)
+		}
+	}
+}

@@ -138,6 +138,19 @@ func (rs *rateSet) appendSessionsAbove(dst []SessionID, r rate.Rate) []SessionID
 	return dst
 }
 
+// appendAll appends every session in the set to dst, sorted by ID, and
+// returns the extended slice.
+func (rs *rateSet) appendAll(dst []SessionID) []SessionID {
+	base := len(dst)
+	for _, b := range rs.buckets {
+		for s := range b.sessions {
+			dst = append(dst, s)
+		}
+	}
+	slices.Sort(dst[base:])
+	return dst
+}
+
 // len returns the number of sessions in the set.
 func (rs *rateSet) len() int { return rs.size }
 

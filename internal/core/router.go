@@ -34,6 +34,42 @@ func (rl *RouterLink) Sessions() int { return rl.tbl.sessions() }
 // (+∞ when R_e is empty).
 func (rl *RouterLink) Bottleneck() rate.Rate { return rl.tbl.be() }
 
+// SetCapacity changes the link's data capacity C_e — the reconfiguration
+// primitive behind dynamic topologies. The paper's protocol has no such
+// event, but it composes from the machinery it does have: every F_e member
+// moves back into R_e (the restricted-elsewhere classification was judged
+// against the old capacity and must be re-derived), and every IDLE session is
+// told to re-probe, exactly as Figure 2 reacts to a Leave. Probe cycles
+// already in flight are caught by the Response consistency check against the
+// new B_e. Traffic is bounded by the sessions crossing the link, and the
+// network re-quiesces through the protocol's own dynamics — no global reset.
+func (rl *RouterLink) SetCapacity(c rate.Rate) {
+	t := rl.tbl
+	if c.Equal(t.capacity) {
+		return
+	}
+	t.setCapacity(c)
+	for {
+		maxR, ok := t.feMax()
+		if !ok {
+			break
+		}
+		rl.scratch = t.appendFeSessionsAt(rl.scratch[:0], maxR)
+		for _, r := range rl.scratch {
+			t.moveFeToRe(r, t.get(r))
+		}
+	}
+	rl.scratch = t.appendIdleAll(rl.scratch[:0])
+	for _, r := range rl.scratch {
+		ent := t.get(r)
+		t.setState(r, ent, WaitingProbe)
+		rl.em.Emit(r, ent.hop, Up, Packet{Type: PktUpdate, Session: r})
+	}
+}
+
+// Capacity returns the link's current data capacity C_e.
+func (rl *RouterLink) Capacity() rate.Rate { return rl.tbl.capacity }
+
 // Receive processes one packet arriving for session pkt.Session at this
 // link, which sits at hop index hop on that session's path.
 func (rl *RouterLink) Receive(pkt Packet, hop int) {

@@ -203,6 +203,18 @@ func (t *table) appendIdleAbove(dst []SessionID, r rate.Rate) []SessionID {
 	return t.idleRates.appendSessionsAbove(dst, r)
 }
 
+// appendIdleAll appends every IDLE R_e member to dst, sorted by ID.
+func (t *table) appendIdleAll(dst []SessionID) []SessionID {
+	return t.idleRates.appendAll(dst)
+}
+
+// setCapacity changes C_e. The caller (RouterLink.SetCapacity) is responsible
+// for re-probing sessions so the table re-converges at the new capacity.
+func (t *table) setCapacity(c rate.Rate) {
+	t.capacity = c
+	t.invalidateBe()
+}
+
 // sessions returns the number of sessions known at the link.
 func (t *table) sessions() int { return len(t.entries) }
 

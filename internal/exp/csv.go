@@ -61,6 +61,39 @@ func WriteExp2CSV(w io.Writer, res *Exp2Result) error {
 	return cw.Error()
 }
 
+// WriteExp4CSV emits Experiment 4 rows: one line per reconfiguration epoch
+// per sweep cell.
+func WriteExp4CSV(w io.Writer, rows []Exp4Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"network", "scenario", "seed", "epoch", "events", "joins", "leaves", "changes",
+		"active", "stranded", "migrated", "requiescence_us", "packets",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Network, r.Scenario,
+			strconv.FormatInt(r.Seed, 10),
+			strconv.Itoa(r.Epoch),
+			r.Events,
+			strconv.Itoa(r.Joins),
+			strconv.Itoa(r.Leaves),
+			strconv.Itoa(r.Changes),
+			strconv.Itoa(r.Active),
+			strconv.Itoa(r.Stranded),
+			strconv.FormatUint(r.Migrated, 10),
+			strconv.FormatInt(r.Requiescence.Microseconds(), 10),
+			strconv.FormatUint(r.Packets, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteExp3ErrorCSV emits one protocol's Figure 7 error series (sources or
 // links).
 func WriteExp3ErrorCSV(w io.Writer, s metrics.Series, protocol string) error {

@@ -193,17 +193,3 @@ func RunExperiment2(cfg Exp2Config) (*Exp2Result, error) {
 	res.Packets = net.Stats().Total()
 	return res, nil
 }
-
-func removeAll(from []int, remove []int) []int {
-	rm := make(map[int]bool, len(remove))
-	for _, v := range remove {
-		rm[v] = true
-	}
-	out := from[:0]
-	for _, v := range from {
-		if !rm[v] {
-			out = append(out, v)
-		}
-	}
-	return out
-}

@@ -56,6 +56,20 @@ func FormatExp2(res *Exp2Result) string {
 	return b.String()
 }
 
+// FormatExp4 renders Experiment 4 as a per-epoch reconfiguration table.
+func FormatExp4(rows []Exp4Row) string {
+	var b strings.Builder
+	b.WriteString("Experiment 4: quiescence under topology churn (failures, restores, capacity changes)\n")
+	b.WriteString(fmt.Sprintf("%-8s %-5s %5s %6s %9s %9s %9s %14s %10s  %s\n",
+		"network", "scen", "seed", "epoch", "active", "strand", "migrated", "requiescence", "packets", "events"))
+	for _, r := range rows {
+		b.WriteString(fmt.Sprintf("%-8s %-5s %5d %6d %9d %9d %9d %14v %10d  %s\n",
+			r.Network, r.Scenario, r.Seed, r.Epoch, r.Active, r.Stranded, r.Migrated,
+			r.Requiescence.Round(time.Microsecond), r.Packets, r.Events))
+	}
+	return b.String()
+}
+
 // FormatExp3 renders Experiment 3 as the Figure 7 error tables and the
 // Figure 8 packets-per-interval series.
 func FormatExp3(res *Exp3Result) string {

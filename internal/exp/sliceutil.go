@@ -1,0 +1,20 @@
+package exp
+
+// removeAll returns from without any element of remove, preserving order and
+// reusing from's backing array. It builds a set over remove first, so the
+// pass is O(len(from) + len(remove)) rather than the quadratic scan a naive
+// nested loop would cost; Experiment 2's phase bookkeeping and Experiment 4's
+// per-epoch churn both lean on it with thousands of sessions.
+func removeAll(from []int, remove []int) []int {
+	rm := make(map[int]bool, len(remove))
+	for _, v := range remove {
+		rm[v] = true
+	}
+	out := from[:0]
+	for _, v := range from {
+		if !rm[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -65,14 +65,21 @@ type Link struct {
 	// Reverse is the link in the opposite direction (the paper's model
 	// guarantees it exists for every link).
 	Reverse LinkID
+	// Failed marks an administratively-down link: it carries no new sessions
+	// and path resolution routes around it. Capacity and propagation are
+	// retained for restoration.
+	Failed bool
 }
 
-// Graph is a network. Build it with AddRouter/AddHost/Connect; it is
-// immutable afterwards from the perspective of the rest of the system.
+// Graph is a network. Build it with AddRouter/AddHost/Connect. Node and link
+// structure is append-only, but links support controlled mutation —
+// SetCapacity, FailLink, RestoreLink — each of which bumps the graph's
+// generation so cached path state (see Resolver) can invalidate itself.
 type Graph struct {
 	nodes []Node
 	links []Link
 	out   [][]LinkID // outgoing link IDs per node, in insertion order
+	gen   uint64     // bumped by every topology-affecting mutation
 }
 
 // New returns an empty graph.
@@ -160,6 +167,55 @@ func (g *Graph) Link(id LinkID) Link {
 // Out returns the outgoing links of a node. The returned slice must not be
 // modified.
 func (g *Graph) Out(id NodeID) []LinkID { g.checkNode(id); return g.out[id] }
+
+// Generation returns a counter bumped by every topology-affecting mutation
+// (capacity change, link failure, link restoration). Consumers caching
+// derived path state compare generations to detect staleness.
+func (g *Graph) Generation() uint64 { return g.gen }
+
+func (g *Graph) checkLink(id LinkID) {
+	if id < 0 || int(id) >= len(g.links) {
+		panic(fmt.Sprintf("graph: unknown link %d", id))
+	}
+}
+
+// SetCapacity changes the capacity of one directed link. It panics on an
+// unknown link or a non-positive finite capacity (topology mutation errors
+// are programming errors, like construction errors).
+func (g *Graph) SetCapacity(id LinkID, capacity rate.Rate) {
+	g.checkLink(id)
+	if capacity.Sign() <= 0 && !capacity.IsInf() {
+		panic(fmt.Sprintf("graph: non-positive capacity %v for link %d", capacity, id))
+	}
+	g.links[id].Capacity = capacity
+	g.gen++
+}
+
+// FailLink marks one directed link as down. Failing an already-failed link is
+// a no-op. Path resolution routes around failed links; restoring brings the
+// link back with its retained capacity and delay.
+func (g *Graph) FailLink(id LinkID) {
+	g.checkLink(id)
+	if g.links[id].Failed {
+		return
+	}
+	g.links[id].Failed = true
+	g.gen++
+}
+
+// RestoreLink brings a failed directed link back up. Restoring an up link is
+// a no-op.
+func (g *Graph) RestoreLink(id LinkID) {
+	g.checkLink(id)
+	if !g.links[id].Failed {
+		return
+	}
+	g.links[id].Failed = false
+	g.gen++
+}
+
+// LinkUp reports whether a directed link is currently up.
+func (g *Graph) LinkUp(id LinkID) bool { g.checkLink(id); return !g.links[id].Failed }
 
 // Routers returns the IDs of all router nodes, in insertion order.
 func (g *Graph) Routers() []NodeID {

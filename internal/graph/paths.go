@@ -25,6 +25,9 @@ type Resolver struct {
 
 type bfsTree struct {
 	src NodeID
+	// gen is the graph generation the tree was computed at; a later mutation
+	// (capacity change, link fail/restore) makes the tree stale.
+	gen uint64
 	// parentLink[n] is the link used to reach router n from its BFS parent,
 	// or NoLink if unreached / the source itself.
 	parentLink []LinkID
@@ -57,9 +60,15 @@ func (r *Resolver) HostPath(src, dst NodeID) (Path, error) {
 	dstRouter := r.g.HostRouter(dst)
 
 	up := r.g.AccessLink(src)
+	if r.g.Link(up).Failed {
+		return nil, fmt.Errorf("graph: access link of host %d is down", src)
+	}
 	down, err := r.hostDownLink(dst)
 	if err != nil {
 		return nil, err
+	}
+	if r.g.Link(down).Failed {
+		return nil, fmt.Errorf("graph: access link of host %d is down", dst)
 	}
 
 	if srcRouter == dstRouter {
@@ -112,9 +121,16 @@ func (r *Resolver) hostDownLink(host NodeID) (LinkID, error) {
 }
 
 // tree returns the BFS tree rooted at the given router, computing and
-// caching it if needed.
+// caching it if needed. Trees computed before a topology mutation are
+// recomputed lazily on their next use: only sources actually re-resolved
+// after a reconfiguration pay for it.
 func (r *Resolver) tree(src NodeID) *bfsTree {
 	if t, ok := r.cache[src]; ok {
+		if t.gen != r.g.Generation() {
+			// Stale tree: replace in place, keeping the LRU slot.
+			t = r.bfs(src)
+			r.cache[src] = t
+		}
 		r.touch(src)
 		return t
 	}
@@ -139,11 +155,11 @@ func (r *Resolver) touch(src NodeID) {
 	}
 }
 
-// bfs runs a breadth-first search over routers only. Ties are broken by link
-// insertion order, so results are deterministic.
+// bfs runs a breadth-first search over routers only, skipping failed links.
+// Ties are broken by link insertion order, so results are deterministic.
 func (r *Resolver) bfs(src NodeID) *bfsTree {
 	g := r.g
-	t := &bfsTree{src: src, parentLink: make([]LinkID, g.NumNodes())}
+	t := &bfsTree{src: src, gen: g.Generation(), parentLink: make([]LinkID, g.NumNodes())}
 	for i := range t.parentLink {
 		t.parentLink[i] = NoLink
 	}
@@ -156,7 +172,7 @@ func (r *Resolver) bfs(src NodeID) *bfsTree {
 		for _, lid := range g.Out(n) {
 			l := g.Link(lid)
 			to := l.To
-			if visited[to] || g.Node(to).Kind != Router {
+			if l.Failed || visited[to] || g.Node(to).Kind != Router {
 				continue
 			}
 			visited[to] = true
@@ -182,10 +198,16 @@ func PathNodes(g *Graph, p Path) []NodeID {
 	return out
 }
 
-// ValidatePath checks that p is a connected host-to-host path in g.
+// ValidatePath checks that p is a connected host-to-host path in g whose
+// links are all up.
 func ValidatePath(g *Graph, p Path) error {
 	if len(p) < 2 {
 		return fmt.Errorf("graph: path too short (%d links)", len(p))
+	}
+	for _, l := range p {
+		if g.Link(l).Failed {
+			return fmt.Errorf("graph: path crosses failed link %d", l)
+		}
 	}
 	for i := 1; i < len(p); i++ {
 		prev, cur := g.Link(p[i-1]), g.Link(p[i])

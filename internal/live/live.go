@@ -11,6 +11,14 @@
 // possible here because all sends happen inside message handlers), and
 // WaitQuiescent blocks until the network goes silent.
 //
+// The runtime supports dynamic topologies: SetLinkCapacity reconfigures a
+// link's router task in place (the crossing sessions re-probe), and
+// FailLinks/RestoreLinks migrate affected sessions through the protocol's own
+// Leave → reroute → Join, a fresh incarnation (new session ID, new path) per
+// reroute so the two incarnations' in-flight packets can never interfere.
+// Sessions with no surviving path are stranded and rejoin on restore. See
+// DESIGN.md §6.
+//
 // Mailboxes are unbounded by design: B-Neck generates bounded traffic per
 // reconfiguration, and bounded mailboxes could deadlock the bidirectional
 // packet flow (links send both up- and downstream).
@@ -23,17 +31,23 @@ import (
 	"bneck/internal/core"
 	"bneck/internal/graph"
 	"bneck/internal/rate"
+	"bneck/internal/waterfill"
 )
 
-// Runtime hosts a concurrent B-Neck deployment over a static graph.
+// Runtime hosts a concurrent B-Neck deployment over a mutable graph. All
+// topology reads and mutations happen under mu, so concurrent protocol
+// traffic never observes a half-applied reconfiguration.
 type Runtime struct {
 	g *graph.Graph
 
-	mu       sync.Mutex
-	links    map[graph.LinkID]*actor
-	sessions map[core.SessionID]*Session
-	nextID   core.SessionID
-	closed   bool
+	mu           sync.Mutex
+	resolver     *graph.Resolver
+	links        map[graph.LinkID]*linkActor
+	incarnations map[core.SessionID]*incarnation
+	order        []*Session // logical sessions, in creation order
+	nextID       core.SessionID
+	closed       bool
+	migrated     uint64
 
 	activity *activityCounter
 
@@ -41,85 +55,319 @@ type Runtime struct {
 	rates   map[core.SessionID]rate.Rate
 }
 
-// New returns a runtime over g.
-func New(g *graph.Graph) *Runtime {
-	return &Runtime{
-		g:        g,
-		links:    make(map[graph.LinkID]*actor),
-		sessions: make(map[core.SessionID]*Session),
-		nextID:   1,
-		activity: newActivityCounter(),
-		rates:    make(map[core.SessionID]rate.Rate),
-	}
+type linkActor struct {
+	a    *actor
+	task *core.RouterLink
 }
 
-// Session is a live protocol session. Its source and destination tasks run
-// on their own actors.
-type Session struct {
-	ID   core.SessionID
-	Path graph.Path
-	rt   *Runtime
+// incarnation is one protocol-level lifetime of a logical session: a session
+// ID, a path, and the actors hosting its source and destination tasks. A
+// topology-event reroute retires the old incarnation (through Leave) and
+// creates a new one.
+type incarnation struct {
+	id   core.SessionID
+	path graph.Path
 	src  *actor
 	dst  *actor
 	srcT *core.SourceNode
 }
 
+// New returns a runtime over g. The runtime owns g's mutable state: apply
+// topology changes only through SetLinkCapacity/FailLinks/RestoreLinks.
+func New(g *graph.Graph) *Runtime {
+	return &Runtime{
+		g:            g,
+		resolver:     graph.NewResolver(g, 256),
+		links:        make(map[graph.LinkID]*linkActor),
+		incarnations: make(map[core.SessionID]*incarnation),
+		nextID:       1,
+		activity:     newActivityCounter(),
+		rates:        make(map[core.SessionID]rate.Rate),
+	}
+}
+
+// Session is a logical session between two hosts. Reroutes change its
+// incarnation (ID and path) but not its identity.
+type Session struct {
+	rt               *Runtime
+	srcHost, dstHost graph.NodeID
+
+	// Guarded by rt.mu.
+	cur      *incarnation
+	demand   rate.Rate
+	active   bool // user intent: joined and not left
+	stranded bool // no path between the hosts right now
+}
+
 // NewSession creates a session along path (see graph.Resolver.HostPath).
 func (rt *Runtime) NewSession(path graph.Path) (*Session, error) {
-	if err := graph.ValidatePath(rt.g, path); err != nil {
-		return nil, fmt.Errorf("live: %w", err)
-	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rt.closed {
 		return nil, fmt.Errorf("live: runtime closed")
 	}
+	if err := graph.ValidatePath(rt.g, path); err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	s := &Session{
+		rt:      rt,
+		srcHost: rt.g.Link(path[0]).From,
+		dstHost: rt.g.Link(path[len(path)-1]).To,
+	}
+	rt.newIncarnationLocked(s, append(graph.Path(nil), path...))
+	rt.order = append(rt.order, s)
+	return s, nil
+}
+
+// newIncarnationLocked mints a fresh protocol identity for s on path and
+// starts its actors. Callers hold rt.mu.
+func (rt *Runtime) newIncarnationLocked(s *Session, path graph.Path) {
 	id := rt.nextID
 	rt.nextID++
-	s := &Session{ID: id, Path: append(graph.Path(nil), path...), rt: rt}
-	s.srcT = core.NewSourceNode(id, (*emitter)(rt), func(sid core.SessionID, lambda rate.Rate) {
+	inc := &incarnation{id: id, path: path}
+	inc.srcT = core.NewSourceNode(id, (*emitter)(rt), func(sid core.SessionID, lambda rate.Rate) {
 		rt.ratesMu.Lock()
 		rt.rates[sid] = lambda
 		rt.ratesMu.Unlock()
 	})
 	dstT := core.NewDestinationNode(id, (*emitter)(rt))
-	s.src = newActor(rt.activity)
-	s.dst = newActor(rt.activity)
-	srcT, dst := s.srcT, dstT
-	s.src.start(func(m message) {
+	inc.src = newActor(rt.activity)
+	inc.dst = newActor(rt.activity)
+	srcT := inc.srcT
+	inc.src.start(func(m message) {
+		// Guards make session events idempotent: a user Leave racing a
+		// migration Leave (or a scripted double event) dissolves instead of
+		// tripping the task's state machine.
 		switch m.kind {
 		case msgPacket:
 			srcT.Receive(m.pkt)
 		case msgJoin:
-			srcT.Join(m.demand)
+			if !srcT.Active() {
+				srcT.Join(m.demand)
+			}
 		case msgLeave:
-			srcT.Leave()
+			if srcT.Active() {
+				srcT.Leave()
+			}
 		case msgChange:
-			srcT.Change(m.demand)
+			if srcT.Active() {
+				srcT.Change(m.demand)
+			}
 		}
 	})
 	hop := len(path) + 1
-	s.dst.start(func(m message) { dst.Receive(m.pkt, hop) })
-	rt.sessions[id] = s
-	return s, nil
+	inc.dst.start(func(m message) { dstT.Receive(m.pkt, hop) })
+	rt.incarnations[id] = inc
+	s.cur = inc
+}
+
+// ID returns the session's current protocol identifier (reroutes change it).
+func (s *Session) ID() core.SessionID {
+	s.rt.mu.Lock()
+	defer s.rt.mu.Unlock()
+	return s.cur.id
+}
+
+// Path returns the session's current path. The caller must not modify it.
+func (s *Session) Path() graph.Path {
+	s.rt.mu.Lock()
+	defer s.rt.mu.Unlock()
+	return s.cur.path
+}
+
+// Stranded reports whether the session is parked without a path after a link
+// failure.
+func (s *Session) Stranded() bool {
+	s.rt.mu.Lock()
+	defer s.rt.mu.Unlock()
+	return s.stranded
 }
 
 // Join asynchronously invokes API.Join(s, demand).
-func (s *Session) Join(demand rate.Rate) { s.src.enqueue(message{kind: msgJoin, demand: demand}) }
+//
+// Join, Leave and Change enqueue while holding rt.mu so a concurrent
+// topology event (FailLinks, which also holds rt.mu while it migrates)
+// cannot slip between reading the current incarnation and the enqueue —
+// otherwise a Join could land in a retired incarnation's mailbox after its
+// migration Leave and resurrect it on a failed path. The established lock
+// order rt.mu → actor.mu makes the nested enqueue safe.
+func (s *Session) Join(demand rate.Rate) {
+	s.rt.mu.Lock()
+	defer s.rt.mu.Unlock()
+	s.demand = demand
+	s.active = true
+	if s.stranded {
+		return // joins when a restore reconnects the hosts
+	}
+	s.cur.src.enqueue(message{kind: msgJoin, demand: demand})
+}
 
-// Leave asynchronously invokes API.Leave(s).
-func (s *Session) Leave() { s.src.enqueue(message{kind: msgLeave}) }
+// Leave asynchronously invokes API.Leave(s). See Join for the locking
+// discipline.
+func (s *Session) Leave() {
+	s.rt.mu.Lock()
+	defer s.rt.mu.Unlock()
+	s.active = false
+	stranded := s.stranded
+	s.stranded = false
+	s.rt.ratesMu.Lock()
+	delete(s.rt.rates, s.cur.id)
+	s.rt.ratesMu.Unlock()
+	if stranded {
+		return
+	}
+	s.cur.src.enqueue(message{kind: msgLeave})
+}
 
-// Change asynchronously invokes API.Change(s, demand).
-func (s *Session) Change(demand rate.Rate) { s.src.enqueue(message{kind: msgChange, demand: demand}) }
+// Active reports whether the session has joined, not left, and is not
+// stranded by a link failure.
+func (s *Session) Active() bool {
+	s.rt.mu.Lock()
+	defer s.rt.mu.Unlock()
+	return s.active && !s.stranded
+}
+
+// Change asynchronously invokes API.Change(s, demand). See Join for the
+// locking discipline.
+func (s *Session) Change(demand rate.Rate) {
+	s.rt.mu.Lock()
+	defer s.rt.mu.Unlock()
+	s.demand = demand
+	if s.stranded {
+		return // the recorded demand applies on rejoin
+	}
+	s.cur.src.enqueue(message{kind: msgChange, demand: demand})
+}
 
 // Rate returns the session's last granted rate. Safe to call from any
 // goroutine; stable once WaitQuiescent has returned.
 func (s *Session) Rate() (rate.Rate, bool) {
+	s.rt.mu.Lock()
+	id, gone := s.cur.id, s.stranded || !s.active
+	s.rt.mu.Unlock()
+	if gone {
+		return rate.Zero, false
+	}
 	s.rt.ratesMu.Lock()
 	defer s.rt.ratesMu.Unlock()
-	r, ok := s.rt.rates[s.ID]
+	r, ok := s.rt.rates[id]
 	return r, ok
+}
+
+// SetLinkCapacity changes the capacity of the given directed links. Pass a
+// link and its reverse for a duplex reconfiguration. Crossing sessions
+// re-probe and the network re-quiesces by itself.
+func (rt *Runtime) SetLinkCapacity(c rate.Rate, links ...graph.LinkID) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return
+	}
+	for _, l := range links {
+		rt.g.SetCapacity(l, c)
+		if la, ok := rt.links[l]; ok {
+			la.a.enqueue(message{kind: msgSetCapacity, demand: c})
+		}
+	}
+}
+
+// FailLinks takes the given directed links down and migrates crossing
+// sessions onto surviving paths (or strands them). All listed links fail
+// before any session reroutes.
+func (rt *Runtime) FailLinks(links ...graph.LinkID) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return
+	}
+	failed := make(map[graph.LinkID]bool, len(links))
+	for _, l := range links {
+		if rt.g.LinkUp(l) {
+			rt.g.FailLink(l)
+			failed[l] = true
+		}
+	}
+	if len(failed) == 0 {
+		return
+	}
+	for _, s := range rt.order {
+		if s.stranded || !crossesAny(s.cur.path, failed) {
+			continue
+		}
+		rt.migrateLocked(s)
+	}
+}
+
+// RestoreLinks brings the given directed links back up and readmits stranded
+// sessions whose hosts are reconnected. Routed sessions keep their pinned
+// paths.
+func (rt *Runtime) RestoreLinks(links ...graph.LinkID) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return
+	}
+	restored := false
+	for _, l := range links {
+		if !rt.g.LinkUp(l) {
+			rt.g.RestoreLink(l)
+			restored = true
+		}
+	}
+	if !restored {
+		return
+	}
+	for _, s := range rt.order {
+		if !s.stranded {
+			continue
+		}
+		path, err := rt.resolver.HostPath(s.srcHost, s.dstHost)
+		if err != nil {
+			continue
+		}
+		s.stranded = false
+		rt.newIncarnationLocked(s, path)
+		if s.active {
+			s.cur.src.enqueue(message{kind: msgJoin, demand: s.demand})
+		}
+	}
+}
+
+// Migrations returns how many session reroutes topology events have caused.
+func (rt *Runtime) Migrations() uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.migrated
+}
+
+// migrateLocked retires s's current incarnation through Leave and rejoins a
+// fresh one on a surviving path, or strands the session.
+func (rt *Runtime) migrateLocked(s *Session) {
+	if s.active {
+		s.cur.src.enqueue(message{kind: msgLeave})
+		rt.ratesMu.Lock()
+		delete(rt.rates, s.cur.id)
+		rt.ratesMu.Unlock()
+	}
+	path, err := rt.resolver.HostPath(s.srcHost, s.dstHost)
+	if err != nil {
+		s.stranded = true
+		return
+	}
+	rt.newIncarnationLocked(s, path)
+	if s.active {
+		rt.migrated++
+		s.cur.src.enqueue(message{kind: msgJoin, demand: s.demand})
+	}
+}
+
+func crossesAny(p graph.Path, links map[graph.LinkID]bool) bool {
+	for _, l := range p {
+		if links[l] {
+			return true
+		}
+	}
+	return false
 }
 
 // WaitQuiescent blocks until no message is queued or being processed
@@ -131,7 +379,8 @@ func (s *Session) Rate() (rate.Rate, bool) {
 // all API calls have returned (they enqueue synchronously) before waiting.
 func (rt *Runtime) WaitQuiescent() { rt.activity.wait() }
 
-// Rates returns a snapshot of all granted rates.
+// Rates returns a snapshot of all granted rates, keyed by current
+// incarnation IDs.
 func (rt *Runtime) Rates() map[core.SessionID]rate.Rate {
 	rt.ratesMu.Lock()
 	defer rt.ratesMu.Unlock()
@@ -142,6 +391,70 @@ func (rt *Runtime) Rates() map[core.SessionID]rate.Rate {
 	return out
 }
 
+// Validate cross-checks, after WaitQuiescent, every routed active session's
+// granted rate against the centralized water-filling oracle and every link
+// task's stability — the same validation the simulator applies, over the
+// live deployment. The activity counter's mutex orders the last handler
+// before this read, so the task state is safely visible.
+func (rt *Runtime) Validate() error {
+	rt.mu.Lock()
+	type entry struct {
+		s  *Session
+		id core.SessionID
+	}
+	var active []entry
+	linkIdx := make(map[graph.LinkID]int)
+	var inst waterfill.Instance
+	for _, s := range rt.order {
+		if !s.active || s.stranded {
+			continue
+		}
+		ws := waterfill.Session{Demand: s.demand}
+		for _, l := range s.cur.path {
+			li, ok := linkIdx[l]
+			if !ok {
+				li = len(inst.Capacity)
+				linkIdx[l] = li
+				inst.Capacity = append(inst.Capacity, rt.g.Link(l).Capacity)
+			}
+			ws.Path = append(ws.Path, li)
+		}
+		inst.Sessions = append(inst.Sessions, ws)
+		active = append(active, entry{s, s.cur.id})
+	}
+	tasks := make(map[graph.LinkID]*core.RouterLink, len(rt.links))
+	for l, la := range rt.links {
+		tasks[l] = la.task
+	}
+	rt.mu.Unlock()
+
+	if len(active) > 0 {
+		want, err := waterfill.Solve(inst)
+		if err != nil {
+			return fmt.Errorf("live: oracle failed: %w", err)
+		}
+		rates := rt.Rates()
+		for i, e := range active {
+			got, ok := rates[e.id]
+			if !ok {
+				return fmt.Errorf("live: session %d has no rate after quiescence", e.id)
+			}
+			if !got.Equal(want[i]) {
+				return fmt.Errorf("live: session %d rate %v, oracle %v", e.id, got, want[i])
+			}
+		}
+	}
+	for l, task := range tasks {
+		if err := task.CheckInvariants(); err != nil {
+			return fmt.Errorf("live: link %d: %w", l, err)
+		}
+		if !task.Stable() {
+			return fmt.Errorf("live: link %d unstable after quiescence", l)
+		}
+	}
+	return nil
+}
+
 // Close stops all actors. The runtime must be quiescent (WaitQuiescent).
 func (rt *Runtime) Close() {
 	rt.mu.Lock()
@@ -150,28 +463,35 @@ func (rt *Runtime) Close() {
 		return
 	}
 	rt.closed = true
-	for _, a := range rt.links {
-		a.stop()
+	for _, la := range rt.links {
+		la.a.stop()
 	}
-	for _, s := range rt.sessions {
-		s.src.stop()
-		s.dst.stop()
+	for _, inc := range rt.incarnations {
+		inc.src.stop()
+		inc.dst.stop()
 	}
 }
 
-// linkActor returns (creating if needed) the actor hosting the RouterLink
+// linkActorFor returns (creating if needed) the actor hosting the RouterLink
 // task of a directed link.
-func (rt *Runtime) linkActor(id graph.LinkID) *actor {
+func (rt *Runtime) linkActorFor(id graph.LinkID) *actor {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	if a, ok := rt.links[id]; ok {
-		return a
+	if la, ok := rt.links[id]; ok {
+		return la.a
 	}
 	l := rt.g.Link(id)
 	task := core.NewRouterLink(core.LinkRef(id), l.Capacity, (*emitter)(rt))
 	a := newActor(rt.activity)
-	a.start(func(m message) { task.Receive(m.pkt, m.hop) })
-	rt.links[id] = a
+	a.start(func(m message) {
+		switch m.kind {
+		case msgPacket:
+			task.Receive(m.pkt, m.hop)
+		case msgSetCapacity:
+			task.SetCapacity(m.demand)
+		}
+	})
+	rt.links[id] = &linkActor{a: a, task: task}
 	return a
 }
 
@@ -184,9 +504,9 @@ type emitter Runtime
 func (e *emitter) Emit(s core.SessionID, from int, dir core.Direction, pkt core.Packet) {
 	rt := (*Runtime)(e)
 	rt.mu.Lock()
-	sess := rt.sessions[s]
+	inc := rt.incarnations[s]
 	rt.mu.Unlock()
-	if sess == nil {
+	if inc == nil {
 		return
 	}
 	to := from + 1
@@ -197,11 +517,11 @@ func (e *emitter) Emit(s core.SessionID, from int, dir core.Direction, pkt core.
 	var hop int
 	switch {
 	case to <= 0:
-		target, hop = sess.src, 0
-	case to >= len(sess.Path)+1:
-		target, hop = sess.dst, len(sess.Path)+1
+		target, hop = inc.src, 0
+	case to >= len(inc.path)+1:
+		target, hop = inc.dst, len(inc.path)+1
 	default:
-		target, hop = rt.linkActor(sess.Path[to-1]), to
+		target, hop = rt.linkActorFor(inc.path[to-1]), to
 	}
 	target.enqueue(message{kind: msgPacket, pkt: pkt, hop: hop})
 }
@@ -213,11 +533,14 @@ const (
 	msgJoin
 	msgLeave
 	msgChange
+	msgSetCapacity
 )
 
 type message struct {
-	kind   msgKind
-	pkt    core.Packet
-	hop    int
+	kind msgKind
+	pkt  core.Packet
+	hop  int
+	// demand carries the Join/Change demand, or the new capacity for
+	// msgSetCapacity.
 	demand rate.Rate
 }

@@ -133,7 +133,7 @@ func TestLiveMatchesOracleOnTopology(t *testing.T) {
 	var inst waterfill.Instance
 	for _, s := range sessions {
 		ws := waterfill.Session{Demand: rate.Inf}
-		for _, l := range s.Path {
+		for _, l := range s.Path() {
 			li, ok := linkIdx[l]
 			if !ok {
 				li = len(inst.Capacity)

@@ -1,0 +1,217 @@
+// Topology dynamics for the simulated network: scheduled link capacity
+// changes, failures and restorations, with session migration driven by the
+// protocol's own primitives.
+//
+// The model is administrative reconfiguration ("fail by drain"): when a link
+// goes down, every session crossing it departs through a normal Leave — whose
+// control packets are allowed to traverse the failing link one last time to
+// tear down table state — and a successor session (fresh ID) joins along a
+// path that avoids the failed link. B-Neck's ordinary Join/Leave dynamics
+// then re-establish max-min fairness and quiescence; there is no global
+// reset. Sessions whose hosts become disconnected are parked ("stranded") and
+// rejoin automatically, with their last demand, when a restore reconnects
+// them. Capacity changes keep paths intact and instead reconfigure the
+// RouterLink task in place (core.RouterLink.SetCapacity), which re-probes the
+// crossing sessions.
+package network
+
+import (
+	"bneck/internal/core"
+	"bneck/internal/graph"
+	"bneck/internal/rate"
+	"bneck/internal/sim"
+)
+
+// ScheduleSetCapacity changes the capacity of the given directed links to c
+// at virtual time at. Pass a link and its reverse to reconfigure a duplex
+// pair, matching the paper's symmetric link model.
+func (n *Network) ScheduleSetCapacity(at sim.Time, c rate.Rate, links ...graph.LinkID) {
+	ls := append([]graph.LinkID(nil), links...)
+	n.eng.At(at, func() { n.applySetCapacity(c, ls) })
+}
+
+// ScheduleLinkFail takes the given directed links down at virtual time at and
+// migrates the sessions crossing them. All listed links fail atomically
+// before any session reroutes, so a duplex pair cannot leak a reroute onto
+// its own reverse direction.
+func (n *Network) ScheduleLinkFail(at sim.Time, links ...graph.LinkID) {
+	ls := append([]graph.LinkID(nil), links...)
+	n.eng.At(at, func() { n.applyFail(ls) })
+}
+
+// ScheduleLinkRestore brings the given directed links back up at virtual time
+// at and readmits any stranded sessions whose hosts are reconnected.
+func (n *Network) ScheduleLinkRestore(at sim.Time, links ...graph.LinkID) {
+	ls := append([]graph.LinkID(nil), links...)
+	n.eng.At(at, func() { n.applyRestore(ls) })
+}
+
+// StrandedSessions returns how many sessions are currently parked without a
+// path.
+func (n *Network) StrandedSessions() int { return len(n.stranded) }
+
+// Migrations returns how many session reroutes topology events have caused.
+func (n *Network) Migrations() uint64 { return n.migrated }
+
+func (n *Network) applySetCapacity(c rate.Rate, links []graph.LinkID) {
+	for _, l := range links {
+		n.g.SetCapacity(l, c)
+		if rl, ok := n.links[l]; ok {
+			rl.SetCapacity(c)
+		}
+		if w, ok := n.wires[l]; ok {
+			w.SetTx(n.txFor(c))
+		}
+	}
+}
+
+func (n *Network) applyFail(links []graph.LinkID) {
+	failed := make(map[graph.LinkID]bool, len(links))
+	for _, l := range links {
+		if n.g.LinkUp(l) {
+			n.g.FailLink(l)
+			failed[l] = true
+		}
+	}
+	if len(failed) == 0 {
+		return
+	}
+	// Migrate affected sessions in creation order (determinism). Snapshot the
+	// order first: migration appends successor sessions, whose fresh paths
+	// need no second look.
+	ids := append([]core.SessionID(nil), n.order...)
+	for _, id := range ids {
+		s := n.sessions[id]
+		if !s.active || !pathCrossesAny(s.Path, failed) {
+			continue
+		}
+		n.migrate(s)
+	}
+}
+
+func (n *Network) applyRestore(links []graph.LinkID) {
+	restored := false
+	for _, l := range links {
+		if !n.g.LinkUp(l) {
+			n.g.RestoreLink(l)
+			restored = true
+		}
+	}
+	if !restored || len(n.stranded) == 0 {
+		return
+	}
+	// Readmit stranded sessions in strand order; those still unroutable stay
+	// parked for the next restore.
+	waiting := n.stranded
+	n.stranded = nil
+	for _, s := range waiting {
+		path, err := n.resolver.HostPath(s.SrcHost, s.DstHost)
+		if err != nil {
+			n.stranded = append(n.stranded, s)
+			continue
+		}
+		s.stranded = false
+		n.joinOnPath(s, path, s.strandedDemand)
+	}
+}
+
+// migrate departs an active session through Leave and rejoins a successor on
+// a surviving path, or strands the session if none exists.
+func (n *Network) migrate(s *Session) {
+	demand := s.src.Demand()
+	s.active = false
+	s.departed = true
+	s.src.Leave()
+	path, err := n.resolver.HostPath(s.SrcHost, s.DstHost)
+	if err != nil {
+		s.stranded = true
+		s.strandedDemand = demand
+		n.stranded = append(n.stranded, s)
+		return
+	}
+	n.migrated++
+	succ, err := n.NewSession(s.SrcHost, s.DstHost, path)
+	if err != nil {
+		// The resolver only returns valid up paths.
+		panic("network: migration produced invalid path: " + err.Error())
+	}
+	s.succ = succ
+	n.join(succ, demand)
+}
+
+// joinOrStrand runs a scheduled join, rerouting around links that failed
+// since the session's path was resolved.
+func (n *Network) joinOrStrand(s *Session, demand rate.Rate) {
+	if s.stranded {
+		// Already parked by a failure; the join's demand wins.
+		s.strandedDemand = demand
+		return
+	}
+	if n.pathUp(s.Path) {
+		n.join(s, demand)
+		return
+	}
+	path, err := n.resolver.HostPath(s.SrcHost, s.DstHost)
+	if err != nil {
+		s.stranded = true
+		s.strandedDemand = demand
+		n.stranded = append(n.stranded, s)
+		return
+	}
+	n.joinOnPath(s, path, demand)
+}
+
+// joinOnPath (re)admits s along path. A session whose ID never carried
+// traffic can simply adopt the path; otherwise a successor with a fresh ID
+// joins, so straggler packets of the old incarnation cannot corrupt state on
+// shared links.
+func (n *Network) joinOnPath(s *Session, path graph.Path, demand rate.Rate) {
+	if !s.everJoined {
+		s.Path = path
+		n.join(s, demand)
+		return
+	}
+	succ, err := n.NewSession(s.SrcHost, s.DstHost, path)
+	if err != nil {
+		panic("network: rejoin produced invalid path: " + err.Error())
+	}
+	s.succ = succ
+	n.join(succ, demand)
+}
+
+func (n *Network) join(s *Session, demand rate.Rate) {
+	s.active = true
+	s.everJoined = true
+	s.joinedAt = n.eng.Now()
+	s.src.Join(demand)
+}
+
+// unstrand removes a parked session (a Leave arrived before any restore).
+func (n *Network) unstrand(s *Session) {
+	s.stranded = false
+	s.departed = true
+	for i, p := range n.stranded {
+		if p == s {
+			n.stranded = append(n.stranded[:i], n.stranded[i+1:]...)
+			return
+		}
+	}
+}
+
+func pathCrossesAny(p graph.Path, links map[graph.LinkID]bool) bool {
+	for _, l := range p {
+		if links[l] {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Network) pathUp(p graph.Path) bool {
+	for _, l := range p {
+		if !n.g.LinkUp(l) {
+			return false
+		}
+	}
+	return true
+}

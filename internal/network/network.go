@@ -42,7 +42,11 @@ func DefaultConfig() Config {
 	return Config{ControlPacketBits: 512, BinSize: 5 * time.Millisecond}
 }
 
-// Session is one session living in a simulated network.
+// Session is one session living in a simulated network. A topology event can
+// migrate a session onto a new path: the old incarnation departs through the
+// protocol's own Leave and a successor (fresh ID, new path) joins in its
+// place, so in-flight packets of the two incarnations can never interfere.
+// Current follows the successor chain; the read accessors do so implicitly.
 type Session struct {
 	ID       core.SessionID
 	SrcHost  graph.NodeID
@@ -54,41 +58,70 @@ type Session struct {
 	rateAt   sim.Time
 	active   bool
 	departed bool
+
+	everJoined bool
+	// succ is the migrated continuation of this session, if any.
+	succ *Session
+	// stranded marks a session parked because no path exists between its
+	// hosts; it rejoins with strandedDemand when a restore reconnects them.
+	stranded       bool
+	strandedDemand rate.Rate
 }
 
-// JoinedAt returns the virtual time of the session's (last) join.
-func (s *Session) JoinedAt() sim.Time { return s.joinedAt }
+// Current returns the live incarnation of the session: itself, or the last
+// successor created by topology-event migration.
+func (s *Session) Current() *Session {
+	for s.succ != nil {
+		s = s.succ
+	}
+	return s
+}
+
+// Stranded reports whether the session is parked without a path after a link
+// failure (it rejoins automatically on restore).
+func (s *Session) Stranded() bool { return s.Current().stranded }
+
+// JoinedAt returns the virtual time of the session's (last) join, following
+// topology-event migrations.
+func (s *Session) JoinedAt() sim.Time { return s.Current().joinedAt }
 
 // SettlingTime returns how long after joining the session received its last
-// rate notification — its individual convergence latency.
-func (s *Session) SettlingTime() sim.Time { return s.rateAt - s.joinedAt }
+// rate notification — its individual convergence latency. After a migration
+// it measures the successor's join-to-rate latency.
+func (s *Session) SettlingTime() sim.Time {
+	cur := s.Current()
+	return cur.rateAt - cur.joinedAt
+}
 
 // Rate returns the session's last granted rate (valid once ok).
-func (s *Session) Rate() (rate.Rate, bool) { return s.src.Rate() }
+func (s *Session) Rate() (rate.Rate, bool) { return s.Current().src.Rate() }
 
 // RateTime returns the virtual time of the last API.Rate upcall.
-func (s *Session) RateTime() sim.Time { return s.rateAt }
+func (s *Session) RateTime() sim.Time { return s.Current().rateAt }
 
 // Active reports whether the session has joined and not left.
-func (s *Session) Active() bool { return s.active }
+func (s *Session) Active() bool { return s.Current().active }
 
 // Demand returns the session's current requested maximum rate.
-func (s *Session) Demand() rate.Rate { return s.src.Demand() }
+func (s *Session) Demand() rate.Rate { return s.Current().src.Demand() }
 
 // Converged reports whether the session holds a confirmed max-min rate.
-func (s *Session) Converged() bool { return s.src.Converged() }
+func (s *Session) Converged() bool { return s.Current().src.Converged() }
 
 // Network is a simulated B-Neck deployment.
 type Network struct {
 	cfg      Config
 	g        *graph.Graph
 	eng      *sim.Engine
+	resolver *graph.Resolver
 	links    map[graph.LinkID]*core.RouterLink
 	wires    map[graph.LinkID]*sim.Wire
 	sessions map[core.SessionID]*Session
 	order    []core.SessionID // insertion order, for deterministic iteration
+	stranded []*Session       // parked without a path, in strand order
 	stats    *metrics.PacketStats
 	nextID   core.SessionID
+	migrated uint64          // sessions rerouted by topology events
 	free     []*deliverEvent // recycled packet deliveries (see Emit)
 }
 
@@ -133,6 +166,7 @@ func New(g *graph.Graph, eng *sim.Engine, cfg Config) *Network {
 		cfg:      cfg,
 		g:        g,
 		eng:      eng,
+		resolver: graph.NewResolver(g, 256),
 		links:    make(map[graph.LinkID]*core.RouterLink),
 		wires:    make(map[graph.LinkID]*sim.Wire),
 		sessions: make(map[core.SessionID]*Session),
@@ -179,26 +213,46 @@ func (n *Network) NewSession(srcHost, dstHost graph.NodeID, path graph.Path) (*S
 }
 
 // ScheduleJoin joins the session at virtual time at with the given demand.
+// If a topology event broke the session's path before the join fires, the
+// join reroutes (or strands the session until a restore reconnects it).
 func (n *Network) ScheduleJoin(s *Session, at sim.Time, demand rate.Rate) {
-	n.eng.At(at, func() {
-		s.active = true
-		s.joinedAt = n.eng.Now()
-		s.src.Join(demand)
-	})
+	n.eng.At(at, func() { n.joinOrStrand(s.Current(), demand) })
 }
 
-// ScheduleLeave departs the session at virtual time at.
+// ScheduleLeave departs the session at virtual time at. Leaves for sessions
+// that a topology event already stranded or departed dissolve silently, so
+// churn schedules compose with failure schedules.
 func (n *Network) ScheduleLeave(s *Session, at sim.Time) {
 	n.eng.At(at, func() {
-		s.active = false
-		s.departed = true
-		s.src.Leave()
+		cur := s.Current()
+		if cur.stranded {
+			n.unstrand(cur)
+			return
+		}
+		if !cur.active {
+			return
+		}
+		cur.active = false
+		cur.departed = true
+		cur.src.Leave()
 	})
 }
 
-// ScheduleChange changes the session's demand at virtual time at.
+// ScheduleChange changes the session's demand at virtual time at. Changes
+// for stranded sessions update the demand they will rejoin with; changes for
+// departed sessions dissolve.
 func (n *Network) ScheduleChange(s *Session, at sim.Time, demand rate.Rate) {
-	n.eng.At(at, func() { s.src.Change(demand) })
+	n.eng.At(at, func() {
+		cur := s.Current()
+		if cur.stranded {
+			cur.strandedDemand = demand
+			return
+		}
+		if !cur.active {
+			return
+		}
+		cur.src.Change(demand)
+	})
 }
 
 // Run drives the simulation to quiescence and returns the quiescence time
@@ -268,17 +322,22 @@ func (n *Network) wire(id graph.LinkID) *sim.Wire {
 		return w
 	}
 	l := n.g.Link(id)
-	var tx time.Duration
-	if n.cfg.ControlPacketBits > 0 {
-		// tx = bits / capacity, in seconds.
-		bps := l.Capacity.Float64()
-		if bps > 0 {
-			tx = time.Duration(float64(n.cfg.ControlPacketBits) / bps * float64(time.Second))
-		}
-	}
-	w := sim.NewWire(n.eng, l.Propagation, tx)
+	w := sim.NewWire(n.eng, l.Propagation, n.txFor(l.Capacity))
 	n.wires[id] = w
 	return w
+}
+
+// txFor returns the per-packet transmission time on a link of the given
+// capacity: tx = bits / capacity, in seconds.
+func (n *Network) txFor(capacity rate.Rate) time.Duration {
+	if n.cfg.ControlPacketBits <= 0 {
+		return 0
+	}
+	bps := capacity.Float64()
+	if bps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n.cfg.ControlPacketBits) / bps * float64(time.Second))
 }
 
 // Oracle computes the max-min fair rates of the currently active sessions

@@ -1,0 +1,227 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"bneck/internal/graph"
+	"bneck/internal/live"
+	"bneck/internal/network"
+	"bneck/internal/sim"
+)
+
+// EpochResult summarizes one reconfiguration epoch: all events sharing a
+// timestamp, the re-quiescence that followed, and the network state after
+// validation.
+type EpochResult struct {
+	// At is the scripted epoch time (virtual for the simulator).
+	At time.Duration
+	// Applied is when the epoch actually fired: quiescence of a previous
+	// epoch can overrun the scripted time, in which case the events apply
+	// immediately after it.
+	Applied time.Duration
+	// Events describes the epoch's events.
+	Events []string
+	// Quiescence is the virtual time the network went silent again
+	// (simulator only).
+	Quiescence time.Duration
+	// Requiescence = Quiescence − Applied, the packets-to-silence latency the
+	// paper cares about (simulator only).
+	Requiescence time.Duration
+	// Packets sent during the epoch (simulator only).
+	Packets uint64
+	// Active and Stranded count sessions after the epoch.
+	Active   int
+	Stranded int
+}
+
+// Result is a full scenario run. Every epoch passed oracle validation.
+type Result struct {
+	Transport    string
+	Epochs       []EpochResult
+	TotalPackets uint64
+	Migrations   uint64
+}
+
+// RunSim executes the script on the deterministic discrete-event simulator,
+// validating against the water-filling oracle at every quiescent epoch.
+func RunSim(sc *Script) (*Result, error) {
+	w, err := build(sc)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.New()
+	net := network.New(w.g, eng, network.DefaultConfig())
+	res := graph.NewResolver(w.g, 256)
+	sessions := make([]*network.Session, len(sc.Sessions))
+	for i, d := range sc.Sessions {
+		path, err := res.HostPath(w.nodes[d.Src], w.nodes[d.Dst])
+		if err != nil {
+			return nil, fmt.Errorf("scenario: session %q: %w", d.Name, err)
+		}
+		s, err := net.NewSession(w.nodes[d.Src], w.nodes[d.Dst], path)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: session %q: %w", d.Name, err)
+		}
+		sessions[i] = s
+	}
+
+	out := &Result{Transport: "sim"}
+	for _, ep := range w.epochs {
+		at := ep.at
+		if now := eng.Now(); at < now {
+			at = now // the previous epoch's convergence overran this timestamp
+		}
+		before := net.Stats().Total()
+		for _, ev := range ep.events {
+			switch ev.Op {
+			case OpJoin:
+				net.ScheduleJoin(sessions[ev.sessionIdx], at, ev.Demand)
+			case OpLeave:
+				net.ScheduleLeave(sessions[ev.sessionIdx], at)
+			case OpChange:
+				net.ScheduleChange(sessions[ev.sessionIdx], at, ev.Demand)
+			case OpFail:
+				net.ScheduleLinkFail(at, ev.ab, ev.ba)
+			case OpRestore:
+				net.ScheduleLinkRestore(at, ev.ab, ev.ba)
+			case OpSetCapacity:
+				net.ScheduleSetCapacity(at, ev.Capacity, ev.ab, ev.ba)
+			}
+		}
+		q := net.Run()
+		if err := net.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario: epoch %v: %w", ep.at, err)
+		}
+		er := EpochResult{
+			At:      ep.at,
+			Applied: at,
+			Events:  describe(ep.events),
+			Packets: net.Stats().Total() - before,
+		}
+		if q > at {
+			er.Quiescence = q
+			er.Requiescence = q - at
+		} else {
+			er.Quiescence = at // the epoch generated no traffic
+		}
+		er.Active, er.Stranded = countSim(sessions)
+		out.Epochs = append(out.Epochs, er)
+	}
+	out.TotalPackets = net.Stats().Total()
+	out.Migrations = net.Migrations()
+	return out, nil
+}
+
+// RunLive executes the script on the concurrent actor runtime. Epochs apply
+// in order; scripted timestamps only sequence them (the runtime has no
+// virtual clock). Every epoch is driven to quiescence (by termination
+// detection) and validated.
+func RunLive(sc *Script) (*Result, error) {
+	w, err := build(sc)
+	if err != nil {
+		return nil, err
+	}
+	rt := live.New(w.g)
+	defer rt.Close()
+	res := graph.NewResolver(w.g, 256)
+	sessions := make([]*live.Session, len(sc.Sessions))
+	for i, d := range sc.Sessions {
+		path, err := res.HostPath(w.nodes[d.Src], w.nodes[d.Dst])
+		if err != nil {
+			return nil, fmt.Errorf("scenario: session %q: %w", d.Name, err)
+		}
+		s, err := rt.NewSession(path)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: session %q: %w", d.Name, err)
+		}
+		sessions[i] = s
+	}
+
+	out := &Result{Transport: "live"}
+	for _, ep := range w.epochs {
+		for _, ev := range ep.events {
+			switch ev.Op {
+			case OpJoin:
+				sessions[ev.sessionIdx].Join(ev.Demand)
+			case OpLeave:
+				sessions[ev.sessionIdx].Leave()
+			case OpChange:
+				sessions[ev.sessionIdx].Change(ev.Demand)
+			case OpFail:
+				rt.FailLinks(ev.ab, ev.ba)
+			case OpRestore:
+				rt.RestoreLinks(ev.ab, ev.ba)
+			case OpSetCapacity:
+				rt.SetLinkCapacity(ev.Capacity, ev.ab, ev.ba)
+			}
+		}
+		rt.WaitQuiescent()
+		if err := rt.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario: epoch %v: %w", ep.at, err)
+		}
+		er := EpochResult{At: ep.at, Applied: ep.at, Events: describe(ep.events)}
+		er.Active, er.Stranded = countLive(sessions)
+		out.Epochs = append(out.Epochs, er)
+	}
+	out.Migrations = rt.Migrations()
+	return out, nil
+}
+
+func countSim(sessions []*network.Session) (active, stranded int) {
+	for _, s := range sessions {
+		switch {
+		case s.Stranded():
+			stranded++
+		case s.Active():
+			active++
+		}
+	}
+	return
+}
+
+func countLive(sessions []*live.Session) (active, stranded int) {
+	for _, s := range sessions {
+		switch {
+		case s.Stranded():
+			stranded++
+		case s.Active():
+			active++
+		}
+	}
+	return
+}
+
+func describe(events []resolvedEvent) []string {
+	out := make([]string, len(events))
+	for i, ev := range events {
+		switch ev.Op {
+		case OpJoin, OpLeave, OpChange:
+			out[i] = fmt.Sprintf("%s %s", ev.Op, ev.Session)
+		case OpSetCapacity:
+			out[i] = fmt.Sprintf("%s %s-%s %v", ev.Op, ev.A, ev.B, ev.Capacity)
+		default:
+			out[i] = fmt.Sprintf("%s %s-%s", ev.Op, ev.A, ev.B)
+		}
+	}
+	return out
+}
+
+// Format renders a result as the table cmd/bneck prints.
+func Format(w io.Writer, res *Result) {
+	fmt.Fprintf(w, "%-10s %-12s %-14s %10s %8s %8s  %s\n",
+		"epoch", "requiesced", "re-quiescence", "packets", "active", "strand", "events")
+	for _, ep := range res.Epochs {
+		q, rq := "-", "-"
+		if res.Transport == "sim" {
+			q = ep.Quiescence.Round(time.Microsecond).String()
+			rq = ep.Requiescence.Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "%-10v %-12s %-14s %10d %8d %8d  %s\n",
+			ep.At, q, rq, ep.Packets, ep.Active, ep.Stranded, strings.Join(ep.Events, ", "))
+	}
+	fmt.Fprintf(w, "total packets: %d, migrations: %d (every epoch validated against the oracle)\n",
+		res.TotalPackets, res.Migrations)
+}

@@ -1,0 +1,257 @@
+package scenario
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"bneck/internal/rate"
+)
+
+const handScript = `
+# two disjoint router routes between the hosts
+router r1
+router r2
+router r3
+router r4
+link r1 r2 40mbps 1us
+link r2 r4 40mbps 1us
+link r1 r3 25mbps 1us
+link r3 r4 25mbps 1us
+host ha r1
+host hb r4
+
+session s1 ha hb
+session s2 ha hb
+
+at 0ms  join s1
+at 0ms  join s2 demand=8mbps
+at 2ms  set-capacity r1 r2 30mbps
+at 4ms  fail r1 r2
+at 6ms  change s2 demand=unlimited
+at 8ms  restore r1 r2
+at 10ms leave s2
+`
+
+func TestParseHandScript(t *testing.T) {
+	sc, err := Parse(handScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Topo.Kind != TopoHand {
+		t.Fatalf("kind = %v", sc.Topo.Kind)
+	}
+	if len(sc.Routers) != 4 || len(sc.Hosts) != 2 || len(sc.Links) != 4 || len(sc.Sessions) != 2 {
+		t.Fatalf("decls = %d routers, %d hosts, %d links, %d sessions",
+			len(sc.Routers), len(sc.Hosts), len(sc.Links), len(sc.Sessions))
+	}
+	if len(sc.Events) != 7 {
+		t.Fatalf("events = %d", len(sc.Events))
+	}
+	if sc.Events[0].At != 0 || sc.Events[0].Op != OpJoin || sc.Events[0].Session != "s1" {
+		t.Fatalf("first event = %+v", sc.Events[0])
+	}
+	if !sc.Events[1].Demand.Equal(rate.Mbps(8)) {
+		t.Fatalf("join demand = %v", sc.Events[1].Demand)
+	}
+	if sc.Events[2].Op != OpSetCapacity || !sc.Events[2].Capacity.Equal(rate.Mbps(30)) {
+		t.Fatalf("set-capacity event = %+v", sc.Events[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"malformed timestamp", "router r1\nat zzz fail r1 r1", "malformed duration"},
+		{"negative duration", "router r1\nrouter r2\nat -3ms fail r1 r2", "negative duration"},
+		{"unknown directive", "frobnicate", "unknown directive"},
+		{"unknown node in link", "router r1\nlink r1 r9 10mbps 1us", `unknown router "r9"`},
+		{"unknown host in session", "router r1\nhost h1 r1\nsession s h1 h9", `unknown host "h9"`},
+		{"unknown session in event", "at 0ms join nosuch", `unknown session "nosuch"`},
+		{"unknown node in fail", "router r1\nhost h1 r1\nat 0s fail r1 r9", `unknown node "r9"`},
+		{"double fail", "router r1\nrouter r2\nlink r1 r2 10mbps 1us\nat 0s fail r1 r2\nat 1s fail r2 r1", "already failed"},
+		{"restore of up link", "router r1\nrouter r2\nlink r1 r2 10mbps 1us\nat 0s restore r1 r2", "that is up"},
+		{"set-capacity on failed link", "router r1\nrouter r2\nlink r1 r2 10mbps 1us\nat 0s fail r1 r2\nat 1s set-capacity r1 r2 5mbps", "on failed link"},
+		{"double join", "router r1\nhost h1 r1\nhost h2 r1\nsession s h1 h2\nat 0s join s\nat 1s join s", "already-joined"},
+		{"leave before join", "router r1\nhost h1 r1\nhost h2 r1\nsession s h1 h2\nat 0s leave s", "not joined"},
+		{"bad rate", "router r1\nhost h1 r1 10zbps", "malformed rate"},
+		{"zero rate", "router r1\nrouter r2\nlink r1 r2 0mbps 1us", "non-positive rate"},
+		{"self loop", "router r1\nlink r1 r1 10mbps 1us", "self loop"},
+		{"duplicate node", "router r1\nrouter r1", "duplicate node"},
+		{"mixed topology", "topology transit-stub small lan\nrouter r1", "cannot mix"},
+		{"huge hosts", "topology transit-stub small lan hosts=99999999", "out of range"},
+		{"infinite capacity", "router r1\nrouter r2\nlink r1 r2 10mbps 1us\nat 0s set-capacity r1 r2 unlimited", "finite rate"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("Parse accepted %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestRunSimHandScript(t *testing.T) {
+	sc, err := Parse(handScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSim(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 6 {
+		t.Fatalf("epochs = %d", len(res.Epochs))
+	}
+	if res.Migrations == 0 {
+		t.Fatal("the r1-r2 failure should have migrated sessions")
+	}
+	last := res.Epochs[len(res.Epochs)-1]
+	if last.Active != 1 || last.Stranded != 0 {
+		t.Fatalf("final state: active %d stranded %d", last.Active, last.Stranded)
+	}
+	if res.TotalPackets == 0 {
+		t.Fatal("no packets counted")
+	}
+}
+
+func TestRunLiveHandScript(t *testing.T) {
+	sc, err := Parse(handScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunLive(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 6 {
+		t.Fatalf("epochs = %d", len(res.Epochs))
+	}
+	last := res.Epochs[len(res.Epochs)-1]
+	if last.Active != 1 || last.Stranded != 0 {
+		t.Fatalf("final state: active %d stranded %d", last.Active, last.Stranded)
+	}
+}
+
+func TestRunSimDeterministic(t *testing.T) {
+	sc, err := Parse(handScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunSim(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("scenario runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestFailoverScenarioBothTransports is the acceptance scenario: the checked
+// in failover script (TransitStub topology, 3 link failures + 3 restores +
+// 2 capacity changes + churn) must validate against the water-filling oracle
+// at every quiescent epoch on both transports.
+func TestFailoverScenarioBothTransports(t *testing.T) {
+	src, err := os.ReadFile("../../examples/scenarios/failover.bneck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails, restores, capChanges := 0, 0, 0
+	for _, ev := range sc.Events {
+		switch ev.Op {
+		case OpFail:
+			fails++
+		case OpRestore:
+			restores++
+		case OpSetCapacity:
+			capChanges++
+		}
+	}
+	if fails < 3 || restores < 3 || capChanges < 2 {
+		t.Fatalf("scenario too tame: %d fails, %d restores, %d capacity changes", fails, restores, capChanges)
+	}
+
+	simRes, err := RunSim(sc)
+	if err != nil {
+		t.Fatalf("sim transport: %v", err)
+	}
+	if len(simRes.Epochs) == 0 || simRes.TotalPackets == 0 {
+		t.Fatal("sim run produced nothing")
+	}
+	final := simRes.Epochs[len(simRes.Epochs)-1]
+	if final.Active == 0 {
+		t.Fatal("no active sessions at the end")
+	}
+
+	liveRes, err := RunLive(sc)
+	if err != nil {
+		t.Fatalf("live transport: %v", err)
+	}
+	liveFinal := liveRes.Epochs[len(liveRes.Epochs)-1]
+	if liveFinal.Active != final.Active {
+		t.Fatalf("transports disagree on surviving sessions: sim %d, live %d", final.Active, liveFinal.Active)
+	}
+}
+
+func TestEpochOverrunAppliesImmediately(t *testing.T) {
+	// Two epochs 1ns apart: convergence of the first overruns the second's
+	// timestamp; the runner must apply it at the later time instead of
+	// scheduling into the past.
+	src := `
+router r1
+host h1 r1
+host h2 r1
+session s1 h1 h2
+session s2 h1 h2
+at 0s   join s1
+at 1ns  join s2
+`
+	sc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSim(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 2 {
+		t.Fatalf("epochs = %d", len(res.Epochs))
+	}
+	if res.Epochs[1].Applied < res.Epochs[0].Quiescence {
+		t.Fatalf("second epoch applied at %v, before first quiescence %v",
+			res.Epochs[1].Applied, res.Epochs[0].Quiescence)
+	}
+	if res.Epochs[1].Active != 2 {
+		t.Fatalf("active = %d", res.Epochs[1].Active)
+	}
+}
+
+func TestParseDurationsAndRates(t *testing.T) {
+	if d, err := parseDuration("1500us"); err != nil || d != 1500*time.Microsecond {
+		t.Fatalf("parseDuration = %v, %v", d, err)
+	}
+	if r, err := parseRate("2gbps"); err != nil || !r.Equal(rate.FromInt64(2_000_000_000)) {
+		t.Fatalf("parseRate gbps = %v, %v", r, err)
+	}
+	if r, err := parseRate("512"); err != nil || !r.Equal(rate.FromInt64(512)) {
+		t.Fatalf("parseRate bare = %v, %v", r, err)
+	}
+	if r, err := parseRate("UNLIMITED"); err != nil || !r.IsInf() {
+		t.Fatalf("parseRate unlimited = %v, %v", r, err)
+	}
+}

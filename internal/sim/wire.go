@@ -44,6 +44,12 @@ func (w *Wire) Send(deliver func()) Time {
 // Sent returns the number of packets sent on this wire.
 func (w *Wire) Sent() uint64 { return w.sent }
 
+// SetTx changes the per-packet transmission time — a capacity
+// reconfiguration of the underlying link. Packets already serialized keep
+// their departure times (w.free is untouched); only future sends use the new
+// rate.
+func (w *Wire) SetTx(txPerPacket time.Duration) { w.tx = txPerPacket }
+
 // Backlog returns how long a packet enqueued now would wait before starting
 // transmission (a congestion signal for tests and metrics).
 func (w *Wire) Backlog() time.Duration {

@@ -146,14 +146,114 @@ func (s *Simulation) Packets() uint64 { return s.net.Stats().Total() }
 // of the control traffic).
 func (s *Simulation) TrafficBins() []metrics.Bin { return s.net.Stats().Bins() }
 
+// Link is a handle to one duplex link, used to schedule topology events.
+// Events apply to both directions, matching the paper's symmetric link
+// model. Handles come from NetworkBuilder.Link (bound at Build) or from
+// Simulation.RouterLinks / Simulation.LinkBetween.
+type Link struct {
+	sim    *Simulation
+	ab, ba graph.LinkID
+}
+
+func (l *Link) check() {
+	if l.sim == nil {
+		panic("bneck: Link not bound to a Simulation (Build the network first)")
+	}
+}
+
+// SetCapacityAt schedules a capacity change of both directions to c at
+// virtual time at. Sessions crossing the link re-probe through the
+// protocol's own dynamics and the network re-quiesces; run
+// RunToQuiescence and Validate afterwards.
+func (l *Link) SetCapacityAt(at time.Duration, c Rate) {
+	l.check()
+	l.sim.net.ScheduleSetCapacity(at, c, l.ab, l.ba)
+}
+
+// FailAt schedules both directions to go down at virtual time at. Sessions
+// whose path crosses the link migrate onto surviving paths via the
+// protocol's own Leave → reroute → Join; sessions with no surviving path are
+// stranded until a restore reconnects them.
+func (l *Link) FailAt(at time.Duration) {
+	l.check()
+	l.sim.net.ScheduleLinkFail(at, l.ab, l.ba)
+}
+
+// RestoreAt schedules both directions to come back up at virtual time at.
+// Stranded sessions rejoin automatically with their last demand; routed
+// sessions keep their pinned paths.
+func (l *Link) RestoreAt(at time.Duration) {
+	l.check()
+	l.sim.net.ScheduleLinkRestore(at, l.ab, l.ba)
+}
+
+// Capacity returns the link's current capacity (both directions are
+// symmetric under this API).
+func (l *Link) Capacity() Rate {
+	l.check()
+	return l.sim.g.Link(l.ab).Capacity
+}
+
+// Up reports whether the link is currently up.
+func (l *Link) Up() bool {
+	l.check()
+	return l.sim.g.LinkUp(l.ab)
+}
+
+// Ends returns the two nodes the link connects.
+func (l *Link) Ends() (Node, Node) {
+	l.check()
+	gl := l.sim.g.Link(l.ab)
+	return Node{id: gl.From}, Node{id: gl.To}
+}
+
+// RouterLinks returns duplex handles for every router–router link of the
+// network, in insertion order — the natural targets for failure injection on
+// generated transit-stub topologies (host access links can fail too, via
+// LinkBetween).
+func (s *Simulation) RouterLinks() []*Link {
+	var out []*Link
+	for id := 0; id < s.g.NumLinks(); id++ {
+		l := s.g.Link(graph.LinkID(id))
+		if l.Reverse == graph.NoLink || l.Reverse < l.ID {
+			continue // visit each duplex pair once, from its first direction
+		}
+		if s.g.Node(l.From).Kind != graph.Router || s.g.Node(l.To).Kind != graph.Router {
+			continue
+		}
+		out = append(out, &Link{sim: s, ab: l.ID, ba: l.Reverse})
+	}
+	return out
+}
+
+// LinkBetween returns the duplex link connecting two adjacent nodes, if one
+// exists.
+func (s *Simulation) LinkBetween(x, y Node) (*Link, bool) {
+	for _, lid := range s.g.Out(x.id) {
+		l := s.g.Link(lid)
+		if l.To == y.id && l.Reverse != graph.NoLink {
+			return &Link{sim: s, ab: l.ID, ba: l.Reverse}, true
+		}
+	}
+	return nil, false
+}
+
+// StrandedSessions returns how many sessions are parked without a path after
+// link failures (they rejoin automatically on restore).
+func (s *Simulation) StrandedSessions() int { return s.net.StrandedSessions() }
+
+// Migrations returns how many session reroutes topology events have caused.
+func (s *Simulation) Migrations() uint64 { return s.net.Migrations() }
+
 // Session is a handle to one session.
 type Session struct {
 	sim   *Simulation
 	inner *network.Session
 }
 
-// ID returns the session's identifier.
-func (s *Session) ID() SessionID { return SessionID(s.inner.ID) }
+// ID returns the session's current identifier. A topology-event migration
+// mints a fresh identifier (Report.Rates is keyed by current IDs).
+func (s *Session) ID() SessionID { return SessionID(s.inner.Current().ID) }
 
 // JoinAt schedules API.Join(s, demand) at virtual time at (which must not be
 // in the past).
@@ -181,5 +281,10 @@ func (s *Session) Converged() bool { return s.inner.Converged() }
 // Active reports whether the session has joined and not left.
 func (s *Session) Active() bool { return s.inner.Active() }
 
-// PathLen returns the number of links on the session's path.
-func (s *Session) PathLen() int { return len(s.inner.Path) }
+// Stranded reports whether link failures left the session without a path
+// between its hosts (it rejoins automatically on restore).
+func (s *Session) Stranded() bool { return s.inner.Stranded() }
+
+// PathLen returns the number of links on the session's current path (it can
+// change when topology events migrate the session).
+func (s *Session) PathLen() int { return len(s.inner.Current().Path) }
