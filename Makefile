@@ -30,10 +30,11 @@ bench:
 bench-full:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
-# Machine-readable perf snapshot: engine scheduling, protocol throughput and
-# the dynamic-topology reconfiguration benchmark, as BENCH_<date>.json.
+# Machine-readable perf snapshot: engine scheduling, protocol throughput,
+# the dynamic-topology reconfiguration benchmark and the sharded-engine
+# scaling sweep, as BENCH_<date>.json.
 bench-json:
-	$(GO) test -bench='SimEngine|ProtocolThroughput|Reconfiguration' -benchmem -run='^$$' . \
+	$(GO) test -bench='SimEngine|ProtocolThroughput|Reconfiguration|ShardedEngine' -benchmem -run='^$$' . \
 		| $(GO) run ./cmd/benchjson -out BENCH_$(DATE).json
 
 fmt:

@@ -283,6 +283,41 @@ func BenchmarkReconfiguration(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedEngine measures single-run multi-core scaling of the
+// sharded simulator on a paper-sized Experiment 4 shape: the Medium
+// transit-stub topology under the WAN failure sweep, where millisecond link
+// delays give the engine large conservative windows. Sub-benchmarks sweep
+// the shard count; outputs are byte-identical at every setting, so the
+// pkts/sec ratio between shards=4 and shards=1 is pure engine speedup (on a
+// single-core machine it instead shows the synchronization overhead).
+func BenchmarkShardedEngine(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run("Exp4/Medium/WAN/shards="+itoa(shards), func(b *testing.B) {
+			cfg := exp.DefaultExp4()
+			cfg.Sizes = []topology.Params{topology.Medium}
+			cfg.Scenarios = []topology.Scenario{topology.WAN}
+			cfg.Sessions = 2000
+			cfg.Epochs = 3
+			cfg.Churn = 50
+			cfg.Validate = false
+			cfg.Shards = shards
+			var packets uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg.Seeds = []int64{int64(i + 1)}
+				rows, err := exp.RunExperiment4(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range rows {
+					packets += r.Packets
+				}
+			}
+			b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "pkts/sec")
+		})
+	}
+}
+
 // BenchmarkProtocolThroughput measures end-to-end packets processed per
 // second of wall time for a standard Experiment 1 cell.
 func BenchmarkProtocolThroughput(b *testing.B) {

@@ -136,6 +136,7 @@ type options struct {
 	controlPacketBits int64
 	binSize           time.Duration
 	onRate            func(SessionID, Rate, time.Duration)
+	shards            int
 }
 
 func defaultOptions() options {
@@ -155,7 +156,19 @@ func WithTrafficBinSize(d time.Duration) Option {
 }
 
 // WithRateCallback observes every API.Rate upcall: the session, the granted
-// rate, and the virtual time.
+// rate, and the virtual time. On a sharded simulation (WithShards) the
+// callback runs on shard goroutines and may be invoked concurrently for
+// different sessions.
 func WithRateCallback(fn func(s SessionID, r Rate, at time.Duration)) Option {
 	return func(o *options) { o.onRate = fn }
+}
+
+// WithShards runs the simulation on the sharded engine: the topology's nodes
+// are partitioned into n shards (graph-driven, cutting only the
+// highest-latency links) and a single run advances across n cores under
+// conservative lookahead windows. Results are byte-identical for every n,
+// including 1 — the sharded-serial reference. n ≤ 0 selects the classic
+// serial engine.
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
 }

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	bneck [-size small|medium|big] [-scenario lan|wan] [-sessions N]
-//	      [-demand-cap P] [-seed S] [-validate] [-v] [-live]
+//	      [-demand-cap P] [-seed S] [-shards N] [-validate] [-v] [-live]
 //	bneck -run-scenario <script> [-live]
 //
 // With -live the protocol runs on the concurrent actor runtime (one
@@ -54,6 +54,7 @@ func main() {
 		validate  = flag.Bool("validate", true, "cross-check against the centralized oracle")
 		verbose   = flag.Bool("v", false, "print every session's rate")
 		liveMode  = flag.Bool("live", false, "run on the concurrent actor runtime instead of the simulator")
+		shards    = flag.Int("shards", 0, "shards for the simulator run: 0 = classic serial engine, >0 = sharded engine (byte-identical at any count)")
 		scenFile  = flag.String("run-scenario", "", "execute a declarative scenario script (see internal/scenario)")
 	)
 	flag.Parse()
@@ -81,8 +82,12 @@ func main() {
 		runLive(topo, size, *sessions, *demandCap, *seed, *validate)
 		return
 	}
-	eng := sim.New()
-	net := network.New(topo.Graph, eng, network.DefaultConfig())
+	var net *network.Network
+	if *shards >= 1 {
+		net = network.NewSharded(topo.Graph, sim.NewSharded(*shards), network.DefaultConfig())
+	} else {
+		net = network.New(topo.Graph, sim.New(), network.DefaultConfig())
+	}
 	ss, err := exp.PlaceSessions(topo, net, *sessions)
 	if err != nil {
 		log.Fatal(err)
@@ -104,6 +109,13 @@ func main() {
 	}
 
 	fmt.Printf("topology   : %s (%d routers), %s scenario\n", size.Name, size.Routers(), scen)
+	if *shards >= 1 {
+		look := "unbounded (single shard)"
+		if l := net.Sharded().Lookahead(); l > 0 {
+			look = l.String()
+		}
+		fmt.Printf("engine     : sharded, %d shard(s), lookahead %s\n", net.Sharded().Shards(), look)
+	}
 	fmt.Printf("sessions   : %d joined within 1ms (demand-capped fraction %.2f)\n", *sessions, *demandCap)
 	fmt.Printf("quiescence : %v (virtual), %v (wall)\n", q, wallDur.Round(time.Millisecond))
 	fmt.Printf("packets    : %d total, %.1f per session\n",

@@ -12,6 +12,11 @@
 // the paper's numbers (e.g. -scale 10 runs Experiment 2 with 100,000 base
 // sessions, the paper's exact setting).
 //
+// -shards N runs every simulation on the sharded engine, splitting a single
+// run across N cores under conservative lookahead windows; output is
+// byte-identical at any shard count (and -exp4-paper makes the paper-sized
+// Medium/Big churn sweep affordable with it).
+//
 // -workers N fans the sweeps across goroutines at each level: the selected
 // experiments run concurrently, and within them experiment 1's
 // (topology, scenario, session count) cells and experiment 3's protocols
@@ -51,6 +56,8 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress progress lines")
 		csvDir    = flag.String("csv", "", "also write figure data as CSV files into this directory")
 		workers   = flag.Int("workers", 1, "parallel sweep workers per fan-out level (1 = serial, negative = GOMAXPROCS); output is identical at any setting")
+		shards    = flag.Int("shards", 0, "shards per simulation run: 0 = classic serial engine, 1 = sharded engine serial reference, >1 parallelizes each run across cores; sharded output is identical at any shard count")
+		exp4Paper = flag.Bool("exp4-paper", false, "run experiment 4 at paper size (Medium+Big topologies, WAN failure sweep); combine with -shards and -workers")
 	)
 	flag.Parse()
 	if *workers == 0 {
@@ -93,6 +100,7 @@ func main() {
 			cfg.Validate = *validate
 			cfg.Progress = progress
 			cfg.Workers = *workers
+			cfg.Shards = *shards
 			if *big {
 				cfg.Sizes = append(cfg.Sizes, topology.Big)
 			}
@@ -137,6 +145,7 @@ func main() {
 			cfg := exp.DefaultExp2()
 			cfg.Seed = *seed
 			cfg.Validate = *validate
+			cfg.Shards = *shards
 			cfg.Base = int(float64(cfg.Base) * *scale)
 			cfg.Dyn = int(float64(cfg.Dyn) * *scale)
 			cfg.Progress = progress
@@ -166,6 +175,7 @@ func main() {
 		jobs = append(jobs, func(out io.Writer) error {
 			cfg := exp.DefaultExp3()
 			cfg.Seed = *seed
+			cfg.Shards = *shards
 			cfg.Sessions = int(float64(cfg.Sessions) * *scale)
 			cfg.Leavers = int(float64(cfg.Leavers) * *scale)
 			cfg.Protocols = strings.Split(*protocols, ",")
@@ -188,15 +198,18 @@ func main() {
 	if runs["4"] {
 		jobs = append(jobs, func(out io.Writer) error {
 			cfg := exp.DefaultExp4()
+			if *exp4Paper {
+				cfg = exp.PaperExp4()
+			} else if *big {
+				cfg.Sizes = append(cfg.Sizes, topology.Big)
+			}
 			cfg.Seeds = []int64{*seed, *seed + 1, *seed + 2}
 			cfg.Validate = *validate
 			cfg.Sessions = int(float64(cfg.Sessions) * *scale)
 			cfg.Churn = int(float64(cfg.Churn) * *scale)
 			cfg.Progress = progress
 			cfg.Workers = *workers
-			if *big {
-				cfg.Sizes = append(cfg.Sizes, topology.Big)
-			}
+			cfg.Shards = *shards
 			start := time.Now()
 			rows, err := exp.RunExperiment4(cfg)
 			if err != nil {

@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"bneck/internal/topology"
+)
+
+// The tentpole acceptance criterion: a sharded run emits byte-identical
+// experiment CSVs at every shard count. One shard is the serial reference —
+// a single goroutine popping one heap — so these tests pin serial-vs-sharded
+// equality for Experiment 1 (static join burst) and Experiment 4 (topology
+// churn), on both propagation models.
+
+func exp1ShardCSV(t *testing.T, shards int) []byte {
+	t.Helper()
+	cfg := DefaultExp1()
+	cfg.Sizes = []topology.Params{topology.Small}
+	cfg.Scenarios = []topology.Scenario{topology.LAN, topology.WAN}
+	cfg.SessionCounts = []int{60}
+	cfg.Shards = shards
+	rows, err := RunExperiment1(cfg)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	var buf bytes.Buffer
+	if err := WriteExp1CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestExp1ShardedCSVByteIdentical(t *testing.T) {
+	serial := exp1ShardCSV(t, 1)
+	for _, shards := range []int{2, 4, 8} {
+		got := exp1ShardCSV(t, shards)
+		if !bytes.Equal(serial, got) {
+			t.Errorf("exp1 CSV differs at %d shards:\nserial:\n%s\nsharded:\n%s", shards, serial, got)
+		}
+	}
+}
+
+func exp4ShardCSV(t *testing.T, shards int) []byte {
+	t.Helper()
+	cfg := DefaultExp4()
+	cfg.Sizes = []topology.Params{topology.Small}
+	cfg.Scenarios = []topology.Scenario{topology.LAN, topology.WAN}
+	cfg.Seeds = []int64{1, 2}
+	cfg.Sessions = 60
+	cfg.Epochs = 3
+	cfg.Churn = 8
+	cfg.Window = time.Millisecond
+	cfg.Shards = shards
+	rows, err := RunExperiment4(cfg)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	var buf bytes.Buffer
+	if err := WriteExp4CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestExp4ShardedCSVByteIdentical(t *testing.T) {
+	serial := exp4ShardCSV(t, 1)
+	for _, shards := range []int{2, 4, 8} {
+		got := exp4ShardCSV(t, shards)
+		if !bytes.Equal(serial, got) {
+			t.Errorf("exp4 CSV differs at %d shards:\nserial:\n%s\nsharded:\n%s", shards, serial, got)
+		}
+	}
+}
+
+// TestExp3ShardedDeterministic: the Figure 7/8 series — sampled by global
+// daemon events at barriers — match between the sharded-serial reference and
+// a 4-shard run.
+func TestExp3ShardedDeterministic(t *testing.T) {
+	run := func(shards int) []byte {
+		cfg := DefaultExp3()
+		cfg.Topology = topology.Small
+		cfg.Sessions = 80
+		cfg.Leavers = 10
+		cfg.Horizon = 40 * time.Millisecond
+		cfg.Protocols = []string{"bneck"}
+		cfg.Shards = shards
+		res, err := RunExperiment3(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		var buf bytes.Buffer
+		for _, s := range res.Series {
+			if err := WriteExp3ErrorCSV(&buf, s.SourceErr, s.Protocol); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteExp3PacketsCSV(&buf, res); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	serial := run(1)
+	for _, shards := range []int{2, 4} {
+		if got := run(shards); !bytes.Equal(serial, got) {
+			t.Errorf("exp3 series differ at %d shards", shards)
+		}
+	}
+}

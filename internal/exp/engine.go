@@ -1,0 +1,31 @@
+package exp
+
+import (
+	"bneck/internal/graph"
+	"bneck/internal/network"
+	"bneck/internal/sim"
+)
+
+// engine is the driver surface the experiments need, satisfied by both the
+// classic serial engine and the sharded engine.
+type engine interface {
+	Now() sim.Time
+	DaemonAt(t sim.Time, fn func())
+	Run() sim.Time
+	RunUntil(t sim.Time)
+	Events() uint64
+}
+
+// newNet builds a network on the engine the Shards knob selects: ≤ 0 runs on
+// the classic serial engine (the historical event order), ≥ 1 runs on the
+// sharded engine with that many shards. Sharded runs are byte-identical for
+// every shard count — one shard is the serial reference — and shard counts
+// above one execute a single run across that many cores.
+func newNet(g *graph.Graph, cfg network.Config, shards int) (engine, *network.Network) {
+	if shards >= 1 {
+		she := sim.NewSharded(shards)
+		return she, network.NewSharded(g, she, cfg)
+	}
+	eng := sim.New()
+	return eng, network.New(g, eng, cfg)
+}

@@ -15,7 +15,6 @@ import (
 	"bneck/internal/graph"
 	"bneck/internal/metrics"
 	"bneck/internal/network"
-	"bneck/internal/sim"
 	"bneck/internal/topology"
 	"bneck/internal/trace"
 )
@@ -39,6 +38,12 @@ type Exp1Config struct {
 	// are byte-identical to a serial run. 0 or 1 runs serially; negative
 	// selects GOMAXPROCS.
 	Workers int
+	// Shards selects the engine for each run: ≤ 0 the classic serial engine,
+	// ≥ 1 the sharded engine with that many shards (1 = sharded-serial
+	// reference). Sharded results are byte-identical at every shard count;
+	// shard counts above one parallelize a single run across cores,
+	// composing with Workers' across-run parallelism.
+	Shards int
 }
 
 // DefaultExp1 is a laptop-scale default: the paper sweeps 10…300,000
@@ -142,8 +147,7 @@ func runExp1Cell(cfg Exp1Config, size topology.Params, scen topology.Scenario, c
 	if err != nil {
 		return Exp1Row{}, err
 	}
-	eng := sim.New()
-	net := network.New(topo.Graph, eng, network.DefaultConfig())
+	eng, net := newNet(topo.Graph, network.DefaultConfig(), cfg.Shards)
 
 	sessions, err := PlaceSessions(topo, net, count)
 	if err != nil {

@@ -8,7 +8,6 @@ import (
 
 	"bneck/internal/metrics"
 	"bneck/internal/network"
-	"bneck/internal/sim"
 	"bneck/internal/topology"
 	"bneck/internal/trace"
 )
@@ -33,6 +32,9 @@ type Exp2Config struct {
 	Seed     int64
 	Validate bool
 	Progress io.Writer
+	// Shards selects the engine: ≤ 0 the classic serial engine, ≥ 1 the
+	// sharded engine with that many shards (byte-identical at every count).
+	Shards int
 }
 
 // DefaultExp2 is the laptop-scale default (paper: 100,000/20,000).
@@ -86,10 +88,9 @@ func RunExperiment2(cfg Exp2Config) (*Exp2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.New()
 	netCfg := network.DefaultConfig()
 	netCfg.BinSize = cfg.BinSize
-	net := network.New(topo.Graph, eng, netCfg)
+	eng, net := newNet(topo.Graph, netCfg, cfg.Shards)
 
 	// Sessions: base (phase 1) + dyn (phase 4) + dyn (phase 5) joiners.
 	total := cfg.Base + 2*cfg.Dyn

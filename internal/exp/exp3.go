@@ -46,6 +46,10 @@ type Exp3Config struct {
 	// are byte-identical to a serial run. 0 or 1 runs serially; negative
 	// selects GOMAXPROCS.
 	Workers int
+	// Shards selects the engine for the B-Neck run: ≤ 0 the classic serial
+	// engine, ≥ 1 the sharded engine with that many shards (byte-identical
+	// at every count). Baseline protocols always run serially.
+	Shards int
 }
 
 // DefaultExp3 is the laptop-scale default (paper: 100,000/10,000).
@@ -405,10 +409,9 @@ func (w *exp3Workload) sampleErrors(t time.Duration, assigned func(idx int) (flo
 }
 
 func runExp3BNeck(cfg Exp3Config, w *exp3Workload) (*Exp3Series, error) {
-	eng := sim.New()
 	netCfg := network.DefaultConfig()
 	netCfg.BinSize = cfg.SampleEvery
-	net := network.New(w.topo.Graph, eng, netCfg)
+	eng, net := newNet(w.topo.Graph, netCfg, cfg.Shards)
 	sessions := make([]*network.Session, len(w.paths))
 	for i, p := range w.paths {
 		s, err := net.NewSession(w.topo.Graph.Link(p[0]).From, w.topo.Graph.Link(p[len(p)-1]).To, p)
@@ -509,8 +512,9 @@ func runExp3Baseline(cfg Exp3Config, w *exp3Workload, proto baseline.Protocol) (
 }
 
 // scheduleSampling installs daemon sampling events every SampleEvery up to
-// the horizon.
-func scheduleSampling(eng *sim.Engine, cfg Exp3Config, sample func(at sim.Time)) {
+// the horizon. On the sharded engine daemons are global (barrier) events, so
+// the sample callback may read any session's state.
+func scheduleSampling(eng engine, cfg Exp3Config, sample func(at sim.Time)) {
 	for t := cfg.SampleEvery; t <= cfg.Horizon; t += cfg.SampleEvery {
 		at := t
 		eng.DaemonAt(at, func() { sample(at) })

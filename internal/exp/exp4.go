@@ -10,7 +10,6 @@ import (
 	"bneck/internal/graph"
 	"bneck/internal/network"
 	"bneck/internal/rate"
-	"bneck/internal/sim"
 	"bneck/internal/topology"
 	"bneck/internal/trace"
 )
@@ -45,14 +44,23 @@ type Exp4Config struct {
 	// are byte-identical to a serial run. 0 or 1 runs serially; negative
 	// selects GOMAXPROCS.
 	Workers int
+	// Shards selects the engine for each cell: ≤ 0 the classic serial
+	// engine, ≥ 1 the sharded engine with that many shards. Sharded results
+	// are byte-identical at every shard count; counts above one spread a
+	// single run — the lever that makes the paper-sized Medium/Big
+	// topologies affordable.
+	Shards int
 }
 
-// DefaultExp4 is a laptop-scale default.
+// DefaultExp4 is a laptop-scale default. It sweeps both propagation models:
+// the WAN cells are the paper-style wide-area failure sweep, and their
+// millisecond-scale link delays give the sharded engine its largest
+// conservative windows.
 func DefaultExp4() Exp4Config {
 	return Exp4Config{
 		Sizes:     []topology.Params{topology.Small},
-		Scenarios: []topology.Scenario{topology.LAN},
-		Seeds:     []int64{1, 2, 3},
+		Scenarios: []topology.Scenario{topology.LAN, topology.WAN},
+		Seeds:     []int64{1, 2},
 		Sessions:  500,
 		Epochs:    8,
 		Churn:     25,
@@ -60,6 +68,18 @@ func DefaultExp4() Exp4Config {
 		Gap:       5 * time.Millisecond,
 		Validate:  true,
 	}
+}
+
+// PaperExp4 is the paper-sized configuration: the Medium and Big
+// transit-stub topologies under the WAN failure sweep. Affordable wall-clock
+// time needs Shards (single-run parallelism) and Workers (across cells).
+func PaperExp4() Exp4Config {
+	cfg := DefaultExp4()
+	cfg.Sizes = []topology.Params{topology.Medium, topology.Big}
+	cfg.Scenarios = []topology.Scenario{topology.WAN}
+	cfg.Sessions = 2000
+	cfg.Churn = 100
+	return cfg
 }
 
 // Exp4Row is one reconfiguration epoch of one sweep cell. Epoch 0 is the
@@ -171,8 +191,7 @@ func runExp4Cell(cfg Exp4Config, size topology.Params, scen topology.Scenario, s
 		return nil, err
 	}
 	g := topo.Graph
-	eng := sim.New()
-	net := network.New(g, eng, network.DefaultConfig())
+	eng, net := newNet(g, network.DefaultConfig(), cfg.Shards)
 
 	// All sessions — the base population and every epoch's joiners — are
 	// placed up front (the exp2 pattern). Joiners whose resolved path breaks

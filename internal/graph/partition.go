@@ -1,0 +1,304 @@
+package graph
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Partition assigns every node of a graph to one of K shards for the sharded
+// simulator. The cut — the set of links whose endpoints land in different
+// shards — determines the engine's conservative lookahead window: the
+// minimum propagation delay over cut links. Partitioning therefore optimizes
+// for three things, in order: never cut a zero-delay link (the lookahead
+// would vanish and with it all parallelism), cut only the highest-delay
+// links feasible (the larger the window, the fewer synchronization
+// barriers), and balance the per-shard load (the critical path of every
+// window is its heaviest shard).
+type Partition struct {
+	// Parts maps NodeID → shard, densely indexed.
+	Parts []int32
+	// K is the number of shards actually used (≤ the requested count).
+	K int
+	// Lookahead is the minimum propagation delay over cut links, the
+	// conservative window bound. Zero when K == 1 (nothing is cut).
+	Lookahead time.Duration
+	// Generation is the graph generation the partition was computed at;
+	// consumers repartition when it goes stale (topology churn shifts load).
+	Generation uint64
+}
+
+// PartitionNodes computes a K-way partition of g. weights, if non-nil, gives
+// the expected event load per node (sessions crossing it, say); nil weighs
+// every node equally. The algorithm is deterministic:
+//
+//  1. Pick the largest delay threshold P such that contracting every link
+//     with propagation < P leaves at least K components and no component
+//     heavier than 2·total/K — a feasibility sweep over the distinct delays,
+//     highest first. Links inside a component are never cut, so every cut
+//     link has propagation ≥ P.
+//  2. Grow K contiguous regions over the component graph: seed with the
+//     heaviest unassigned component, then repeatedly absorb the heaviest
+//     unassigned neighbor until the region reaches the target weight.
+//     Leftover components join the lightest region.
+//
+// Link failure state is ignored: failed links still carry teardown traffic
+// in the simulator, so their delay still bounds cross-shard latency.
+func PartitionNodes(g *Graph, k int, weights []int64) Partition {
+	n := g.NumNodes()
+	p := Partition{Parts: make([]int32, n), K: 1, Generation: g.Generation()}
+	if k <= 1 || n <= 1 {
+		return p
+	}
+
+	w := make([]int64, n)
+	var total int64
+	for i := 0; i < n; i++ {
+		w[i] = 1
+		if weights != nil && i < len(weights) && weights[i] > 0 {
+			w[i] = weights[i]
+		}
+		total += w[i]
+	}
+
+	// Distinct propagation delays, descending.
+	seen := make(map[time.Duration]bool)
+	var delays []time.Duration
+	for i := 0; i < g.NumLinks(); i++ {
+		d := g.links[i].Propagation
+		if !seen[d] {
+			seen[d] = true
+			delays = append(delays, d)
+		}
+	}
+	sort.Slice(delays, func(a, b int) bool { return delays[a] > delays[b] })
+
+	// Feasibility sweep: contract links with propagation < P.
+	maxComp := 2 * total / int64(k)
+	if maxComp < 1 {
+		maxComp = 1
+	}
+	var comp []int32
+	var compW []int64
+	feasibleAt := time.Duration(-1)
+	for _, P := range delays {
+		if P <= 0 {
+			break // cutting zero-delay links would zero the lookahead
+		}
+		c, cw := contract(g, w, P)
+		if len(cw) < k {
+			continue // too few components; try a smaller threshold
+		}
+		heavy := false
+		for _, x := range cw {
+			if x > maxComp {
+				heavy = true
+				break
+			}
+		}
+		comp, compW, feasibleAt = c, cw, P
+		if !heavy {
+			break // largest threshold that is also balanced
+		}
+		// Balanced split not possible at this threshold; a smaller one only
+		// splits components further, so keep sweeping for balance but remember
+		// this (imbalanced) candidate.
+	}
+	if feasibleAt < 0 {
+		return p // graph too entangled (or all delays zero): one shard
+	}
+
+	parts := growRegions(g, comp, compW, k, total, feasibleAt)
+	copy(p.Parts, parts)
+
+	// Finalize: count used shards and compute the exact cut lookahead.
+	used := make(map[int32]bool)
+	for _, s := range parts {
+		used[s] = true
+	}
+	p.K = len(used)
+	if p.K <= 1 {
+		p.K = 1
+		for i := range p.Parts {
+			p.Parts[i] = 0
+		}
+		return p
+	}
+	min := time.Duration(math.MaxInt64)
+	for i := 0; i < g.NumLinks(); i++ {
+		l := &g.links[i]
+		if parts[l.From] != parts[l.To] && l.Propagation < min {
+			min = l.Propagation
+		}
+	}
+	if min == time.Duration(math.MaxInt64) {
+		min = 0
+	}
+	p.Lookahead = min
+	return p
+}
+
+// contract unions nodes across every link with propagation < P and returns
+// the node→component map plus per-component weights (components numbered in
+// first-seen node order, so the result is deterministic).
+func contract(g *Graph, w []int64, P time.Duration) ([]int32, []int64) {
+	n := g.NumNodes()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < g.NumLinks(); i++ {
+		l := &g.links[i]
+		if l.Propagation < P {
+			a, b := find(int32(l.From)), find(int32(l.To))
+			if a != b {
+				if a > b {
+					a, b = b, a
+				}
+				parent[b] = a
+			}
+		}
+	}
+	comp := make([]int32, n)
+	idx := make(map[int32]int32)
+	var weights []int64
+	for i := 0; i < n; i++ {
+		r := find(int32(i))
+		c, ok := idx[r]
+		if !ok {
+			c = int32(len(weights))
+			idx[r] = c
+			weights = append(weights, 0)
+		}
+		comp[i] = c
+		weights[c] += w[i]
+	}
+	return comp, weights
+}
+
+// growRegions assigns components to k regions: repeatedly seed with the
+// heaviest unassigned component and absorb the heaviest unassigned neighbor
+// until the region reaches total/k, then bin-pack the leftovers onto the
+// lightest regions. Returns the node→region map.
+func growRegions(g *Graph, comp []int32, compW []int64, k int, total int64, P time.Duration) []int32 {
+	nc := len(compW)
+	// Component adjacency over cut-candidate links (propagation ≥ P).
+	adjSet := make([]map[int32]bool, nc)
+	for i := 0; i < g.NumLinks(); i++ {
+		l := &g.links[i]
+		a, b := comp[l.From], comp[l.To]
+		if a == b {
+			continue
+		}
+		if adjSet[a] == nil {
+			adjSet[a] = make(map[int32]bool)
+		}
+		adjSet[a][b] = true
+	}
+
+	assign := make([]int32, nc)
+	for i := range assign {
+		assign[i] = -1
+	}
+	target := total / int64(k)
+	if target < 1 {
+		target = 1
+	}
+	regionW := make([]int64, k)
+
+	// Heaviest-first seed order (ties by component index, for determinism).
+	order := make([]int32, nc)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if compW[order[a]] != compW[order[b]] {
+			return compW[order[a]] > compW[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	next := 0 // next seed candidate in order
+	for r := 0; r < k; r++ {
+		for next < nc && assign[order[next]] != -1 {
+			next++
+		}
+		if next >= nc {
+			break
+		}
+		seed := order[next]
+		assign[seed] = int32(r)
+		regionW[r] = compW[seed]
+		// Grow: absorb the heaviest unassigned neighbor of the region.
+		frontier := []int32{seed}
+		for regionW[r] < target {
+			best := int32(-1)
+			for _, c := range frontier {
+				for nb := range adjSet[c] {
+					if assign[nb] != -1 {
+						continue
+					}
+					if best == -1 || compW[nb] > compW[best] || (compW[nb] == compW[best] && nb < best) {
+						best = nb
+					}
+				}
+			}
+			if best == -1 {
+				break
+			}
+			assign[best] = int32(r)
+			regionW[r] += compW[best]
+			frontier = append(frontier, best)
+		}
+	}
+
+	// Leftovers: lightest region first (ties by region index).
+	for _, c := range order {
+		if assign[c] != -1 {
+			continue
+		}
+		best := 0
+		for r := 1; r < k; r++ {
+			if regionW[r] < regionW[best] {
+				best = r
+			}
+		}
+		assign[c] = int32(best)
+		regionW[best] += compW[c]
+	}
+
+	parts := make([]int32, len(comp))
+	for i, c := range comp {
+		parts[i] = assign[c]
+	}
+	return parts
+}
+
+// SessionWeights builds the node-weight vector PartitionNodes consumes from
+// a set of session paths: every node starts at weight 1 and gains one per
+// session whose path executes on it (the From side of each link, plus the
+// destination host). It predicts per-node event load, so partitions balance
+// work rather than node counts.
+func SessionWeights(g *Graph, paths []Path) []int64 {
+	w := make([]int64, g.NumNodes())
+	for i := range w {
+		w[i] = 1
+	}
+	for _, p := range paths {
+		for _, l := range p {
+			w[g.Link(l).From]++
+		}
+		if len(p) > 0 {
+			w[g.Link(p[len(p)-1]).To]++
+		}
+	}
+	return w
+}

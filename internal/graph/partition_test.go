@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"bneck/internal/rate"
+)
+
+// buildStar builds hub-and-spoke router cores connected by slow links, each
+// with a few fast-attached hosts: the natural shape for edge-cut
+// partitioning (cut the slow core links, keep hosts with their router).
+func buildStar(t *testing.T, cores int, hostsPer int, coreDelay, hostDelay time.Duration) *Graph {
+	t.Helper()
+	g := New()
+	var routers []NodeID
+	for i := 0; i < cores; i++ {
+		routers = append(routers, g.AddRouter("r"))
+		for h := 0; h < hostsPer; h++ {
+			hn := g.AddHost("h")
+			g.Connect(hn, routers[i], rate.Mbps(100), hostDelay)
+		}
+	}
+	for i := 1; i < cores; i++ {
+		g.Connect(routers[i-1], routers[i], rate.Mbps(500), coreDelay)
+	}
+	return g
+}
+
+func TestPartitionCutsSlowLinksOnly(t *testing.T) {
+	g := buildStar(t, 8, 3, 5*time.Millisecond, time.Microsecond)
+	p := PartitionNodes(g, 4, nil)
+	if p.K < 2 {
+		t.Fatalf("K = %d, want ≥ 2", p.K)
+	}
+	if p.Lookahead < 5*time.Millisecond {
+		t.Fatalf("lookahead %v, want ≥ 5ms (only core links may be cut)", p.Lookahead)
+	}
+	// Hosts must share their router's shard: their access links are fast.
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(LinkID(i))
+		if p.Parts[l.From] != p.Parts[l.To] && l.Propagation < p.Lookahead {
+			t.Fatalf("cut link %d has propagation %v < lookahead %v", i, l.Propagation, p.Lookahead)
+		}
+	}
+}
+
+func TestPartitionUniformDelays(t *testing.T) {
+	g := buildStar(t, 6, 2, time.Microsecond, time.Microsecond)
+	p := PartitionNodes(g, 3, nil)
+	if p.K < 2 {
+		t.Fatalf("K = %d, want ≥ 2 (uniform positive delays are cuttable)", p.K)
+	}
+	if p.Lookahead != time.Microsecond {
+		t.Fatalf("lookahead %v, want 1µs", p.Lookahead)
+	}
+}
+
+func TestPartitionZeroDelaysDegradeToSerial(t *testing.T) {
+	g := buildStar(t, 4, 1, 0, 0)
+	p := PartitionNodes(g, 4, nil)
+	if p.K != 1 {
+		t.Fatalf("K = %d, want 1: zero-delay links must never be cut", p.K)
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	w := []int64{5, 1, 1, 1, 9, 2, 2}
+	g := buildStar(t, 7, 2, 2*time.Millisecond, time.Microsecond)
+	a := PartitionNodes(g, 4, w)
+	b := PartitionNodes(g, 4, w)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("partition not deterministic:\n%v\n%v", a, b)
+	}
+}
+
+func TestPartitionBalancesWeights(t *testing.T) {
+	g := buildStar(t, 8, 0, time.Millisecond, time.Microsecond)
+	// One very heavy router: it should not share a shard with everything.
+	w := make([]int64, g.NumNodes())
+	for i := range w {
+		w[i] = 1
+	}
+	w[0] = 100
+	p := PartitionNodes(g, 2, w)
+	if p.K != 2 {
+		t.Fatalf("K = %d, want 2", p.K)
+	}
+	var heavyShard = p.Parts[0]
+	light := 0
+	for i, s := range p.Parts {
+		if i != 0 && s != heavyShard {
+			light++
+		}
+	}
+	if light == 0 {
+		t.Fatal("balance: every node landed with the heavy one")
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"bneck/internal/core"
 	"bneck/internal/graph"
+	"bneck/internal/metrics"
 	"bneck/internal/rate"
 	"bneck/internal/waterfill"
 )
@@ -51,6 +52,11 @@ type Runtime struct {
 
 	activity *activityCounter
 
+	// linkPkts counts packets sent across each directed link (guarded by
+	// mu, which Emit already takes) — the live-side twin of the simulator's
+	// per-wire counters.
+	linkPkts []uint64
+
 	ratesMu sync.Mutex
 	rates   map[core.SessionID]rate.Rate
 }
@@ -65,11 +71,15 @@ type linkActor struct {
 // topology-event reroute retires the old incarnation (through Leave) and
 // creates a new one.
 type incarnation struct {
-	id   core.SessionID
-	path graph.Path
-	src  *actor
-	dst  *actor
-	srcT *core.SourceNode
+	id    core.SessionID
+	path  graph.Path
+	src   *actor
+	dst   *actor
+	srcT  *core.SourceNode
+	owner *Session
+	// reclaimed marks an incarnation whose actors were stopped after its
+	// Leave cascade drained; a later Join mints a fresh incarnation.
+	reclaimed bool
 }
 
 // New returns a runtime over g. The runtime owns g's mutable state: apply
@@ -82,6 +92,7 @@ func New(g *graph.Graph) *Runtime {
 		incarnations: make(map[core.SessionID]*incarnation),
 		nextID:       1,
 		activity:     newActivityCounter(),
+		linkPkts:     make([]uint64, g.NumLinks()),
 		rates:        make(map[core.SessionID]rate.Rate),
 	}
 }
@@ -109,6 +120,9 @@ func (rt *Runtime) NewSession(path graph.Path) (*Session, error) {
 	if err := graph.ValidatePath(rt.g, path); err != nil {
 		return nil, fmt.Errorf("live: %w", err)
 	}
+	if want := rt.g.NumLinks(); len(rt.linkPkts) < want {
+		rt.linkPkts = append(rt.linkPkts, make([]uint64, want-len(rt.linkPkts))...)
+	}
 	s := &Session{
 		rt:      rt,
 		srcHost: rt.g.Link(path[0]).From,
@@ -124,7 +138,7 @@ func (rt *Runtime) NewSession(path graph.Path) (*Session, error) {
 func (rt *Runtime) newIncarnationLocked(s *Session, path graph.Path) {
 	id := rt.nextID
 	rt.nextID++
-	inc := &incarnation{id: id, path: path}
+	inc := &incarnation{id: id, path: path, owner: s}
 	inc.srcT = core.NewSourceNode(id, (*emitter)(rt), func(sid core.SessionID, lambda rate.Rate) {
 		rt.ratesMu.Lock()
 		rt.rates[sid] = lambda
@@ -198,6 +212,11 @@ func (s *Session) Join(demand rate.Rate) {
 	s.active = true
 	if s.stranded {
 		return // joins when a restore reconnects the hosts
+	}
+	if s.cur.reclaimed {
+		// The previous incarnation's actors were reclaimed after it left;
+		// rejoin as a fresh incarnation on the same path.
+		s.rt.newIncarnationLocked(s, s.cur.path)
 	}
 	s.cur.src.enqueue(message{kind: msgJoin, demand: demand})
 }
@@ -374,10 +393,65 @@ func crossesAny(p graph.Path, links map[graph.LinkID]bool) bool {
 // anywhere — the paper's quiescence. It returns immediately if the network
 // is already silent.
 //
+// Quiescence is also the reclamation point: an incarnation retired by a
+// migration Leave, a departure or a stranding has, by definition, drained
+// its Leave cascade once the network is silent, so its two actor goroutines
+// are stopped and the incarnation is dropped. Actor counts therefore return
+// to baseline after churn instead of accumulating until Close.
+//
 // Callers racing WaitQuiescent against concurrent Join/Leave/Change calls
 // from other goroutines can observe a transiently idle network; make sure
 // all API calls have returned (they enqueue synchronously) before waiting.
-func (rt *Runtime) WaitQuiescent() { rt.activity.wait() }
+func (rt *Runtime) WaitQuiescent() {
+	rt.activity.wait()
+	rt.reclaimRetired()
+}
+
+// reclaimRetired stops and drops the actors of every incarnation that can
+// never process protocol traffic again: superseded by a migration, departed
+// through Leave, or stranded by a failure. Call only when the network is
+// quiescent (no message in flight can target a retired incarnation).
+func (rt *Runtime) reclaimRetired() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return
+	}
+	for id, inc := range rt.incarnations {
+		s := inc.owner
+		retired := s.cur != inc || !s.active || s.stranded
+		if !retired {
+			continue
+		}
+		inc.reclaimed = true
+		inc.src.stop()
+		inc.dst.stop()
+		delete(rt.incarnations, id)
+	}
+}
+
+// Incarnations returns how many session incarnations currently hold live
+// actors (reclaimed ones are gone; see WaitQuiescent).
+func (rt *Runtime) Incarnations() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.incarnations)
+}
+
+// LinkPackets returns per-directed-link packet totals for every link that
+// carried traffic, ordered by link ID — the same report, with the same
+// field names, as the simulator transport's Network.LinkPackets.
+func (rt *Runtime) LinkPackets() []metrics.LinkCount {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []metrics.LinkCount
+	for id, n := range rt.linkPkts {
+		if n > 0 {
+			out = append(out, metrics.LinkCount{Link: graph.LinkID(id), Packets: n})
+		}
+	}
+	return out
+}
 
 // Rates returns a snapshot of all granted rates, keyed by current
 // incarnation IDs.
@@ -505,6 +579,21 @@ func (e *emitter) Emit(s core.SessionID, from int, dir core.Direction, pkt core.
 	rt := (*Runtime)(e)
 	rt.mu.Lock()
 	inc := rt.incarnations[s]
+	if inc != nil {
+		// Account the physical link the packet crosses (intra-host hand-offs
+		// have no wire), exactly the simulator's per-link counting rule.
+		wire := graph.NoLink
+		if dir == core.Down {
+			if from >= 1 {
+				wire = inc.path[from-1]
+			}
+		} else if from >= 2 {
+			wire = rt.g.Link(inc.path[from-2]).Reverse
+		}
+		if wire != graph.NoLink && int(wire) < len(rt.linkPkts) {
+			rt.linkPkts[wire]++
+		}
+	}
 	rt.mu.Unlock()
 	if inc == nil {
 		return

@@ -1,0 +1,154 @@
+package live
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"bneck/internal/graph"
+	"bneck/internal/rate"
+)
+
+// churnGrid builds a 2x2 router grid with redundant paths, so failing a link
+// always leaves a reroute.
+func churnGrid(t *testing.T) (*graph.Graph, []graph.Path, [4]graph.LinkID) {
+	t.Helper()
+	g := graph.New()
+	a := g.AddRouter("a")
+	b := g.AddRouter("b")
+	c := g.AddRouter("c")
+	d := g.AddRouter("d")
+	ab, ba := g.Connect(a, b, rate.Mbps(100), time.Microsecond)
+	g.Connect(b, d, rate.Mbps(100), time.Microsecond)
+	g.Connect(a, c, rate.Mbps(100), time.Microsecond)
+	cd, dc := g.Connect(c, d, rate.Mbps(100), time.Microsecond)
+	res := graph.NewResolver(g, 16)
+	var paths []graph.Path
+	for i := 0; i < 6; i++ {
+		hs := g.AddHost("hs")
+		hd := g.AddHost("hd")
+		g.Connect(hs, a, rate.Mbps(100), time.Microsecond)
+		g.Connect(hd, d, rate.Mbps(100), time.Microsecond)
+		p, err := graph.NewResolver(g, 16).HostPath(hs, hd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	_ = res
+	return g, paths, [4]graph.LinkID{ab, ba, cd, dc}
+}
+
+// TestReclaimRetiredIncarnations is the reclamation satellite's contract:
+// repeated churn — migrations, leaves, rejoins — must not accumulate actor
+// goroutines; after every quiescence the incarnation count equals the live
+// session count and goroutines return to baseline.
+func TestReclaimRetiredIncarnations(t *testing.T) {
+	g, paths, links := churnGrid(t)
+	rt := New(g)
+	defer rt.Close()
+	var sessions []*Session
+	for _, p := range paths {
+		s, err := rt.NewSession(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Join(rate.Mbps(40))
+		sessions = append(sessions, s)
+	}
+	rt.WaitQuiescent()
+	if err := rt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Incarnations(); got != len(sessions) {
+		t.Fatalf("incarnations = %d, want %d", got, len(sessions))
+	}
+	baseline := runtime.NumGoroutine()
+
+	migratedBefore := rt.Migrations()
+	const rounds = 8
+	for i := 0; i < rounds; i++ {
+		// Fail one duplex pair (crossing sessions migrate), bounce a session
+		// through leave+rejoin, then restore.
+		rt.FailLinks(links[0], links[1])
+		sessions[i%len(sessions)].Leave()
+		rt.WaitQuiescent()
+		rt.RestoreLinks(links[0], links[1])
+		sessions[i%len(sessions)].Join(rate.Mbps(25))
+		rt.WaitQuiescent()
+		if err := rt.Validate(); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	if rt.Migrations() == migratedBefore {
+		t.Fatal("churn caused no migrations; the test exercises nothing")
+	}
+	if got := rt.Incarnations(); got != len(sessions) {
+		t.Fatalf("incarnations after churn = %d, want %d (retired ones reclaimed)", got, len(sessions))
+	}
+	// Goroutines: every round retires ≥ 1 incarnation (2 goroutines each);
+	// without reclamation the count would grow by ≥ 2·rounds. Allow slack
+	// for new link actors (reroutes touch the c–d detour) and runtime noise.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d after churn, baseline %d: retired actors not reclaimed",
+				runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Rates still correct for the rejoined population.
+	for i, s := range sessions {
+		if r, ok := s.Rate(); !ok || r.Sign() <= 0 {
+			t.Fatalf("session %d rate %v (%t) after churn", i, r, ok)
+		}
+	}
+}
+
+// TestLinkPacketCountersParity: the live runtime reports per-link packet
+// counters in the same shape as the simulator transport (metrics.LinkCount,
+// same field names), counting the same crossing rule — every packet sent
+// across a directed link, intra-host hand-offs excluded.
+func TestLinkPacketCountersParity(t *testing.T) {
+	g, paths, _ := churnGrid(t)
+	rt := New(g)
+	defer rt.Close()
+	var total uint64
+	s, err := rt.NewSession(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Join(rate.Inf)
+	rt.WaitQuiescent()
+	counts := rt.LinkPackets()
+	if len(counts) == 0 {
+		t.Fatal("no per-link counters after a join cascade")
+	}
+	seen := make(map[graph.LinkID]bool)
+	for _, lc := range counts {
+		if lc.Packets == 0 {
+			t.Fatalf("link %d reported with zero packets", lc.Link)
+		}
+		if seen[lc.Link] {
+			t.Fatalf("link %d reported twice", lc.Link)
+		}
+		seen[lc.Link] = true
+		total += lc.Packets
+	}
+	// The join cascade crosses every on-path link in both directions.
+	for _, l := range paths[0] {
+		if !seen[l] {
+			t.Fatalf("on-path link %d missing from the report", l)
+		}
+		if rev := g.Link(l).Reverse; rev != graph.NoLink && !seen[rev] {
+			t.Fatalf("reverse link %d missing from the report", rev)
+		}
+	}
+	if total == 0 {
+		t.Fatal("zero packets counted")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bneck/internal/core"
+	"bneck/internal/graph"
 )
 
 // PacketStats counts protocol packets, total, by type, and by time bin.
@@ -44,6 +45,34 @@ func (ps *PacketStats) Record(t core.PacketType, at time.Duration) {
 	}
 	ps.bins[idx].Total++
 	ps.bins[idx].ByType[t-1]++
+}
+
+// Merge folds another collector into ps: totals, per-type counts and
+// aligned bins are summed. The sharded simulator keeps one collector per
+// shard and merges them on demand; sums commute, so the merged view is
+// independent of the shard count.
+func (ps *PacketStats) Merge(other *PacketStats) {
+	ps.total += other.total
+	for i := range ps.byType {
+		ps.byType[i] += other.byType[i]
+	}
+	for len(ps.bins) < len(other.bins) {
+		ps.bins = append(ps.bins, Bin{Start: time.Duration(len(ps.bins)) * ps.binSize})
+	}
+	for i := range other.bins {
+		ps.bins[i].Total += other.bins[i].Total
+		for t := range ps.bins[i].ByType {
+			ps.bins[i].ByType[t] += other.bins[i].ByType[t]
+		}
+	}
+}
+
+// LinkCount is one directed link's packet total. Both transports — the
+// simulator and the live actor runtime — report per-link counters with
+// these field names, so reports can be compared side by side.
+type LinkCount struct {
+	Link    graph.LinkID
+	Packets uint64
 }
 
 // Total returns the number of packets recorded.

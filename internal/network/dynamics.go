@@ -24,10 +24,12 @@ import (
 
 // ScheduleSetCapacity changes the capacity of the given directed links to c
 // at virtual time at. Pass a link and its reverse to reconfigure a duplex
-// pair, matching the paper's symmetric link model.
+// pair, matching the paper's symmetric link model. Topology events are
+// serial events: on a sharded engine they execute at a barrier, where
+// mutating the graph and rerouting sessions across shards is safe.
 func (n *Network) ScheduleSetCapacity(at sim.Time, c rate.Rate, links ...graph.LinkID) {
 	ls := append([]graph.LinkID(nil), links...)
-	n.eng.At(at, func() { n.applySetCapacity(c, ls) })
+	n.globalAt(at, func() { n.applySetCapacity(c, ls) })
 }
 
 // ScheduleLinkFail takes the given directed links down at virtual time at and
@@ -36,14 +38,14 @@ func (n *Network) ScheduleSetCapacity(at sim.Time, c rate.Rate, links ...graph.L
 // its own reverse direction.
 func (n *Network) ScheduleLinkFail(at sim.Time, links ...graph.LinkID) {
 	ls := append([]graph.LinkID(nil), links...)
-	n.eng.At(at, func() { n.applyFail(ls) })
+	n.globalAt(at, func() { n.applyFail(ls) })
 }
 
 // ScheduleLinkRestore brings the given directed links back up at virtual time
 // at and readmits any stranded sessions whose hosts are reconnected.
 func (n *Network) ScheduleLinkRestore(at sim.Time, links ...graph.LinkID) {
 	ls := append([]graph.LinkID(nil), links...)
-	n.eng.At(at, func() { n.applyRestore(ls) })
+	n.globalAt(at, func() { n.applyRestore(ls) })
 }
 
 // StrandedSessions returns how many sessions are currently parked without a
@@ -56,13 +58,14 @@ func (n *Network) Migrations() uint64 { return n.migrated }
 func (n *Network) applySetCapacity(c rate.Rate, links []graph.LinkID) {
 	for _, l := range links {
 		n.g.SetCapacity(l, c)
-		if rl, ok := n.links[l]; ok {
-			rl.SetCapacity(c)
+		if int(l) < len(n.links) && n.links[l] != nil {
+			n.links[l].SetCapacity(c)
 		}
-		if w, ok := n.wires[l]; ok {
-			w.SetTx(n.txFor(c))
+		if int(l) < len(n.wires) && n.wires[l] != nil {
+			n.wires[l].SetTx(n.txFor(c))
 		}
 	}
+	n.maybeRepartition()
 }
 
 func (n *Network) applyFail(links []graph.LinkID) {
@@ -87,6 +90,7 @@ func (n *Network) applyFail(links []graph.LinkID) {
 		}
 		n.migrate(s)
 	}
+	n.maybeRepartition()
 }
 
 func (n *Network) applyRestore(links []graph.LinkID) {
@@ -113,6 +117,7 @@ func (n *Network) applyRestore(links []graph.LinkID) {
 		s.stranded = false
 		n.joinOnPath(s, path, s.strandedDemand)
 	}
+	n.maybeRepartition()
 }
 
 // migrate departs an active session through Leave and rejoins a successor on
@@ -182,7 +187,10 @@ func (n *Network) joinOnPath(s *Session, path graph.Path, demand rate.Rate) {
 func (n *Network) join(s *Session, demand rate.Rate) {
 	s.active = true
 	s.everJoined = true
-	s.joinedAt = n.eng.Now()
+	s.joinedAt = n.globalNow()
+	// Materialize the path's tasks and wires now, in serial context: window
+	// execution on the sharded engine must never mutate the link tables.
+	n.ensurePathTasks(s.Path)
 	s.src.Join(demand)
 }
 

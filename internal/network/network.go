@@ -4,6 +4,20 @@
 // event simulator's FIFO wires, schedules session dynamics, detects
 // quiescence, and validates converged rates against the centralized oracle —
 // exactly the methodology of the paper's Section IV.
+//
+// A Network runs on one of two engines. The classic serial engine
+// (network.New) executes every event on one goroutine in (time, scheduling
+// order). The sharded engine (network.NewSharded) partitions the topology's
+// nodes into shards (graph.PartitionNodes), gives every protocol task an
+// execution home — a RouterLink lives on the From side of its link, session
+// endpoints on their hosts — and runs shards in parallel under the engine's
+// conservative lookahead windows. Session churn and topology dynamics
+// execute as global barrier events, so they can touch cross-shard state
+// (session maps, the graph, the resolver) without locks. Packet statistics
+// and delivery pools are per shard and merge on demand. The sharded event
+// order is keyed by (time, creator node, creator sequence), which is
+// independent of the partition: runs are byte-identical for every shard
+// count, including one.
 package network
 
 import (
@@ -30,10 +44,12 @@ type Config struct {
 	// Zero disables binning.
 	BinSize time.Duration
 	// OnRate, if set, observes every API.Rate upcall with its virtual time.
+	// On a sharded network it is called from shard goroutines: callbacks for
+	// different sessions may run concurrently (per-session slots are safe).
 	OnRate func(s core.SessionID, lambda rate.Rate, at sim.Time)
 	// OnPacket, if set, observes every packet as it is sent across a
 	// physical link (intra-host hand-offs are not reported). Useful for
-	// protocol tracing and debugging.
+	// protocol tracing and debugging. Sharded runs call it concurrently.
 	OnPacket func(link graph.LinkID, pkt core.Packet, at sim.Time)
 }
 
@@ -112,74 +128,179 @@ func (s *Session) Converged() bool { return s.Current().src.Converged() }
 type Network struct {
 	cfg      Config
 	g        *graph.Graph
-	eng      *sim.Engine
+	eng      *sim.Engine        // classic serial engine; nil in sharded mode
+	she      *sim.ShardedEngine // sharded engine; nil in classic mode
 	resolver *graph.Resolver
-	links    map[graph.LinkID]*core.RouterLink
-	wires    map[graph.LinkID]*sim.Wire
+	links    []*core.RouterLink // dense by LinkID; nil until a path uses it
+	wires    []*sim.Wire        // dense by LinkID; nil until a path uses it
 	sessions map[core.SessionID]*Session
 	order    []core.SessionID // insertion order, for deterministic iteration
 	stranded []*Session       // parked without a path, in strand order
-	stats    *metrics.PacketStats
+	domains  []*domain        // one per shard (one total in classic mode)
 	nextID   core.SessionID
-	migrated uint64          // sessions rerouted by topology events
-	free     []*deliverEvent // recycled packet deliveries (see Emit)
+	migrated uint64 // sessions rerouted by topology events
+
+	// partGen/partNodes stamp the partition installed on the sharded engine;
+	// topology churn or host additions make it stale and trigger a
+	// generation-aware repartition at the next barrier.
+	partGen   uint64
+	partNodes int
 }
+
+// domain is the per-shard execution state: the shard's packet statistics and
+// its free list of recycled packet deliveries. Each domain is touched only
+// by its shard's goroutine (or by the coordinator at a barrier), so the hot
+// path stays lock-free.
+type domain struct {
+	stats *metrics.PacketStats
+	free  []*deliverEvent
+}
+
+// maxFreeDeliver caps a domain's free list: cross-shard deliveries recycle
+// into the receiving shard's pool, so sustained one-directional traffic
+// could otherwise grow a pool without bound.
+const maxFreeDeliver = 1 << 15
 
 // deliverEvent carries one in-flight packet delivery. Emit runs once per
 // packet per hop — the hottest call site in the whole simulator — and a
 // naive closure there costs two heap allocations per packet (the closure and
-// its captured variables). Instead each Network keeps a free list of
+// its captured variables). Instead each domain keeps a free list of
 // deliverEvents, each with a closure built exactly once over the event
-// itself; Emit pops one, fills in the pending delivery, and the closure
-// recycles its event before delivering, so steady-state packet traffic
-// allocates nothing.
+// itself; Emit pops one from the executing shard's pool, fills in the
+// pending delivery, and the closure recycles its event into the pool of the
+// shard executing the delivery, so steady-state packet traffic allocates
+// nothing.
 type deliverEvent struct {
-	sess *Session
-	hop  int
-	pkt  core.Packet
-	fn   func()
+	sess   *Session
+	hop    int
+	pkt    core.Packet
+	target graph.NodeID
+	fn     func()
 }
 
 // takeDeliver returns a ready-to-schedule callback delivering pkt to hop on
-// sess, drawing from the free list when possible.
-func (n *Network) takeDeliver(sess *Session, hop int, pkt core.Packet) func() {
+// sess, drawing from the executing domain's free list when possible. target
+// is the node the delivery executes on, which decides the recycling pool.
+func (n *Network) takeDeliver(dom *domain, sess *Session, hop int, pkt core.Packet, target graph.NodeID) func() {
 	var d *deliverEvent
-	if k := len(n.free); k > 0 {
-		d = n.free[k-1]
-		n.free = n.free[:k-1]
+	if k := len(dom.free); k > 0 {
+		d = dom.free[k-1]
+		dom.free = dom.free[:k-1]
 	} else {
 		d = &deliverEvent{}
 		d.fn = func() {
 			sess, hop, pkt := d.sess, d.hop, d.pkt
 			d.sess = nil
-			n.free = append(n.free, d)
+			home := n.domainFor(d.target)
+			if len(home.free) < maxFreeDeliver {
+				home.free = append(home.free, d)
+			}
 			n.deliver(sess, hop, pkt)
 		}
 	}
-	d.sess, d.hop, d.pkt = sess, hop, pkt
+	d.sess, d.hop, d.pkt, d.target = sess, hop, pkt, target
 	return d.fn
 }
 
-// New returns a network over g driven by eng.
+// New returns a network over g driven by the classic serial engine.
 func New(g *graph.Graph, eng *sim.Engine, cfg Config) *Network {
+	n := newNetwork(g, cfg)
+	n.eng = eng
+	n.domains = []*domain{{stats: metrics.NewPacketStats(cfg.BinSize)}}
+	return n
+}
+
+// NewSharded returns a network over g driven by a sharded engine. The
+// partition is computed (and, after topology churn, recomputed) from the
+// graph and the registered sessions' paths at every Run.
+func NewSharded(g *graph.Graph, she *sim.ShardedEngine, cfg Config) *Network {
+	n := newNetwork(g, cfg)
+	n.she = she
+	for i := 0; i < she.Shards(); i++ {
+		n.domains = append(n.domains, &domain{stats: metrics.NewPacketStats(cfg.BinSize)})
+	}
+	return n
+}
+
+func newNetwork(g *graph.Graph, cfg Config) *Network {
 	return &Network{
 		cfg:      cfg,
 		g:        g,
-		eng:      eng,
 		resolver: graph.NewResolver(g, 256),
-		links:    make(map[graph.LinkID]*core.RouterLink),
-		wires:    make(map[graph.LinkID]*sim.Wire),
 		sessions: make(map[core.SessionID]*Session),
-		stats:    metrics.NewPacketStats(cfg.BinSize),
 		nextID:   1,
 	}
 }
 
-// Engine returns the driving simulator.
+// Engine returns the driving serial simulator (nil when the network runs on
+// a sharded engine).
 func (n *Network) Engine() *sim.Engine { return n.eng }
 
-// Stats returns the packet statistics collector.
-func (n *Network) Stats() *metrics.PacketStats { return n.stats }
+// Sharded returns the driving sharded engine (nil in classic mode).
+func (n *Network) Sharded() *sim.ShardedEngine { return n.she }
+
+// domainFor returns the execution domain of a node: the single classic
+// domain, or the node's shard.
+func (n *Network) domainFor(node graph.NodeID) *domain {
+	if n.she == nil {
+		return n.domains[0]
+	}
+	return n.domains[n.she.ShardOf(int32(node))]
+}
+
+// nowFor returns the local clock of a node's execution context.
+func (n *Network) nowFor(node graph.NodeID) sim.Time {
+	if n.she == nil {
+		return n.eng.Now()
+	}
+	return n.she.NowAt(int32(node))
+}
+
+// globalNow returns the engine-wide clock (the barrier clock when sharded).
+func (n *Network) globalNow() sim.Time {
+	if n.she == nil {
+		return n.eng.Now()
+	}
+	return n.she.Now()
+}
+
+// globalAt schedules fn as a serial event: a plain event on the classic
+// engine, a barrier (global) event on the sharded one. All session churn and
+// topology dynamics go through here, because they touch cross-shard state.
+func (n *Network) globalAt(at sim.Time, fn func()) {
+	if n.she == nil {
+		n.eng.At(at, fn)
+		return
+	}
+	n.she.At(at, fn)
+}
+
+// Stats returns the packet statistics. In sharded mode the per-shard
+// collectors are merged into a fresh snapshot; totals and bins are sums, so
+// the result is identical for every shard count.
+func (n *Network) Stats() *metrics.PacketStats {
+	if len(n.domains) == 1 {
+		return n.domains[0].stats
+	}
+	merged := metrics.NewPacketStats(n.cfg.BinSize)
+	for _, d := range n.domains {
+		merged.Merge(d.stats)
+	}
+	return merged
+}
+
+// LinkPackets returns per-directed-link packet totals for every link that
+// carried traffic, ordered by link ID — the simulator-side counterpart of
+// the live runtime's report (same field names).
+func (n *Network) LinkPackets() []metrics.LinkCount {
+	var out []metrics.LinkCount
+	for id, w := range n.wires {
+		if w != nil && w.Sent() > 0 {
+			out = append(out, metrics.LinkCount{Link: graph.LinkID(id), Packets: w.Sent()})
+		}
+	}
+	return out
+}
 
 // Sessions returns all sessions ever created, in creation order.
 func (n *Network) Sessions() []*Session {
@@ -200,13 +321,14 @@ func (n *Network) NewSession(srcHost, dstHost graph.NodeID, path graph.Path) (*S
 	id := n.nextID
 	n.nextID++
 	s := &Session{ID: id, SrcHost: srcHost, DstHost: dstHost, Path: path}
-	s.src = core.NewSourceNode(id, n, func(sid core.SessionID, lambda rate.Rate) {
-		s.rateAt = n.eng.Now()
+	s.src = core.NewSourceNode(id, taskEmitter{n, srcHost}, func(sid core.SessionID, lambda rate.Rate) {
+		at := n.nowFor(srcHost)
+		s.rateAt = at
 		if n.cfg.OnRate != nil {
-			n.cfg.OnRate(sid, lambda, n.eng.Now())
+			n.cfg.OnRate(sid, lambda, at)
 		}
 	})
-	s.dst = core.NewDestinationNode(id, n)
+	s.dst = core.NewDestinationNode(id, taskEmitter{n, dstHost})
 	n.sessions[id] = s
 	n.order = append(n.order, id)
 	return s, nil
@@ -216,14 +338,14 @@ func (n *Network) NewSession(srcHost, dstHost graph.NodeID, path graph.Path) (*S
 // If a topology event broke the session's path before the join fires, the
 // join reroutes (or strands the session until a restore reconnects it).
 func (n *Network) ScheduleJoin(s *Session, at sim.Time, demand rate.Rate) {
-	n.eng.At(at, func() { n.joinOrStrand(s.Current(), demand) })
+	n.globalAt(at, func() { n.joinOrStrand(s.Current(), demand) })
 }
 
 // ScheduleLeave departs the session at virtual time at. Leaves for sessions
 // that a topology event already stranded or departed dissolve silently, so
 // churn schedules compose with failure schedules.
 func (n *Network) ScheduleLeave(s *Session, at sim.Time) {
-	n.eng.At(at, func() {
+	n.globalAt(at, func() {
 		cur := s.Current()
 		if cur.stranded {
 			n.unstrand(cur)
@@ -242,7 +364,7 @@ func (n *Network) ScheduleLeave(s *Session, at sim.Time) {
 // for stranded sessions update the demand they will rejoin with; changes for
 // departed sessions dissolve.
 func (n *Network) ScheduleChange(s *Session, at sim.Time, demand rate.Rate) {
-	n.eng.At(at, func() {
+	n.globalAt(at, func() {
 		cur := s.Current()
 		if cur.stranded {
 			cur.strandedDemand = demand
@@ -256,12 +378,85 @@ func (n *Network) ScheduleChange(s *Session, at sim.Time, demand rate.Rate) {
 }
 
 // Run drives the simulation to quiescence and returns the quiescence time
-// (the timestamp of the last protocol event).
-func (n *Network) Run() sim.Time { return n.eng.Run() }
+// (the timestamp of the last protocol event). On a sharded network it first
+// (re)computes the partition if the topology changed since the last run.
+func (n *Network) Run() sim.Time {
+	if n.she != nil {
+		n.ensurePartition()
+		return n.she.Run()
+	}
+	return n.eng.Run()
+}
 
-// Emit implements core.Emitter: it moves a packet one hop along (or against)
-// the session's path, crossing the corresponding physical wire.
-func (n *Network) Emit(s core.SessionID, from int, dir core.Direction, pkt core.Packet) {
+// RunUntil executes all events scheduled at or before t, then sets the
+// clock to t — for observing transients. Like Run, it installs a fresh
+// partition first when the network is sharded, so it is safe as the very
+// first advance after setup or AddHosts.
+func (n *Network) RunUntil(t sim.Time) {
+	if n.she != nil {
+		n.ensurePartition()
+		n.she.RunUntil(t)
+		return
+	}
+	n.eng.RunUntil(t)
+}
+
+// ensurePartition installs a fresh node partition on the sharded engine when
+// none exists yet or the graph changed (hosts added between runs). Called
+// from the coordinator, outside any window.
+func (n *Network) ensurePartition() {
+	if n.partNodes == n.g.NumNodes() && n.partGen == n.g.Generation() && n.partNodes > 0 {
+		return
+	}
+	n.repartition()
+}
+
+// maybeRepartition re-balances the shards after topology churn: dynamics
+// events bump the graph generation, and the session population they migrate
+// shifts the load. Runs inside a global (barrier) event, where re-homing
+// queued events is safe.
+func (n *Network) maybeRepartition() {
+	if n.she == nil || n.she.Shards() <= 1 {
+		return
+	}
+	if n.partGen == n.g.Generation() && n.partNodes == n.g.NumNodes() {
+		return
+	}
+	n.repartition()
+}
+
+func (n *Network) repartition() {
+	paths := make([]graph.Path, 0, len(n.order))
+	for _, id := range n.order {
+		s := n.sessions[id]
+		if s.departed && s.succ != nil {
+			continue // the successor carries the live path
+		}
+		paths = append(paths, s.Path)
+	}
+	p := graph.PartitionNodes(n.g, n.she.Shards(), graph.SessionWeights(n.g, paths))
+	look := sim.Time(p.Lookahead)
+	if p.K <= 1 {
+		look = 0 // single shard: the engine treats 0 as unbounded windows
+	}
+	n.she.SetTopology(n.g.NumNodes(), p.Parts, look)
+	n.partGen = n.g.Generation()
+	n.partNodes = n.g.NumNodes()
+}
+
+// taskEmitter implements core.Emitter for one protocol task, bound to the
+// node the task executes on: session endpoints live on their hosts, a
+// RouterLink on the From side of its directed link. The node decides the
+// shard whose clock, statistics and delivery pool an emission uses.
+type taskEmitter struct {
+	n    *Network
+	node graph.NodeID
+}
+
+// Emit moves a packet one hop along (or against) the session's path,
+// crossing the corresponding physical wire.
+func (em taskEmitter) Emit(s core.SessionID, from int, dir core.Direction, pkt core.Packet) {
+	n := em.n
 	sess := n.sessions[s]
 	if sess == nil {
 		panic(fmt.Sprintf("network: emit for unknown session %d", s))
@@ -279,17 +474,26 @@ func (n *Network) Emit(s core.SessionID, from int, dir core.Direction, pkt core.
 			wireLink = n.g.Link(sess.Path[from-2]).Reverse
 		}
 	}
-	deliver := n.takeDeliver(sess, to, pkt)
+	dom := n.domainFor(em.node)
 	if wireLink == graph.NoLink {
-		// Intra-host hand-off (source ↔ its access-link task): no wire.
-		n.eng.After(0, deliver)
+		// Intra-host hand-off (source ↔ its access-link task): no wire. Both
+		// endpoints live on the source host, so the delivery stays local.
+		deliver := n.takeDeliver(dom, sess, to, pkt, em.node)
+		if n.she == nil {
+			n.eng.After(0, deliver)
+		} else {
+			nd := int32(em.node)
+			n.she.SendAt(nd, nd, n.she.NowAt(nd), deliver)
+		}
 		return
 	}
 	// The packet crosses a physical link: account it (the paper counts
 	// every packet sent across a link) and serialize it on the wire.
-	n.stats.Record(pkt.Type, n.eng.Now())
+	target := n.g.Link(wireLink).To
+	deliver := n.takeDeliver(dom, sess, to, pkt, target)
+	dom.stats.Record(pkt.Type, n.nowFor(em.node))
 	if n.cfg.OnPacket != nil {
-		n.cfg.OnPacket(wireLink, pkt, n.eng.Now())
+		n.cfg.OnPacket(wireLink, pkt, n.nowFor(em.node))
 	}
 	n.wire(wireLink).Send(deliver)
 }
@@ -305,24 +509,56 @@ func (n *Network) deliver(sess *Session, hop int, pkt core.Packet) {
 	}
 }
 
-// routerLink lazily creates the RouterLink task for a directed link.
+// growLinkSlices sizes the dense per-link task/wire tables to the graph
+// (hosts and their access links can be added between runs).
+func (n *Network) growLinkSlices() {
+	if want := n.g.NumLinks(); len(n.links) < want {
+		n.links = append(n.links, make([]*core.RouterLink, want-len(n.links))...)
+		n.wires = append(n.wires, make([]*sim.Wire, want-len(n.wires))...)
+	}
+}
+
+// ensurePathTasks materializes the RouterLink tasks and wires a path uses.
+// Joins, migrations and rejoins call it from serial context (a barrier event
+// when sharded), so window execution never mutates the tables.
+func (n *Network) ensurePathTasks(path graph.Path) {
+	n.growLinkSlices()
+	for _, l := range path {
+		n.routerLink(l)
+		n.wire(l)
+		if rev := n.g.Link(l).Reverse; rev != graph.NoLink {
+			n.wire(rev)
+		}
+	}
+}
+
+// routerLink lazily creates the RouterLink task for a directed link. The
+// task executes on the link's From node.
 func (n *Network) routerLink(id graph.LinkID) *core.RouterLink {
-	if rl, ok := n.links[id]; ok {
+	n.growLinkSlices()
+	if rl := n.links[id]; rl != nil {
 		return rl
 	}
 	l := n.g.Link(id)
-	rl := core.NewRouterLink(core.LinkRef(id), l.Capacity, n)
+	rl := core.NewRouterLink(core.LinkRef(id), l.Capacity, taskEmitter{n, l.From})
 	n.links[id] = rl
 	return rl
 }
 
 // wire lazily creates the simulator wire for a directed link.
 func (n *Network) wire(id graph.LinkID) *sim.Wire {
-	if w, ok := n.wires[id]; ok {
+	n.growLinkSlices()
+	if w := n.wires[id]; w != nil {
 		return w
 	}
 	l := n.g.Link(id)
-	w := sim.NewWire(n.eng, l.Propagation, n.txFor(l.Capacity))
+	var sched sim.Sched
+	if n.she == nil {
+		sched = n.eng
+	} else {
+		sched = n.she.LinkSched(int32(l.From), int32(l.To))
+	}
+	w := sim.NewWire(sched, l.Propagation, n.txFor(l.Capacity))
 	n.wires[id] = w
 	return w
 }
@@ -404,6 +640,9 @@ func (n *Network) Validate() error {
 		}
 	}
 	for lid, rl := range n.links {
+		if rl == nil {
+			continue
+		}
 		if err := rl.CheckInvariants(); err != nil {
 			return fmt.Errorf("network: link %d: %w", lid, err)
 		}
@@ -415,7 +654,8 @@ func (n *Network) Validate() error {
 }
 
 // SnapshotRates returns every active session's current granted rate (zero
-// if none yet), for transient measurements (Figure 7).
+// if none yet), for transient measurements (Figure 7). On a sharded network
+// call it only from a global (barrier) event or between runs.
 func (n *Network) SnapshotRates() map[core.SessionID]rate.Rate {
 	out := make(map[core.SessionID]rate.Rate)
 	for _, id := range n.order {

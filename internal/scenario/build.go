@@ -26,10 +26,13 @@ type epoch struct {
 
 type resolvedEvent struct {
 	Event
-	// sessionIdx indexes Script.Sessions for session ops.
+	// sessionIdx indexes Script.Sessions for session ops (and expect-rate
+	// assertions naming a session).
 	sessionIdx int
 	// ab/ba are the duplex pair for topology ops.
 	ab, ba graph.LinkID
+	// host is the asserted host for expect-rate events naming a host.
+	host graph.NodeID
 }
 
 // build instantiates the script's topology and resolves every name.
@@ -85,10 +88,20 @@ func build(sc *Script) (*world, error) {
 
 	// Resolve and group the timeline.
 	for _, ev := range sc.Events {
-		rev := resolvedEvent{Event: ev, sessionIdx: -1, ab: graph.NoLink, ba: graph.NoLink}
+		rev := resolvedEvent{Event: ev, sessionIdx: -1, ab: graph.NoLink, ba: graph.NoLink, host: graph.NoNode}
 		switch ev.Op {
 		case OpJoin, OpLeave, OpChange:
 			rev.sessionIdx = sessionIdx[ev.Session]
+		case OpExpectRate:
+			if i, ok := sessionIdx[ev.Session]; ok {
+				rev.sessionIdx = i
+				break
+			}
+			id, ok := w.nodes[ev.Session]
+			if !ok || w.g.Node(id).Kind != graph.Host {
+				return nil, fmt.Errorf("scenario: line %d: expect rate names unknown session or host %q", ev.Line, ev.Session)
+			}
+			rev.host = id
 		default:
 			ab, ba, err := w.linkBetween(ev.A, ev.B)
 			if err != nil {

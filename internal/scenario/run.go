@@ -9,6 +9,7 @@ import (
 	"bneck/internal/graph"
 	"bneck/internal/live"
 	"bneck/internal/network"
+	"bneck/internal/rate"
 	"bneck/internal/sim"
 )
 
@@ -95,6 +96,16 @@ func RunSim(sc *Script) (*Result, error) {
 		if err := net.Validate(); err != nil {
 			return nil, fmt.Errorf("scenario: epoch %v: %w", ep.at, err)
 		}
+		for _, ev := range ep.events {
+			if ev.Op != OpExpectRate {
+				continue
+			}
+			got := assertedRate(w, sc, sessions, ev)
+			if !got.Equal(ev.Demand) {
+				return nil, fmt.Errorf("scenario: line %d: expect rate %s %v: got %v after epoch %v",
+					ev.Line, ev.Session, ev.Demand, got, ep.at)
+			}
+		}
 		er := EpochResult{
 			At:      ep.at,
 			Applied: at,
@@ -162,12 +173,51 @@ func RunLive(sc *Script) (*Result, error) {
 		if err := rt.Validate(); err != nil {
 			return nil, fmt.Errorf("scenario: epoch %v: %w", ep.at, err)
 		}
+		for _, ev := range ep.events {
+			if ev.Op != OpExpectRate {
+				continue
+			}
+			got := assertedRate(w, sc, sessions, ev)
+			if !got.Equal(ev.Demand) {
+				return nil, fmt.Errorf("scenario: line %d: expect rate %s %v: got %v after epoch %v",
+					ev.Line, ev.Session, ev.Demand, got, ep.at)
+			}
+		}
 		er := EpochResult{At: ep.at, Applied: ep.at, Events: describe(ep.events)}
 		er.Active, er.Stranded = countLive(sessions)
 		out.Epochs = append(out.Epochs, er)
 	}
 	out.Migrations = rt.Migrations()
 	return out, nil
+}
+
+// ratedSession is the assertion surface both transports' sessions share.
+type ratedSession interface {
+	Active() bool
+	Stranded() bool
+	Rate() (rate.Rate, bool)
+}
+
+// assertedRate evaluates one expect-rate assertion: a session's granted
+// rate, or the sum of a host's active sessions' granted rates (zero when
+// departed, stranded, or rate-less).
+func assertedRate[S ratedSession](w *world, sc *Script, sessions []S, ev resolvedEvent) rate.Rate {
+	sum := rate.Zero
+	for i, s := range sessions {
+		if ev.sessionIdx >= 0 && i != ev.sessionIdx {
+			continue
+		}
+		if ev.sessionIdx < 0 && w.nodes[sc.Sessions[i].Src] != ev.host {
+			continue
+		}
+		if !s.Active() || s.Stranded() {
+			continue
+		}
+		if r, ok := s.Rate(); ok {
+			sum = sum.Add(r)
+		}
+	}
+	return sum
 }
 
 func countSim(sessions []*network.Session) (active, stranded int) {
@@ -200,6 +250,8 @@ func describe(events []resolvedEvent) []string {
 		switch ev.Op {
 		case OpJoin, OpLeave, OpChange:
 			out[i] = fmt.Sprintf("%s %s", ev.Op, ev.Session)
+		case OpExpectRate:
+			out[i] = fmt.Sprintf("%s %s %v", ev.Op, ev.Session, ev.Demand)
 		case OpSetCapacity:
 			out[i] = fmt.Sprintf("%s %s-%s %v", ev.Op, ev.A, ev.B, ev.Capacity)
 		default:

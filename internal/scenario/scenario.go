@@ -25,6 +25,8 @@
 //	at 4ms   set-capacity r1 r2 50mbps
 //	at 5ms   fail r1 r2
 //	at 6ms   restore r1 r2
+//	at 7ms   expect rate s1 25mbps       # golden assertion after the epoch
+//	at 7ms   expect rate h1 25mbps       # ...or the host's total source rate
 //
 // Topology events name a duplex link by its two endpoints and apply to both
 // directions. Generated transit-stub topologies use the generator's
@@ -33,7 +35,11 @@
 //
 // Events sharing a timestamp form one epoch: the runner applies the epoch,
 // drives the network to quiescence, and validates the allocation before the
-// next epoch. Parse additionally replays the timeline statically and rejects
+// next epoch. `expect rate` events assert, after their epoch has quiesced
+// and validated, that a session holds exactly the given rate — or, when
+// given a host, that the host's active sessions' granted rates sum to it —
+// turning scripts into golden regression tests on both transports. Parse
+// additionally replays the timeline statically and rejects
 // scripts that fail an already-failed link, restore an up link, reconfigure
 // a failed link's capacity, or churn a session inconsistently.
 package scenario
@@ -60,6 +66,7 @@ const (
 	OpFail
 	OpRestore
 	OpSetCapacity
+	OpExpectRate
 )
 
 func (o Op) String() string {
@@ -76,6 +83,8 @@ func (o Op) String() string {
 		return "restore"
 	case OpSetCapacity:
 		return "set-capacity"
+	case OpExpectRate:
+		return "expect rate"
 	default:
 		return "unknown"
 	}
@@ -83,7 +92,8 @@ func (o Op) String() string {
 
 // Event is one timeline entry. Session ops use Session (+Demand for
 // join/change); topology ops use the A–B endpoint names (+Capacity for
-// set-capacity).
+// set-capacity). An expect-rate assertion names a session or a host in
+// Session and carries the expected rate in Demand.
 type Event struct {
 	At       time.Duration
 	Op       Op
@@ -293,7 +303,7 @@ func Parse(src string) (*Script, error) {
 			}
 		}
 		for _, ev := range sc.Events {
-			if ev.Op == OpJoin || ev.Op == OpLeave || ev.Op == OpChange {
+			if ev.Op == OpJoin || ev.Op == OpLeave || ev.Op == OpChange || ev.Op == OpExpectRate {
 				continue
 			}
 			for _, n := range []string{ev.A, ev.B} {
@@ -313,6 +323,17 @@ func Parse(src string) (*Script, error) {
 			if _, ok := sessions[ev.Session]; !ok {
 				return nil, fmt.Errorf("scenario: line %d: unknown session %q", ev.Line, ev.Session)
 			}
+		case OpExpectRate:
+			if _, ok := sessions[ev.Session]; ok {
+				break
+			}
+			if _, ok := hosts[ev.Session]; ok {
+				break
+			}
+			if sc.Topo.Kind == TopoHand {
+				return nil, fmt.Errorf("scenario: line %d: expect rate names unknown session or host %q", ev.Line, ev.Session)
+			}
+			// Transit-stub host names resolve at build time.
 		}
 	}
 
@@ -497,6 +518,17 @@ func parseEvent(f []string, line int) (Event, error) {
 		if ev.A == ev.B {
 			return Event{}, fmt.Errorf("%s endpoints coincide (%q)", op, ev.A)
 		}
+	case "expect":
+		ev.Op = OpExpectRate
+		if len(args) != 3 || args[0] != "rate" {
+			return Event{}, fmt.Errorf("usage: at <time> expect rate <session|host> <rate>")
+		}
+		ev.Session = args[1]
+		r, err := parseExpectedRate(args[2])
+		if err != nil {
+			return Event{}, err
+		}
+		ev.Demand = r
 	case "set-capacity":
 		ev.Op = OpSetCapacity
 		if len(args) != 3 {
@@ -529,6 +561,25 @@ func parseDemandOpt(s string) (rate.Rate, error) {
 		return rate.Zero, fmt.Errorf("malformed option %q (want demand=<rate>)", s)
 	}
 	return parseRate(v)
+}
+
+// parseExpectedRate is parseRate for expect-rate assertions: zero is legal
+// (asserting a departed or stranded population carries nothing), infinity is
+// not (no granted rate is ever unlimited).
+func parseExpectedRate(s string) (rate.Rate, error) {
+	for _, zero := range []string{"0", "0bps", "0kbps", "0mbps", "0gbps"} {
+		if strings.ToLower(s) == zero {
+			return rate.Zero, nil
+		}
+	}
+	r, err := parseRate(s)
+	if err != nil {
+		return rate.Zero, err
+	}
+	if r.IsInf() {
+		return rate.Zero, fmt.Errorf("expect rate requires a finite rate")
+	}
+	return r, nil
 }
 
 // parseRate accepts "unlimited"/"inf" or an integer with a bps/kbps/mbps/gbps

@@ -255,3 +255,88 @@ func TestParseDurationsAndRates(t *testing.T) {
 		t.Fatalf("parseRate unlimited = %v, %v", r, err)
 	}
 }
+
+// --- expect rate ---------------------------------------------------------
+
+const expectScript = `
+router r1
+router r2
+link r1 r2 60mbps 1us
+host h1 r1
+host h2 r2
+host h3 r1
+host h4 r2
+session s1 h1 h2
+session s2 h3 h4
+at 0ms join s1
+at 0ms join s2
+at 1ms expect rate s1 30mbps
+at 1ms expect rate h3 30mbps
+at 2ms leave s2
+at 3ms expect rate s1 60mbps
+at 3ms expect rate h3 0bps
+`
+
+func TestExpectRateParses(t *testing.T) {
+	sc, err := Parse(expectScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, ev := range sc.Events {
+		if ev.Op == OpExpectRate {
+			n++
+		}
+	}
+	if n != 4 {
+		t.Fatalf("parsed %d expect events, want 4", n)
+	}
+}
+
+func TestExpectRateParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"at 1ms expect rate",
+		"at 1ms expect rate s1",
+		"at 1ms expect weight s1 3mbps",
+		"at 1ms expect rate s1 unlimited",
+	} {
+		src := "router r1\nrouter r2\nlink r1 r2 10mbps 1us\nhost h1 r1\nhost h2 r2\nsession s1 h1 h2\nat 0ms join s1\n" + bad + "\n"
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted %q", bad)
+		}
+	}
+	// Unknown name on a hand-built topology fails at parse time.
+	src := "router r1\nrouter r2\nlink r1 r2 10mbps 1us\nhost h1 r1\nhost h2 r2\nsession s1 h1 h2\nat 0ms join s1\nat 1ms expect rate nosuch 10mbps\n"
+	if _, err := Parse(src); err == nil {
+		t.Error("Parse accepted an expect for an unknown name")
+	}
+}
+
+func TestExpectRateSimPassAndFail(t *testing.T) {
+	sc, err := Parse(expectScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSim(sc); err != nil {
+		t.Fatalf("correct expectations failed: %v", err)
+	}
+	wrong := strings.Replace(expectScript, "expect rate s1 30mbps", "expect rate s1 31mbps", 1)
+	sc, err = Parse(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunSim(sc)
+	if err == nil || !strings.Contains(err.Error(), "expect rate") {
+		t.Fatalf("wrong expectation did not fail usefully: %v", err)
+	}
+}
+
+func TestExpectRateLive(t *testing.T) {
+	sc, err := Parse(expectScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunLive(sc); err != nil {
+		t.Fatalf("live expectations failed: %v", err)
+	}
+}

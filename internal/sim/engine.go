@@ -134,18 +134,32 @@ func (e *Engine) Pending() int { return e.regular }
 
 // event is one scheduled callback. Events are stored by value inside the
 // queue's backing slice; nothing outside the queue holds a reference.
+//
+// The serial Engine leaves src/owner at zero, so its ordering stays the
+// classic (time, global sequence). The sharded engine keys events by
+// (time, creator, per-creator sequence): src is the node (or extCreator)
+// whose execution scheduled the event and seq counts that creator's
+// schedulings, which makes the total order independent of how nodes are
+// partitioned into shards. owner is the node the event executes on, so a
+// repartition can re-home queued events.
 type event struct {
 	at     Time
 	seq    uint64
 	fn     func()
+	src    int32
+	owner  int32
 	daemon bool
 }
 
-// before is the queue ordering: earlier time first, scheduling order
-// (sequence number) breaking equal-time ties.
+// before is the queue ordering: earlier time first, then creator, then the
+// creator's scheduling order. Keys are unique: a creator never reuses a
+// sequence number.
 func (ev event) before(other event) bool {
 	if ev.at != other.at {
 		return ev.at < other.at
+	}
+	if ev.src != other.src {
+		return ev.src < other.src
 	}
 	return ev.seq < other.seq
 }

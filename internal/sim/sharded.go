@@ -1,0 +1,496 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// infTime is the "no event" sentinel.
+const infTime = Time(math.MaxInt64)
+
+// ExtCreator is the creator ID of events scheduled from outside any node
+// context: setup code, and global (barrier) events. It sorts before every
+// node, so a global event at time t always precedes node events at t.
+const ExtCreator int32 = -1
+
+// ShardedEngine is a conservatively-synchronized parallel discrete event
+// scheduler: nodes of a network are partitioned into shards, each shard owns
+// a value-typed 4-ary heap and a local virtual clock, and shards execute
+// windows of at most the lookahead bound in parallel. The lookahead is the
+// minimum latency of any cross-shard edge, so an event executing inside a
+// window can only schedule into another shard at or beyond the window's end;
+// those messages travel through per-shard outboxes and are delivered at the
+// next barrier.
+//
+// Determinism: every event is keyed by (time, creator, creator sequence),
+// where the creator is the node whose execution scheduled it (ExtCreator for
+// setup and global events) and the sequence counts that creator's
+// schedulings. Because a node's execution order is independent of the
+// partition (cross-shard influence always arrives strictly later than the
+// lookahead bound), the keys — and therefore the complete run — are
+// byte-identical for any shard count, including one.
+//
+// Events come in three flavors:
+//   - shard events (SendAt): always regular, execute on the owning shard;
+//   - global regular events (At/After): execute at a barrier, with every
+//     shard quiescent up to their timestamp — the place for session churn,
+//     topology dynamics, and anything that reads or writes cross-shard state;
+//   - global daemon events (DaemonAt): like global regular events, but they
+//     do not keep Run alive (measurement ticks).
+type ShardedEngine struct {
+	shards []*seShard
+	part   []int32 // node -> shard
+	nNodes int
+	// lookahead is the conservative window bound: the minimum latency of any
+	// event scheduled from one shard into another. infTime when nothing is
+	// cut (single shard).
+	lookahead Time
+
+	global        eventQueue // global events, creator ExtCreator
+	extSeq        uint64
+	globalRegular int
+
+	now      Time
+	lastBusy Time
+	nEvents  uint64
+
+	stopped   atomic.Bool
+	inWindow  bool
+	windowEnd Time
+
+	workers bool
+	wake    []chan Time
+	done    chan struct{}
+}
+
+// seShard is one shard: a heap of owned events, a local clock, and the
+// per-creator-node scheduling counters of the nodes it owns.
+type seShard struct {
+	id       int32
+	now      Time
+	q        eventQueue
+	regular  int
+	nEvents  uint64
+	lastBusy Time
+	ctr      []uint64  // per-node creator counters (live entry at the owner)
+	out      [][]event // outboxes, one per destination shard
+}
+
+// NewSharded returns an engine with the given number of shards (clamped to at
+// least 1). Call SetTopology before scheduling node events.
+func NewSharded(shards int) *ShardedEngine {
+	if shards < 1 {
+		shards = 1
+	}
+	se := &ShardedEngine{}
+	for i := 0; i < shards; i++ {
+		se.shards = append(se.shards, &seShard{
+			id:  int32(i),
+			out: make([][]event, shards),
+		})
+	}
+	se.lookahead = infTime
+	return se
+}
+
+// Shards returns the shard count.
+func (se *ShardedEngine) Shards() int { return len(se.shards) }
+
+// Lookahead returns the current conservative window bound, or 0 when
+// windows are unbounded (a single shard: nothing is cut).
+func (se *ShardedEngine) Lookahead() Time {
+	if se.lookahead == infTime {
+		return 0
+	}
+	return se.lookahead
+}
+
+// ShardOf returns the shard owning a node.
+func (se *ShardedEngine) ShardOf(node int32) int { return int(se.part[node]) }
+
+// SetTopology installs (or replaces) the node→shard map and the lookahead
+// bound. part must assign every node a shard in [0, Shards()). It may be
+// called before a run or from inside a global event (a barrier, with every
+// shard parked); queued shard events are re-homed to their owners' new
+// shards and creator counters move with their nodes, so a repartition never
+// disturbs the deterministic event order.
+func (se *ShardedEngine) SetTopology(numNodes int, part []int32, lookahead Time) {
+	if len(part) != numNodes {
+		panic(fmt.Sprintf("sim: partition of %d nodes for %d-node topology", len(part), numNodes))
+	}
+	for n, p := range part {
+		if int(p) < 0 || int(p) >= len(se.shards) {
+			panic(fmt.Sprintf("sim: node %d assigned to shard %d of %d", n, p, len(se.shards)))
+		}
+	}
+	if lookahead <= 0 {
+		lookahead = infTime
+	}
+	old := se.part
+	se.part = append([]int32(nil), part...)
+	se.nNodes = numNodes
+	se.lookahead = lookahead
+
+	// Move creator counters: each node's live counter sits in its previous
+	// owner's slice (or nowhere, for new nodes).
+	ctrs := make([][]uint64, len(se.shards))
+	for i, s := range se.shards {
+		ctrs[i] = s.ctr
+		s.ctr = make([]uint64, numNodes)
+	}
+	for n := 0; n < numNodes; n++ {
+		var v uint64
+		if old != nil && n < len(old) {
+			prev := ctrs[old[n]]
+			if n < len(prev) {
+				v = prev[n]
+			}
+		}
+		se.shards[part[n]].ctr[n] = v
+	}
+
+	// Re-home queued shard events by owner.
+	var pending []event
+	for _, s := range se.shards {
+		pending = append(pending, s.q.ev...)
+		s.q.ev = s.q.ev[:0]
+		s.regular = 0
+	}
+	for _, ev := range pending {
+		d := se.shards[se.part[ev.owner]]
+		d.q.push(ev)
+		d.regular++
+	}
+}
+
+// Now returns the engine's global virtual time: the latest instant every
+// shard has reached. Individual shards can be ahead mid-run; use NowAt for a
+// node's local clock.
+func (se *ShardedEngine) Now() Time { return se.now }
+
+// NowAt returns the local clock of the shard owning a node. Valid from the
+// node's own execution context, from a global event, or between runs.
+func (se *ShardedEngine) NowAt(node int32) Time { return se.shards[se.part[node]].now }
+
+// LastBusy returns the execution time of the most recent regular event —
+// once Run returns, the quiescence instant.
+func (se *ShardedEngine) LastBusy() Time { return se.lastBusyAll() }
+
+// Events returns the total number of events executed.
+func (se *ShardedEngine) Events() uint64 {
+	n := se.nEvents
+	for _, s := range se.shards {
+		n += s.nEvents
+	}
+	return n
+}
+
+// Pending returns the number of regular events currently scheduled
+// (excluding cross-shard messages still in flight during a window).
+func (se *ShardedEngine) Pending() int { return se.regularTotal() }
+
+// At schedules a global regular event: fn runs at virtual time t on the
+// coordinating goroutine, with every shard quiescent up to t. Global events
+// may touch any state and schedule anywhere; they cannot be scheduled from
+// inside a shard's window.
+func (se *ShardedEngine) At(t Time, fn func()) { se.scheduleGlobal(t, fn, false) }
+
+// After schedules a global regular event d from now (d < 0 clamps to now).
+func (se *ShardedEngine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	se.scheduleGlobal(se.now+d, fn, false)
+}
+
+// DaemonAt schedules a global daemon event: it runs like a global event but
+// does not keep Run alive.
+func (se *ShardedEngine) DaemonAt(t Time, fn func()) { se.scheduleGlobal(t, fn, true) }
+
+func (se *ShardedEngine) scheduleGlobal(t Time, fn func(), daemon bool) {
+	if se.inWindow {
+		panic("sim: global scheduling during a shard window (schedule from setup or a global event)")
+	}
+	if t < se.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, se.now))
+	}
+	se.extSeq++
+	se.global.push(event{at: t, src: ExtCreator, seq: se.extSeq, fn: fn, daemon: daemon})
+	if !daemon {
+		se.globalRegular++
+	}
+}
+
+// SendAt schedules fn at absolute time t on the shard owning node `to`, with
+// creator `from`: the node whose execution performs the scheduling. During a
+// window, a cross-shard send must land at or beyond the window's end — the
+// conservative guarantee the lookahead bound exists to provide.
+func (se *ShardedEngine) SendAt(from, to int32, t Time, fn func()) {
+	sf := se.shards[se.part[from]]
+	sf.ctr[from]++
+	ev := event{at: t, src: from, owner: to, seq: sf.ctr[from], fn: fn}
+	di := se.part[to]
+	if se.inWindow && di != sf.id {
+		if t < se.windowEnd {
+			panic(fmt.Sprintf("sim: cross-shard send at %v inside window ending %v (lookahead %v violated)", t, se.windowEnd, se.lookahead))
+		}
+		sf.out[di] = append(sf.out[di], ev)
+		return
+	}
+	d := se.shards[di]
+	if t < d.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, d.now))
+	}
+	d.q.push(ev)
+	d.regular++
+}
+
+// LinkSched returns the wire scheduler for a directed link from→to: Now reads
+// the sending shard's clock, At crosses into the receiving node's shard.
+func (se *ShardedEngine) LinkSched(from, to int32) Sched { return linkSched{se, from, to} }
+
+type linkSched struct {
+	se       *ShardedEngine
+	from, to int32
+}
+
+func (ls linkSched) Now() Time           { return ls.se.NowAt(ls.from) }
+func (ls linkSched) At(t Time, f func()) { ls.se.SendAt(ls.from, ls.to, t, f) }
+
+// Stop makes the innermost Run/RunUntil return at the next event boundary
+// (shards finish their current window).
+func (se *ShardedEngine) Stop() { se.stopped.Store(true) }
+
+// Run executes events until no regular events remain anywhere — shard
+// heaps, in-flight mailboxes, or the global queue. Global daemons due before
+// the last regular event still run; later ones do not, exactly the serial
+// engine's quiescence rule. It returns the quiescence time.
+func (se *ShardedEngine) Run() Time {
+	se.stopped.Store(false)
+	defer se.stopWorkers()
+	for !se.stopped.Load() {
+		se.drain()
+		if se.regularTotal() == 0 {
+			break
+		}
+		tG, tL := se.minGlobal(), se.minLocal()
+		if tG <= tL {
+			se.execGlobal()
+			continue
+		}
+		se.runWindow(tL, tG, infTime)
+	}
+	se.syncNow()
+	return se.lastBusyAll()
+}
+
+// RunUntil executes all events (regular and daemon) scheduled at or before
+// t, then sets every clock to t.
+func (se *ShardedEngine) RunUntil(t Time) {
+	se.stopped.Store(false)
+	defer se.stopWorkers()
+	for !se.stopped.Load() {
+		se.drain()
+		tG, tL := se.minGlobal(), se.minLocal()
+		if tG <= tL {
+			if tG > t {
+				break
+			}
+			se.execGlobal()
+			continue
+		}
+		if tL > t {
+			break
+		}
+		hard := t
+		if hard < infTime {
+			hard++ // the window end is exclusive; events at exactly t must run
+		}
+		se.runWindow(tL, tG, hard)
+	}
+	se.syncNow()
+	if se.now < t {
+		se.now = t
+	}
+	for _, s := range se.shards {
+		if s.now < t {
+			s.now = t
+		}
+	}
+}
+
+// drain moves outbox events into their destination shards' heaps. Insertion
+// order is irrelevant: keys are unique, and heaps pop the exact minimum.
+func (se *ShardedEngine) drain() {
+	for _, s := range se.shards {
+		for di, box := range s.out {
+			if len(box) == 0 {
+				continue
+			}
+			d := se.shards[di]
+			for i := range box {
+				d.q.push(box[i])
+				d.regular++
+				box[i] = event{} // release the closure reference
+			}
+			s.out[di] = box[:0]
+		}
+	}
+}
+
+func (se *ShardedEngine) regularTotal() int {
+	n := se.globalRegular
+	for _, s := range se.shards {
+		n += s.regular
+	}
+	return n
+}
+
+func (se *ShardedEngine) minGlobal() Time {
+	if se.global.len() == 0 {
+		return infTime
+	}
+	return se.global.minTime()
+}
+
+func (se *ShardedEngine) minLocal() Time {
+	t := infTime
+	for _, s := range se.shards {
+		if s.q.len() > 0 && s.q.minTime() < t {
+			t = s.q.minTime()
+		}
+	}
+	return t
+}
+
+// execGlobal pops and executes the earliest global event at a barrier: every
+// shard has finished all events before its timestamp, and shard clocks
+// advance to it so emissions from the event use a consistent now.
+func (se *ShardedEngine) execGlobal() {
+	ev := se.global.pop()
+	se.now = ev.at
+	for _, s := range se.shards {
+		if s.now < ev.at {
+			s.now = ev.at
+		}
+	}
+	if !ev.daemon {
+		se.globalRegular--
+		se.lastBusy = ev.at
+	}
+	se.nEvents++
+	ev.fn()
+}
+
+// runWindow executes one conservative window starting at W: every shard runs
+// its local events in [W, end) in parallel, where end = min(W+lookahead,
+// first global event, hard).
+func (se *ShardedEngine) runWindow(W, tG, hard Time) {
+	end := W + se.lookahead
+	if end < W { // overflow
+		end = infTime
+	}
+	if tG < end {
+		end = tG
+	}
+	if hard < end {
+		end = hard
+	}
+	se.windowEnd = end
+	var busy []*seShard
+	for _, s := range se.shards {
+		if s.q.len() > 0 && s.q.minTime() < end {
+			busy = append(busy, s)
+		}
+	}
+	if len(busy) == 0 {
+		return
+	}
+	// inWindow is set even when a single shard runs inline on the
+	// coordinator: the lookahead-violation and no-global-scheduling panics
+	// must fire identically regardless of how many shards happen to be busy,
+	// or a violation would corrupt determinism only at some shard counts.
+	se.inWindow = true
+	if len(busy) == 1 {
+		busy[0].run(se, end)
+	} else {
+		se.ensureWorkers()
+		for _, s := range busy {
+			se.wake[s.id] <- end
+		}
+		for range busy {
+			<-se.done
+		}
+	}
+	se.inWindow = false
+}
+
+// run executes the shard's events strictly before end, in key order.
+func (s *seShard) run(se *ShardedEngine, end Time) {
+	for s.q.len() > 0 && s.q.minTime() < end {
+		ev := s.q.pop()
+		s.now = ev.at
+		s.regular--
+		s.lastBusy = ev.at
+		s.nEvents++
+		ev.fn()
+		if se.stopped.Load() {
+			return
+		}
+	}
+}
+
+// ensureWorkers lazily starts one goroutine per shard, parked on a wake
+// channel; stopWorkers (deferred by Run/RunUntil) tears them down, so an
+// idle engine holds no goroutines.
+func (se *ShardedEngine) ensureWorkers() {
+	if se.workers {
+		return
+	}
+	se.workers = true
+	se.wake = make([]chan Time, len(se.shards))
+	se.done = make(chan struct{}, len(se.shards))
+	for _, s := range se.shards {
+		ch := make(chan Time)
+		se.wake[s.id] = ch
+		go func(s *seShard, ch chan Time) {
+			for end := range ch {
+				s.run(se, end)
+				se.done <- struct{}{}
+			}
+		}(s, ch)
+	}
+}
+
+func (se *ShardedEngine) stopWorkers() {
+	if !se.workers {
+		return
+	}
+	for _, ch := range se.wake {
+		close(ch)
+	}
+	se.workers = false
+	se.wake = nil
+	se.done = nil
+}
+
+// syncNow advances the coordinator clock to the latest shard clock.
+func (se *ShardedEngine) syncNow() {
+	for _, s := range se.shards {
+		if s.now > se.now {
+			se.now = s.now
+		}
+	}
+}
+
+func (se *ShardedEngine) lastBusyAll() Time {
+	t := se.lastBusy
+	for _, s := range se.shards {
+		if s.lastBusy > t {
+			t = s.lastBusy
+		}
+	}
+	return t
+}

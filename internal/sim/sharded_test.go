@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// ringTopology builds a partition of n nodes over k shards, round-robin, so
+// neighboring nodes usually live on different shards — the worst case for
+// the barrier protocol.
+func ringTopology(se *ShardedEngine, n, k int, lookahead Time) {
+	part := make([]int32, n)
+	for i := range part {
+		part[i] = int32(i % k)
+	}
+	se.SetTopology(n, part, lookahead)
+}
+
+// TestShardedBarrierStress ping-pongs messages around a cross-shard ring at
+// exactly the lookahead bound: every window moves every chain by one hop, so
+// the coordinator and the shard workers hammer the barrier protocol. Run
+// with -race this doubles as the shard-barrier data-race test.
+func TestShardedBarrierStress(t *testing.T) {
+	const (
+		nodes   = 32
+		shards  = 8
+		chains  = 64
+		hops    = 400
+		latency = time.Microsecond
+	)
+	se := NewSharded(shards)
+	ringTopology(se, nodes, shards, latency)
+	var delivered [chains]int
+	var hop func(chain, node, remaining int)
+	hop = func(chain, node, remaining int) {
+		delivered[chain]++
+		if remaining == 0 {
+			return
+		}
+		next := (node + 1) % nodes
+		se.SendAt(int32(node), int32(next), se.NowAt(int32(node))+latency, func() {
+			hop(chain, next, remaining-1)
+		})
+	}
+	for c := 0; c < chains; c++ {
+		c := c
+		start := c % nodes
+		se.At(time.Duration(c)*10*time.Nanosecond, func() {
+			hop(c, start, hops)
+		})
+	}
+	q := se.Run()
+	for c, got := range delivered {
+		if got != hops+1 {
+			t.Fatalf("chain %d delivered %d hops, want %d", c, got, hops+1)
+		}
+	}
+	wantQ := time.Duration(chains-1)*10*time.Nanosecond + hops*latency
+	if q != wantQ {
+		t.Fatalf("quiescence %v, want %v", q, wantQ)
+	}
+	if se.Pending() != 0 {
+		t.Fatalf("pending %d after Run", se.Pending())
+	}
+}
+
+// TestShardedDaemonQuiescenceRule mirrors the serial engine's rule: global
+// daemons due before the last regular event run, later ones do not.
+func TestShardedDaemonQuiescenceRule(t *testing.T) {
+	se := NewSharded(4)
+	ringTopology(se, 8, 4, time.Microsecond)
+	var ticks []Time
+	for i := 1; i <= 10; i++ {
+		at := time.Duration(i) * time.Millisecond
+		se.DaemonAt(at, func() { ticks = append(ticks, at) })
+	}
+	// A regular chain that ends at 3.5ms.
+	se.At(500*time.Microsecond, func() {
+		se.SendAt(0, 1, se.NowAt(0)+time.Millisecond, func() {
+			se.SendAt(1, 2, se.NowAt(1)+2*time.Millisecond, func() {})
+		})
+	})
+	q := se.Run()
+	if want := 3500 * time.Microsecond; q != want {
+		t.Fatalf("quiescence %v, want %v", q, want)
+	}
+	if len(ticks) != 3 {
+		t.Fatalf("daemons ran %d times (%v), want 3 (1ms, 2ms, 3ms)", len(ticks), ticks)
+	}
+	// RunUntil flushes the rest up to its horizon.
+	se.RunUntil(7 * time.Millisecond)
+	if len(ticks) != 7 {
+		t.Fatalf("after RunUntil(7ms) daemons ran %d times, want 7", len(ticks))
+	}
+	if se.Now() != 7*time.Millisecond {
+		t.Fatalf("Now() = %v, want 7ms", se.Now())
+	}
+}
+
+// TestShardedRepartitionMidStream re-homes queued events to new owners and
+// keeps the run's outcome unchanged.
+func TestShardedRepartitionMidStream(t *testing.T) {
+	run := func(repartition bool) []Time {
+		se := NewSharded(4)
+		ringTopology(se, 16, 4, time.Microsecond)
+		var log []Time
+		var hop func(node, remaining int)
+		hop = func(node, remaining int) {
+			log = append(log, se.NowAt(int32(node)))
+			if remaining == 0 {
+				return
+			}
+			next := (node + 5) % 16
+			se.SendAt(int32(node), int32(next), se.NowAt(int32(node))+3*time.Microsecond, func() {
+				hop(next, remaining-1)
+			})
+		}
+		se.At(0, func() { hop(0, 100) })
+		if repartition {
+			se.At(50*time.Microsecond, func() {
+				// Flip the partition: nodes move to the opposite shard.
+				part := make([]int32, 16)
+				for i := range part {
+					part[i] = int32((i + 2) % 4)
+				}
+				se.SetTopology(16, part, time.Microsecond)
+			})
+		}
+		se.Run()
+		return log
+	}
+	plain, moved := run(false), run(true)
+	if len(plain) != len(moved) {
+		t.Fatalf("event counts differ: %d vs %d", len(plain), len(moved))
+	}
+	for i := range plain {
+		if plain[i] != moved[i] {
+			t.Fatalf("hop %d at %v with repartition, %v without", i, moved[i], plain[i])
+		}
+	}
+}
+
+// TestShardedStop stops mid-run and resumes.
+func TestShardedStop(t *testing.T) {
+	se := NewSharded(2)
+	ringTopology(se, 4, 2, time.Microsecond)
+	n := 0
+	var hop func(node, remaining int)
+	hop = func(node, remaining int) {
+		n++
+		if n == 10 {
+			se.Stop()
+		}
+		if remaining == 0 {
+			return
+		}
+		next := (node + 1) % 4
+		se.SendAt(int32(node), int32(next), se.NowAt(int32(node))+time.Microsecond, func() { hop(next, remaining-1) })
+	}
+	se.At(0, func() { hop(0, 99) })
+	se.Run()
+	if n < 10 || n == 100 {
+		t.Fatalf("stopped after %d events, want ≥ 10 and < 100", n)
+	}
+	se.Run() // resumes
+	if n != 100 {
+		t.Fatalf("resume executed %d events total, want 100", n)
+	}
+}

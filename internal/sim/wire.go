@@ -14,16 +14,25 @@ import (
 // FIFO order is guaranteed: departures are serialized (monotone departure
 // times) and the engine breaks equal-time ties in scheduling order.
 type Wire struct {
-	eng  *Engine
+	eng  Sched
 	prop time.Duration
 	tx   time.Duration // per-packet transmission (serialization) time
 	free Time          // when the transmitter next becomes idle
 	sent uint64
 }
 
-// NewWire returns a wire on the given engine with a propagation delay and a
-// per-packet transmission time (0 for an ideal link).
-func NewWire(eng *Engine, propagation, txPerPacket time.Duration) *Wire {
+// Sched is the scheduling surface a wire needs: the clock of the sending
+// side and absolute-time scheduling of the arrival. *Engine satisfies it
+// directly; the sharded engine hands out per-link adapters whose Now is the
+// sender shard's clock and whose At crosses into the receiver's shard.
+type Sched interface {
+	Now() Time
+	At(t Time, fn func())
+}
+
+// NewWire returns a wire on the given scheduler with a propagation delay and
+// a per-packet transmission time (0 for an ideal link).
+func NewWire(eng Sched, propagation, txPerPacket time.Duration) *Wire {
 	return &Wire{eng: eng, prop: propagation, tx: txPerPacket}
 }
 

@@ -1,0 +1,98 @@
+package bneck_test
+
+import (
+	"testing"
+	"time"
+
+	"bneck"
+)
+
+// TestWithShardsByteIdentical drives the public API on the sharded engine:
+// a WAN transit-stub with churn and a link failure, run at 1 and 3 shards,
+// must agree on every rate, the quiescence instant, and the packet total.
+func TestWithShardsByteIdentical(t *testing.T) {
+	type outcome struct {
+		quiescence time.Duration
+		packets    uint64
+		rates      map[bneck.SessionID]string
+		shards     int
+	}
+	run := func(shards int) outcome {
+		s, err := bneck.NewTransitStub(bneck.Small, bneck.WAN, 5, bneck.WithShards(shards))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts, err := s.AddHosts(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sessions []*bneck.Session
+		for i := 0; i < 4; i++ {
+			sess, err := s.Session(hosts[i], hosts[4+i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess.JoinAt(time.Duration(i)*200*time.Microsecond, bneck.Mbps(50))
+			sessions = append(sessions, sess)
+		}
+		sessions[1].ChangeAt(5*time.Millisecond, bneck.Mbps(10))
+		sessions[2].LeaveAt(8 * time.Millisecond)
+		links := s.RouterLinks()
+		if len(links) > 0 {
+			links[len(links)/2].FailAt(12 * time.Millisecond)
+			links[len(links)/2].RestoreAt(40 * time.Millisecond)
+		}
+		rep := s.RunToQuiescence()
+		if err := s.Validate(); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		out := outcome{quiescence: rep.Quiescence, packets: rep.Packets, rates: map[bneck.SessionID]string{}, shards: s.Shards()}
+		for id, r := range rep.Rates {
+			out.rates[id] = r.String()
+		}
+		return out
+	}
+	serial, sharded := run(1), run(3)
+	if serial.shards != 1 || sharded.shards != 3 {
+		t.Fatalf("Shards() = %d/%d, want 1/3", serial.shards, sharded.shards)
+	}
+	if serial.quiescence != sharded.quiescence || serial.packets != sharded.packets {
+		t.Fatalf("serial %v/%d packets, sharded %v/%d packets",
+			serial.quiescence, serial.packets, sharded.quiescence, sharded.packets)
+	}
+	if len(serial.rates) != len(sharded.rates) {
+		t.Fatalf("rate table sizes differ: %d vs %d", len(serial.rates), len(sharded.rates))
+	}
+	for id, r := range serial.rates {
+		if sharded.rates[id] != r {
+			t.Fatalf("session %d: serial %s, sharded %s", id, r, sharded.rates[id])
+		}
+	}
+}
+
+// TestWithShardsStepUntilFirst: StepUntil as the very first advance on a
+// sharded simulation must install the partition, not panic (regression:
+// it used to bypass the network and index a nil partition).
+func TestWithShardsStepUntilFirst(t *testing.T) {
+	s, err := bneck.NewTransitStub(bneck.Small, bneck.WAN, 9, bneck.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts, err := s.AddHosts(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := s.Session(hosts[0], hosts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.JoinAt(0, bneck.Unlimited)
+	s.StepUntil(5 * time.Millisecond) // must not panic
+	rep := s.RunToQuiescence()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rates) != 1 {
+		t.Fatalf("rates = %v", rep.Rates)
+	}
+}

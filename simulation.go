@@ -17,8 +17,9 @@ import (
 // oracle for validation. It is not safe for concurrent use.
 type Simulation struct {
 	g        *graph.Graph
-	topo     *topology.Network // nil for hand-built networks
-	eng      *sim.Engine
+	topo     *topology.Network  // nil for hand-built networks
+	eng      *sim.Engine        // classic serial engine (nil when sharded)
+	she      *sim.ShardedEngine // sharded engine (nil when serial)
 	net      *network.Network
 	resolver *graph.Resolver
 	sessions map[SessionID]*Session
@@ -29,7 +30,6 @@ func newSimulation(g *graph.Graph, topo *topology.Network, opts ...Option) (*Sim
 	for _, opt := range opts {
 		opt(&o)
 	}
-	eng := sim.New()
 	cfg := network.Config{
 		ControlPacketBits: o.controlPacketBits,
 		BinSize:           o.binSize,
@@ -40,14 +40,31 @@ func newSimulation(g *graph.Graph, topo *topology.Network, opts ...Option) (*Sim
 			cb(SessionID(s), r, at)
 		}
 	}
-	return &Simulation{
+	out := &Simulation{
 		g:        g,
 		topo:     topo,
-		eng:      eng,
-		net:      network.New(g, eng, cfg),
 		resolver: graph.NewResolver(g, 256),
 		sessions: make(map[SessionID]*Session),
-	}, nil
+	}
+	if o.shards >= 1 {
+		out.she = sim.NewSharded(o.shards)
+		out.net = network.NewSharded(g, out.she, cfg)
+	} else {
+		out.eng = sim.New()
+		out.net = network.New(g, out.eng, cfg)
+	}
+	return out, nil
+}
+
+// Shards returns how many shards the simulation's engine runs: 1 for the
+// classic serial engine, the WithShards value otherwise. Sharded runs are
+// byte-identical at every shard count; counts above one advance a single
+// run across that many cores.
+func (s *Simulation) Shards() int {
+	if s.she == nil {
+		return 1
+	}
+	return s.she.Shards()
 }
 
 // AddHosts attaches n hosts to random stub routers of a generated topology.
@@ -91,7 +108,12 @@ func (s *Simulation) Session(src, dst Node) (*Session, error) {
 }
 
 // Now returns the current virtual time.
-func (s *Simulation) Now() time.Duration { return s.eng.Now() }
+func (s *Simulation) Now() time.Duration {
+	if s.she != nil {
+		return s.she.Now()
+	}
+	return s.eng.Now()
+}
 
 // RunToQuiescence advances virtual time until the protocol goes silent and
 // returns the state of the world. It may be called repeatedly as dynamics
@@ -115,8 +137,10 @@ func (s *Simulation) RunToQuiescence() Report {
 }
 
 // StepUntil advances virtual time to t, processing due events (for
-// observing transients).
-func (s *Simulation) StepUntil(t time.Duration) { s.eng.RunUntil(t) }
+// observing transients). It goes through the network so a sharded
+// simulation installs its partition even when StepUntil is the first
+// advance.
+func (s *Simulation) StepUntil(t time.Duration) { s.net.RunUntil(t) }
 
 // Validate cross-checks every active session's granted rate against the
 // centralized water-filling oracle and every link task's stability
