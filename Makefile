@@ -1,10 +1,15 @@
 # Development and CI entry points. `make check` is the PR gate; `make bench`
 # captures the perf trajectory of the simulator hot path per PR, and
-# `make bench-json` snapshots it as BENCH_<date>.json for the perf-trajectory
-# archive (CI uploads it as an artifact).
+# `make bench-json` snapshots it as BENCH_PR<n>.json — a committed artifact
+# per PR, so the perf trajectory (engine scheduling, protocol throughput,
+# sharded-engine scaling on LAN and WAN, live-Emit contention) accumulates
+# in the repository. Override the output with BENCH_OUT=... (CI also
+# uploads it).
 
 GO ?= go
-DATE := $(shell date +%Y%m%d)
+# Bump per PR (BENCH_PR5.json, …) — or pass BENCH_OUT=… — so snapshots
+# accumulate instead of overwriting the previous PR's committed artifact.
+BENCH_OUT ?= BENCH_PR4.json
 
 .PHONY: check vet build test test-full bench bench-full bench-json fmt
 
@@ -31,11 +36,17 @@ bench-full:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
 # Machine-readable perf snapshot: engine scheduling, protocol throughput,
-# the dynamic-topology reconfiguration benchmark and the sharded-engine
-# scaling sweep, as BENCH_<date>.json.
+# the dynamic-topology reconfiguration benchmark, the sharded-engine scaling
+# sweep (classic vs 1/2/4 shards, LAN and WAN) and the live-Emit contention
+# benchmark, as $(BENCH_OUT). The micro-benchmarks run at the default
+# benchtime; the end-to-end sweeps pin a fixed iteration count so the
+# snapshot costs minutes, not hours.
 bench-json:
-	$(GO) test -bench='SimEngine|ProtocolThroughput|Reconfiguration|ShardedEngine' -benchmem -run='^$$' . \
-		| $(GO) run ./cmd/benchjson -out BENCH_$(DATE).json
+	@tmp=$$(mktemp); \
+	{ $(GO) test -bench=SimEngine -benchmem -run='^$$' . > $$tmp && \
+	  $(GO) test -bench='ProtocolThroughput|Reconfiguration|ShardedEngine|LiveEmit' -benchtime=3x -benchmem -run='^$$' . >> $$tmp && \
+	  $(GO) run ./cmd/benchjson -out $(BENCH_OUT) < $$tmp; }; \
+	status=$$?; rm -f $$tmp; exit $$status
 
 fmt:
 	gofmt -w .

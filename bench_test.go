@@ -7,10 +7,14 @@
 package bneck_test
 
 import (
+	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
 	"bneck/internal/exp"
+	"bneck/internal/graph"
+	"bneck/internal/live"
 	"bneck/internal/rate"
 	"bneck/internal/sim"
 	"bneck/internal/topology"
@@ -283,39 +287,102 @@ func BenchmarkReconfiguration(b *testing.B) {
 	}
 }
 
-// BenchmarkShardedEngine measures single-run multi-core scaling of the
-// sharded simulator on a paper-sized Experiment 4 shape: the Medium
-// transit-stub topology under the WAN failure sweep, where millisecond link
-// delays give the engine large conservative windows. Sub-benchmarks sweep
-// the shard count; outputs are byte-identical at every setting, so the
-// pkts/sec ratio between shards=4 and shards=1 is pure engine speedup (on a
-// single-core machine it instead shows the synchronization overhead).
+// BenchmarkShardedEngine measures single-run scaling of the sharded
+// simulator on a paper-sized Experiment 4 shape over the Medium transit-stub
+// topology, under both propagation models: the WAN cells' millisecond link
+// delays give the engine large conservative windows, while the LAN cells'
+// uniform 1 µs delays are the hard case — their windows come almost entirely
+// from the transmission-aware lookahead, and window batching amortizes the
+// per-window synchronization. The classic serial engine (shards=0) is the
+// baseline; outputs are byte-identical at every setting, so the pkts/sec
+// ratios are pure engine overhead/speedup (on a single-core machine the
+// engine executes windows inline, so shards=4 measures sharding overhead
+// with zero goroutine parallelism).
 func BenchmarkShardedEngine(b *testing.B) {
-	for _, shards := range []int{1, 2, 4} {
-		b.Run("Exp4/Medium/WAN/shards="+itoa(shards), func(b *testing.B) {
-			cfg := exp.DefaultExp4()
-			cfg.Sizes = []topology.Params{topology.Medium}
-			cfg.Scenarios = []topology.Scenario{topology.WAN}
-			cfg.Sessions = 2000
-			cfg.Epochs = 3
-			cfg.Churn = 50
-			cfg.Validate = false
-			cfg.Shards = shards
-			var packets uint64
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				cfg.Seeds = []int64{int64(i + 1)}
-				rows, err := exp.RunExperiment4(cfg)
-				if err != nil {
-					b.Fatal(err)
+	for _, scen := range []topology.Scenario{topology.WAN, topology.LAN} {
+		for _, shards := range []int{0, 1, 2, 4} {
+			b.Run("Exp4/Medium/"+scen.String()+"/shards="+itoa(shards), func(b *testing.B) {
+				cfg := exp.DefaultExp4()
+				cfg.Sizes = []topology.Params{topology.Medium}
+				cfg.Scenarios = []topology.Scenario{scen}
+				cfg.Sessions = 2000
+				cfg.Epochs = 6
+				cfg.Churn = 100
+				cfg.Validate = false
+				cfg.Shards = shards
+				var packets uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cfg.Seeds = []int64{int64(i + 1)}
+					rows, err := exp.RunExperiment4(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, r := range rows {
+						packets += r.Packets
+					}
 				}
-				for _, r := range rows {
-					packets += r.Packets
-				}
-			}
-			b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "pkts/sec")
-		})
+				b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "pkts/sec")
+			})
+		}
 	}
+}
+
+// BenchmarkLiveEmitContention measures the live actor runtime's packet
+// throughput under maximal Emit concurrency: a join storm from many
+// goroutines over one shared runtime, every packet of every hop crossing
+// the striped incarnation/link domains that replaced the old global mutex.
+// pkts/sec is packets counted by the per-link counters per wall second.
+func BenchmarkLiveEmitContention(b *testing.B) {
+	topo, err := topology.Generate(topology.Small, topology.LAN, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const sessions = 256
+	hosts := topo.AddHosts(2 * sessions)
+	res := graph.NewResolver(topo.Graph, 128)
+	rng := rand.New(rand.NewSource(5))
+	paths := make([]graph.Path, sessions)
+	for i := range paths {
+		src := hosts[i]
+		dst := hosts[rng.Intn(len(hosts))]
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		p, err := res.HostPath(src, dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		paths[i] = p
+	}
+	var packets uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt := live.New(topo.Graph)
+		ss := make([]*live.Session, sessions)
+		for j, p := range paths {
+			s, err := rt.NewSession(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ss[j] = s
+		}
+		var wg sync.WaitGroup
+		for _, s := range ss {
+			wg.Add(1)
+			go func(s *live.Session) {
+				defer wg.Done()
+				s.Join(rate.Inf)
+			}(s)
+		}
+		wg.Wait()
+		rt.WaitQuiescent()
+		for _, lc := range rt.LinkPackets() {
+			packets += lc.Packets
+		}
+		rt.Close()
+	}
+	b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "pkts/sec")
 }
 
 // BenchmarkProtocolThroughput measures end-to-end packets processed per

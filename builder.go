@@ -137,6 +137,7 @@ type options struct {
 	binSize           time.Duration
 	onRate            func(SessionID, Rate, time.Duration)
 	shards            int
+	windowBatch       int
 }
 
 func defaultOptions() options {
@@ -167,8 +168,18 @@ func WithRateCallback(fn func(s SessionID, r Rate, at time.Duration)) Option {
 // are partitioned into n shards (graph-driven, cutting only the
 // highest-latency links) and a single run advances across n cores under
 // conservative lookahead windows. Results are byte-identical for every n,
-// including 1 — the sharded-serial reference. n ≤ 0 selects the classic
-// serial engine.
+// including 1 — the sharded-serial reference — and identical to the classic
+// serial engine's. n ≤ 0 selects the classic serial engine.
 func WithShards(n int) Option {
 	return func(o *options) { o.shards = n }
+}
+
+// WithWindowBatch bounds how many consecutive conservative windows the
+// sharded engine runs per synchronization round (its fork/join). Higher
+// values amortize synchronization on low-delay topologies, where a single
+// window is short; 1 disables batching, 0 (the default) keeps the engine's
+// default. Purely a performance knob: results are byte-identical at every
+// setting. It has no effect without WithShards.
+func WithWindowBatch(k int) Option {
+	return func(o *options) { o.windowBatch = k }
 }

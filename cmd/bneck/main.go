@@ -46,16 +46,17 @@ func main() {
 	log.SetPrefix("bneck: ")
 
 	var (
-		sizeName  = flag.String("size", "small", "topology size: small, medium, big")
-		scenName  = flag.String("scenario", "lan", "propagation scenario: lan, wan")
-		sessions  = flag.Int("sessions", 100, "number of sessions to join")
-		demandCap = flag.Float64("demand-cap", 0.25, "fraction of sessions with a finite demand")
-		seed      = flag.Int64("seed", 1, "deterministic seed")
-		validate  = flag.Bool("validate", true, "cross-check against the centralized oracle")
-		verbose   = flag.Bool("v", false, "print every session's rate")
-		liveMode  = flag.Bool("live", false, "run on the concurrent actor runtime instead of the simulator")
-		shards    = flag.Int("shards", 0, "shards for the simulator run: 0 = classic serial engine, >0 = sharded engine (byte-identical at any count)")
-		scenFile  = flag.String("run-scenario", "", "execute a declarative scenario script (see internal/scenario)")
+		sizeName    = flag.String("size", "small", "topology size: small, medium, big")
+		scenName    = flag.String("scenario", "lan", "propagation scenario: lan, wan")
+		sessions    = flag.Int("sessions", 100, "number of sessions to join")
+		demandCap   = flag.Float64("demand-cap", 0.25, "fraction of sessions with a finite demand")
+		seed        = flag.Int64("seed", 1, "deterministic seed")
+		validate    = flag.Bool("validate", true, "cross-check against the centralized oracle")
+		verbose     = flag.Bool("v", false, "print every session's rate")
+		liveMode    = flag.Bool("live", false, "run on the concurrent actor runtime instead of the simulator")
+		shards      = flag.Int("shards", 0, "shards for the simulator run: 0 = classic serial engine, >0 = sharded engine (byte-identical at any count)")
+		windowBatch = flag.Int("window-batch", 0, "conservative windows per sharded fork/join: 0 = engine default, 1 = no batching (byte-identical at any setting)")
+		scenFile    = flag.String("run-scenario", "", "execute a declarative scenario script (see internal/scenario)")
 	)
 	flag.Parse()
 
@@ -84,7 +85,11 @@ func main() {
 	}
 	var net *network.Network
 	if *shards >= 1 {
-		net = network.NewSharded(topo.Graph, sim.NewSharded(*shards), network.DefaultConfig())
+		she := sim.NewSharded(*shards)
+		if *windowBatch > 0 {
+			she.SetWindowBatch(*windowBatch)
+		}
+		net = network.NewSharded(topo.Graph, she, network.DefaultConfig())
 	} else {
 		net = network.New(topo.Graph, sim.New(), network.DefaultConfig())
 	}

@@ -46,18 +46,19 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		which     = flag.String("exp", "all", "experiment to run: 1, 2, 3, all")
-		scale     = flag.Float64("scale", 1.0, "session-count multiplier toward paper scale")
-		seed      = flag.Int64("seed", 1, "deterministic seed")
-		big       = flag.Bool("big", false, "include the Big (11,000 router) topology in experiment 1")
-		counts    = flag.String("counts", "", "comma-separated session counts for experiment 1 (overrides defaults)")
-		protocols = flag.String("protocols", "bneck,bfyz", "comma-separated protocols for experiment 3 (bneck,bfyz,cg,rcp)")
-		validate  = flag.Bool("validate", true, "cross-check B-Neck runs against the centralized oracle")
-		quiet     = flag.Bool("q", false, "suppress progress lines")
-		csvDir    = flag.String("csv", "", "also write figure data as CSV files into this directory")
-		workers   = flag.Int("workers", 1, "parallel sweep workers per fan-out level (1 = serial, negative = GOMAXPROCS); output is identical at any setting")
-		shards    = flag.Int("shards", 0, "shards per simulation run: 0 = classic serial engine, 1 = sharded engine serial reference, >1 parallelizes each run across cores; sharded output is identical at any shard count")
-		exp4Paper = flag.Bool("exp4-paper", false, "run experiment 4 at paper size (Medium+Big topologies, WAN failure sweep); combine with -shards and -workers")
+		which       = flag.String("exp", "all", "experiment to run: 1, 2, 3, all")
+		scale       = flag.Float64("scale", 1.0, "session-count multiplier toward paper scale")
+		seed        = flag.Int64("seed", 1, "deterministic seed")
+		big         = flag.Bool("big", false, "include the Big (11,000 router) topology in experiment 1")
+		counts      = flag.String("counts", "", "comma-separated session counts for experiment 1 (overrides defaults)")
+		protocols   = flag.String("protocols", "bneck,bfyz", "comma-separated protocols for experiment 3 (bneck,bfyz,cg,rcp)")
+		validate    = flag.Bool("validate", true, "cross-check B-Neck runs against the centralized oracle")
+		quiet       = flag.Bool("q", false, "suppress progress lines")
+		csvDir      = flag.String("csv", "", "also write figure data as CSV files into this directory")
+		workers     = flag.Int("workers", 1, "parallel sweep workers per fan-out level (1 = serial, negative = GOMAXPROCS); output is identical at any setting")
+		shards      = flag.Int("shards", 0, "shards per simulation run: 0 = classic serial engine, 1 = sharded engine serial reference, >1 parallelizes each run across cores; sharded output is identical at any shard count")
+		windowBatch = flag.Int("window-batch", 0, "conservative windows per sharded-engine fork/join: 0 = engine default, 1 = no batching, higher amortizes synchronization on low-delay (LAN) topologies; output is identical at any setting")
+		exp4Paper   = flag.Bool("exp4-paper", false, "run experiment 4 at paper size (Medium+Big topologies, WAN failure sweep); combine with -shards and -workers")
 	)
 	flag.Parse()
 	if *workers == 0 {
@@ -101,6 +102,7 @@ func main() {
 			cfg.Progress = progress
 			cfg.Workers = *workers
 			cfg.Shards = *shards
+			cfg.WindowBatch = *windowBatch
 			if *big {
 				cfg.Sizes = append(cfg.Sizes, topology.Big)
 			}
@@ -146,6 +148,7 @@ func main() {
 			cfg.Seed = *seed
 			cfg.Validate = *validate
 			cfg.Shards = *shards
+			cfg.WindowBatch = *windowBatch
 			cfg.Base = int(float64(cfg.Base) * *scale)
 			cfg.Dyn = int(float64(cfg.Dyn) * *scale)
 			cfg.Progress = progress
@@ -176,6 +179,7 @@ func main() {
 			cfg := exp.DefaultExp3()
 			cfg.Seed = *seed
 			cfg.Shards = *shards
+			cfg.WindowBatch = *windowBatch
 			cfg.Sessions = int(float64(cfg.Sessions) * *scale)
 			cfg.Leavers = int(float64(cfg.Leavers) * *scale)
 			cfg.Protocols = strings.Split(*protocols, ",")
@@ -210,6 +214,7 @@ func main() {
 			cfg.Progress = progress
 			cfg.Workers = *workers
 			cfg.Shards = *shards
+			cfg.WindowBatch = *windowBatch
 			start := time.Now()
 			rows, err := exp.RunExperiment4(cfg)
 			if err != nil {

@@ -8,22 +8,30 @@ import (
 	"bneck/internal/topology"
 )
 
-// The tentpole acceptance criterion: a sharded run emits byte-identical
-// experiment CSVs at every shard count. One shard is the serial reference —
-// a single goroutine popping one heap — so these tests pin serial-vs-sharded
-// equality for Experiment 1 (static join burst) and Experiment 4 (topology
-// churn), on both propagation models.
+// The tentpole acceptance criteria: a run emits byte-identical experiment
+// CSVs on the classic serial engine and on the sharded engine at every shard
+// count and window-batch setting. One shard is the sharded-serial reference
+// — a single goroutine popping one heap — and the classic engine executes
+// the same creator-keyed order, so all three layers of knobs (engine,
+// shards, batching) are pure performance levers. The suites pin
+// serial-vs-sharded equality for Experiment 1 (static join burst) and
+// Experiment 4 (topology churn), on both propagation models — the LAN cells
+// exercise the batched short-window path, the WAN cells the wide windows.
 
-func exp1ShardCSV(t *testing.T, shards int) []byte {
+// exp1ShardCSV runs exp1 with shards = -1 meaning the classic serial engine.
+func exp1ShardCSV(t *testing.T, shards, windowBatch int) []byte {
 	t.Helper()
 	cfg := DefaultExp1()
 	cfg.Sizes = []topology.Params{topology.Small}
 	cfg.Scenarios = []topology.Scenario{topology.LAN, topology.WAN}
 	cfg.SessionCounts = []int{60}
-	cfg.Shards = shards
+	if shards >= 1 {
+		cfg.Shards = shards
+	}
+	cfg.WindowBatch = windowBatch
 	rows, err := RunExperiment1(cfg)
 	if err != nil {
-		t.Fatalf("shards=%d: %v", shards, err)
+		t.Fatalf("shards=%d batch=%d: %v", shards, windowBatch, err)
 	}
 	var buf bytes.Buffer
 	if err := WriteExp1CSV(&buf, rows); err != nil {
@@ -33,16 +41,19 @@ func exp1ShardCSV(t *testing.T, shards int) []byte {
 }
 
 func TestExp1ShardedCSVByteIdentical(t *testing.T) {
-	serial := exp1ShardCSV(t, 1)
-	for _, shards := range []int{2, 4, 8} {
-		got := exp1ShardCSV(t, shards)
-		if !bytes.Equal(serial, got) {
-			t.Errorf("exp1 CSV differs at %d shards:\nserial:\n%s\nsharded:\n%s", shards, serial, got)
+	classic := exp1ShardCSV(t, -1, 0)
+	for _, batch := range []int{1, 8} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			got := exp1ShardCSV(t, shards, batch)
+			if !bytes.Equal(classic, got) {
+				t.Errorf("exp1 CSV differs from classic at %d shards, batch %d:\nclassic:\n%s\nsharded:\n%s",
+					shards, batch, classic, got)
+			}
 		}
 	}
 }
 
-func exp4ShardCSV(t *testing.T, shards int) []byte {
+func exp4ShardCSV(t *testing.T, shards, windowBatch int) []byte {
 	t.Helper()
 	cfg := DefaultExp4()
 	cfg.Sizes = []topology.Params{topology.Small}
@@ -52,10 +63,13 @@ func exp4ShardCSV(t *testing.T, shards int) []byte {
 	cfg.Epochs = 3
 	cfg.Churn = 8
 	cfg.Window = time.Millisecond
-	cfg.Shards = shards
+	if shards >= 1 {
+		cfg.Shards = shards
+	}
+	cfg.WindowBatch = windowBatch
 	rows, err := RunExperiment4(cfg)
 	if err != nil {
-		t.Fatalf("shards=%d: %v", shards, err)
+		t.Fatalf("shards=%d batch=%d: %v", shards, windowBatch, err)
 	}
 	var buf bytes.Buffer
 	if err := WriteExp4CSV(&buf, rows); err != nil {
@@ -65,18 +79,21 @@ func exp4ShardCSV(t *testing.T, shards int) []byte {
 }
 
 func TestExp4ShardedCSVByteIdentical(t *testing.T) {
-	serial := exp4ShardCSV(t, 1)
-	for _, shards := range []int{2, 4, 8} {
-		got := exp4ShardCSV(t, shards)
-		if !bytes.Equal(serial, got) {
-			t.Errorf("exp4 CSV differs at %d shards:\nserial:\n%s\nsharded:\n%s", shards, serial, got)
+	classic := exp4ShardCSV(t, -1, 0)
+	for _, batch := range []int{1, 8} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			got := exp4ShardCSV(t, shards, batch)
+			if !bytes.Equal(classic, got) {
+				t.Errorf("exp4 CSV differs from classic at %d shards, batch %d:\nclassic:\n%s\nsharded:\n%s",
+					shards, batch, classic, got)
+			}
 		}
 	}
 }
 
 // TestExp3ShardedDeterministic: the Figure 7/8 series — sampled by global
-// daemon events at barriers — match between the sharded-serial reference and
-// a 4-shard run.
+// daemon events at barriers — match between the classic engine, the
+// sharded-serial reference and a 4-shard run.
 func TestExp3ShardedDeterministic(t *testing.T) {
 	run := func(shards int) []byte {
 		cfg := DefaultExp3()
@@ -85,7 +102,9 @@ func TestExp3ShardedDeterministic(t *testing.T) {
 		cfg.Leavers = 10
 		cfg.Horizon = 40 * time.Millisecond
 		cfg.Protocols = []string{"bneck"}
-		cfg.Shards = shards
+		if shards >= 1 {
+			cfg.Shards = shards
+		}
 		res, err := RunExperiment3(cfg)
 		if err != nil {
 			t.Fatalf("shards=%d: %v", shards, err)
@@ -101,10 +120,10 @@ func TestExp3ShardedDeterministic(t *testing.T) {
 		}
 		return buf.Bytes()
 	}
-	serial := run(1)
-	for _, shards := range []int{2, 4} {
-		if got := run(shards); !bytes.Equal(serial, got) {
-			t.Errorf("exp3 series differ at %d shards", shards)
+	classic := run(-1)
+	for _, shards := range []int{1, 2, 4} {
+		if got := run(shards); !bytes.Equal(classic, got) {
+			t.Errorf("exp3 series differ from classic at %d shards", shards)
 		}
 	}
 }

@@ -17,13 +17,19 @@ type engine interface {
 }
 
 // newNet builds a network on the engine the Shards knob selects: ≤ 0 runs on
-// the classic serial engine (the historical event order), ≥ 1 runs on the
-// sharded engine with that many shards. Sharded runs are byte-identical for
-// every shard count — one shard is the serial reference — and shard counts
-// above one execute a single run across that many cores.
-func newNet(g *graph.Graph, cfg network.Config, shards int) (engine, *network.Network) {
+// the classic serial engine, ≥ 1 runs on the sharded engine with that many
+// shards. All runs are byte-identical for every knob setting — the classic
+// engine and the 1-shard sharded engine execute the same creator-keyed
+// order — and shard counts above one execute a single run across that many
+// cores. windowBatch tunes how many conservative windows the sharded engine
+// runs per fork/join (0 keeps the engine default, 1 disables batching);
+// results never depend on it.
+func newNet(g *graph.Graph, cfg network.Config, shards, windowBatch int) (engine, *network.Network) {
 	if shards >= 1 {
 		she := sim.NewSharded(shards)
+		if windowBatch > 0 {
+			she.SetWindowBatch(windowBatch)
+		}
 		return she, network.NewSharded(g, she, cfg)
 	}
 	eng := sim.New()

@@ -44,6 +44,10 @@ type Exp1Config struct {
 	// shard counts above one parallelize a single run across cores,
 	// composing with Workers' across-run parallelism.
 	Shards int
+	// WindowBatch tunes how many conservative windows the sharded engine
+	// runs per coordinator fork/join (0 = engine default, 1 = no batching).
+	// Purely a performance knob: results are identical at every setting.
+	WindowBatch int
 }
 
 // DefaultExp1 is a laptop-scale default: the paper sweeps 10…300,000
@@ -147,7 +151,7 @@ func runExp1Cell(cfg Exp1Config, size topology.Params, scen topology.Scenario, c
 	if err != nil {
 		return Exp1Row{}, err
 	}
-	eng, net := newNet(topo.Graph, network.DefaultConfig(), cfg.Shards)
+	eng, net := newNet(topo.Graph, network.DefaultConfig(), cfg.Shards, cfg.WindowBatch)
 
 	sessions, err := PlaceSessions(topo, net, count)
 	if err != nil {

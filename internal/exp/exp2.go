@@ -35,6 +35,10 @@ type Exp2Config struct {
 	// Shards selects the engine: ≤ 0 the classic serial engine, ≥ 1 the
 	// sharded engine with that many shards (byte-identical at every count).
 	Shards int
+	// WindowBatch tunes how many conservative windows the sharded engine
+	// runs per coordinator fork/join (0 = engine default, 1 = no batching).
+	// Purely a performance knob: results are identical at every setting.
+	WindowBatch int
 }
 
 // DefaultExp2 is the laptop-scale default (paper: 100,000/20,000).
@@ -90,7 +94,7 @@ func RunExperiment2(cfg Exp2Config) (*Exp2Result, error) {
 	}
 	netCfg := network.DefaultConfig()
 	netCfg.BinSize = cfg.BinSize
-	eng, net := newNet(topo.Graph, netCfg, cfg.Shards)
+	eng, net := newNet(topo.Graph, netCfg, cfg.Shards, cfg.WindowBatch)
 
 	// Sessions: base (phase 1) + dyn (phase 4) + dyn (phase 5) joiners.
 	total := cfg.Base + 2*cfg.Dyn

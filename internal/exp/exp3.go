@@ -50,6 +50,10 @@ type Exp3Config struct {
 	// engine, ≥ 1 the sharded engine with that many shards (byte-identical
 	// at every count). Baseline protocols always run serially.
 	Shards int
+	// WindowBatch tunes how many conservative windows the sharded engine
+	// runs per coordinator fork/join (0 = engine default, 1 = no batching).
+	// Purely a performance knob: results are identical at every setting.
+	WindowBatch int
 }
 
 // DefaultExp3 is the laptop-scale default (paper: 100,000/10,000).
@@ -411,7 +415,7 @@ func (w *exp3Workload) sampleErrors(t time.Duration, assigned func(idx int) (flo
 func runExp3BNeck(cfg Exp3Config, w *exp3Workload) (*Exp3Series, error) {
 	netCfg := network.DefaultConfig()
 	netCfg.BinSize = cfg.SampleEvery
-	eng, net := newNet(w.topo.Graph, netCfg, cfg.Shards)
+	eng, net := newNet(w.topo.Graph, netCfg, cfg.Shards, cfg.WindowBatch)
 	sessions := make([]*network.Session, len(w.paths))
 	for i, p := range w.paths {
 		s, err := net.NewSession(w.topo.Graph.Link(p[0]).From, w.topo.Graph.Link(p[len(p)-1]).To, p)

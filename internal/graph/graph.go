@@ -164,6 +164,30 @@ func (g *Graph) Link(id LinkID) Link {
 	return g.links[id]
 }
 
+// LinkReverse returns the ID of the link in the opposite direction (NoLink
+// for asymmetric links). Unlike Link it reads only the immutable Reverse
+// field — no struct copy on the per-packet path — and is safe to call
+// concurrently with capacity or failure mutations; the live runtime's
+// sharded Emit path depends on that.
+func (g *Graph) LinkReverse(id LinkID) LinkID {
+	g.checkLink(id)
+	return g.links[id].Reverse
+}
+
+// LinkTo returns a directed link's destination node. Like LinkReverse it
+// reads one immutable field, for the per-packet paths that would otherwise
+// copy the whole Link struct.
+func (g *Graph) LinkTo(id LinkID) NodeID {
+	g.checkLink(id)
+	return g.links[id].To
+}
+
+// LinkFrom returns a directed link's source node (immutable field read).
+func (g *Graph) LinkFrom(id LinkID) NodeID {
+	g.checkLink(id)
+	return g.links[id].From
+}
+
 // Out returns the outgoing links of a node. The returned slice must not be
 // modified.
 func (g *Graph) Out(id NodeID) []LinkID { g.checkNode(id); return g.out[id] }

@@ -30,7 +30,7 @@ func buildStar(t *testing.T, cores int, hostsPer int, coreDelay, hostDelay time.
 
 func TestPartitionCutsSlowLinksOnly(t *testing.T) {
 	g := buildStar(t, 8, 3, 5*time.Millisecond, time.Microsecond)
-	p := PartitionNodes(g, 4, nil)
+	p := PartitionNodes(g, 4, nil, nil)
 	if p.K < 2 {
 		t.Fatalf("K = %d, want ≥ 2", p.K)
 	}
@@ -48,7 +48,7 @@ func TestPartitionCutsSlowLinksOnly(t *testing.T) {
 
 func TestPartitionUniformDelays(t *testing.T) {
 	g := buildStar(t, 6, 2, time.Microsecond, time.Microsecond)
-	p := PartitionNodes(g, 3, nil)
+	p := PartitionNodes(g, 3, nil, nil)
 	if p.K < 2 {
 		t.Fatalf("K = %d, want ≥ 2 (uniform positive delays are cuttable)", p.K)
 	}
@@ -59,7 +59,7 @@ func TestPartitionUniformDelays(t *testing.T) {
 
 func TestPartitionZeroDelaysDegradeToSerial(t *testing.T) {
 	g := buildStar(t, 4, 1, 0, 0)
-	p := PartitionNodes(g, 4, nil)
+	p := PartitionNodes(g, 4, nil, nil)
 	if p.K != 1 {
 		t.Fatalf("K = %d, want 1: zero-delay links must never be cut", p.K)
 	}
@@ -68,8 +68,8 @@ func TestPartitionZeroDelaysDegradeToSerial(t *testing.T) {
 func TestPartitionDeterministic(t *testing.T) {
 	w := []int64{5, 1, 1, 1, 9, 2, 2}
 	g := buildStar(t, 7, 2, 2*time.Millisecond, time.Microsecond)
-	a := PartitionNodes(g, 4, w)
-	b := PartitionNodes(g, 4, w)
+	a := PartitionNodes(g, 4, w, nil)
+	b := PartitionNodes(g, 4, w, nil)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("partition not deterministic:\n%v\n%v", a, b)
 	}
@@ -83,7 +83,7 @@ func TestPartitionBalancesWeights(t *testing.T) {
 		w[i] = 1
 	}
 	w[0] = 100
-	p := PartitionNodes(g, 2, w)
+	p := PartitionNodes(g, 2, w, nil)
 	if p.K != 2 {
 		t.Fatalf("K = %d, want 2", p.K)
 	}
@@ -97,4 +97,138 @@ func TestPartitionBalancesWeights(t *testing.T) {
 	if light == 0 {
 		t.Fatal("balance: every node landed with the heavy one")
 	}
+}
+
+// TestPartitionTransmissionFloorsWidenLookahead: on a uniform low-delay
+// (LAN-shaped) graph, per-link transmission floors widen the conservative
+// window from raw propagation to propagation + serialization — the change
+// that makes LAN topologies worth sharding.
+func TestPartitionTransmissionFloorsWidenLookahead(t *testing.T) {
+	g := buildStar(t, 6, 2, time.Microsecond, time.Microsecond)
+	floors := make([]time.Duration, g.NumLinks())
+	for i := range floors {
+		floors[i] = 5 * time.Microsecond
+	}
+	p := PartitionNodes(g, 3, nil, floors)
+	if p.K < 2 {
+		t.Fatalf("K = %d, want ≥ 2", p.K)
+	}
+	if want := 6 * time.Microsecond; p.Lookahead != want {
+		t.Fatalf("lookahead %v, want %v (1µs propagation + 5µs floor)", p.Lookahead, want)
+	}
+}
+
+// TestPartitionFloorsSteerTheCut: when propagation is uniform, the
+// partitioner should cut the links with the largest serialization floors
+// (the slowest-capacity links), never the fast ones.
+func TestPartitionFloorsSteerTheCut(t *testing.T) {
+	g := buildStar(t, 8, 2, time.Microsecond, time.Microsecond)
+	// Core (router-router) links get a large floor, host access links a tiny
+	// one: the feasible cut must stick to core links, exactly as a large
+	// propagation difference would force.
+	floors := make([]time.Duration, g.NumLinks())
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(LinkID(i))
+		if g.Node(l.From).Kind == Router && g.Node(l.To).Kind == Router {
+			floors[i] = 50 * time.Microsecond
+		} else {
+			floors[i] = 500 * time.Nanosecond
+		}
+	}
+	p := PartitionNodes(g, 4, nil, floors)
+	if p.K < 2 {
+		t.Fatalf("K = %d, want ≥ 2", p.K)
+	}
+	if want := 51 * time.Microsecond; p.Lookahead != want {
+		t.Fatalf("lookahead %v, want %v (only core links cut)", p.Lookahead, want)
+	}
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(LinkID(i))
+		if p.Parts[l.From] != p.Parts[l.To] {
+			if g.Node(l.From).Kind != Router || g.Node(l.To).Kind != Router {
+				t.Fatalf("cut link %d is a host access link", i)
+			}
+		}
+	}
+}
+
+// TestPartitionZeroPropagationPositiveFloor: a floor alone makes an
+// otherwise zero-delay link cuttable — serialization is a real latency
+// lower bound even on an ideal wire.
+func TestPartitionZeroPropagationPositiveFloor(t *testing.T) {
+	g := buildStar(t, 4, 1, 0, 0)
+	floors := make([]time.Duration, g.NumLinks())
+	for i := range floors {
+		floors[i] = 2 * time.Microsecond
+	}
+	p := PartitionNodes(g, 4, nil, floors)
+	if p.K < 2 {
+		t.Fatalf("K = %d, want ≥ 2 (floors make zero-delay links cuttable)", p.K)
+	}
+	if want := 2 * time.Microsecond; p.Lookahead != want {
+		t.Fatalf("lookahead %v, want %v", p.Lookahead, want)
+	}
+}
+
+// TestPartitionBinarySearchMatchesSweep pins the binary-searched threshold
+// against a reference exhaustive sweep on graphs with many distinct
+// latencies (the WAN shape that motivated the search).
+func TestPartitionBinarySearchMatchesSweep(t *testing.T) {
+	g := New()
+	var routers []NodeID
+	for i := 0; i < 40; i++ {
+		routers = append(routers, g.AddRouter("r"))
+		h := g.AddHost("h")
+		g.Connect(h, routers[i], rate.Mbps(100), time.Microsecond)
+	}
+	// A ring with strictly increasing, all-distinct delays.
+	for i := 0; i < 40; i++ {
+		g.Connect(routers[i], routers[(i+1)%40], rate.Mbps(500), time.Duration(i+1)*137*time.Microsecond)
+	}
+	for _, k := range []int{2, 3, 4, 8} {
+		p := PartitionNodes(g, k, nil, nil)
+		if p.K < 2 {
+			t.Fatalf("k=%d: K = %d", k, p.K)
+		}
+		// Reference: the largest threshold that is feasible and balanced,
+		// found exhaustively.
+		total := int64(g.NumNodes())
+		maxComp := 2 * total / int64(k)
+		best := time.Duration(-1)
+		for i := 0; i < 40; i++ {
+			P := time.Duration(i+1) * 137 * time.Microsecond
+			c, cw := contractRef(g, P)
+			_ = c
+			if len(cw) < k {
+				continue
+			}
+			heavy := false
+			for _, x := range cw {
+				if x > maxComp {
+					heavy = true
+				}
+			}
+			if !heavy && P > best {
+				best = P
+			}
+		}
+		if best < 0 {
+			t.Fatalf("k=%d: reference sweep found no balanced threshold", k)
+		}
+		// The partition's lookahead is the min latency over actually-cut
+		// links, which is at least the chosen threshold.
+		if p.Lookahead < best {
+			t.Fatalf("k=%d: lookahead %v below the best balanced threshold %v", k, p.Lookahead, best)
+		}
+	}
+}
+
+// contractRef is an independent re-implementation of the contraction for
+// the reference sweep (unit weights).
+func contractRef(g *Graph, P time.Duration) ([]int32, []int64) {
+	w := make([]int64, g.NumNodes())
+	for i := range w {
+		w[i] = 1
+	}
+	return contract(g, w, P, func(l *Link) time.Duration { return l.Propagation })
 }

@@ -22,10 +22,16 @@
 // Mailboxes are unbounded by design: B-Neck generates bounded traffic per
 // reconfiguration, and bounded mailboxes could deadlock the bidirectional
 // packet flow (links send both up- and downstream).
+//
+// The runtime's locking is two-tier: topology mutation and session
+// lifecycle serialize on one mutex, while the packet hot path (Emit) runs
+// over independently-locked stripes of the incarnation and link tables —
+// see Runtime.
 package live
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"bneck/internal/core"
@@ -35,36 +41,66 @@ import (
 	"bneck/internal/waterfill"
 )
 
-// Runtime hosts a concurrent B-Neck deployment over a mutable graph. All
-// topology reads and mutations happen under mu, so concurrent protocol
-// traffic never observes a half-applied reconfiguration.
+// Runtime hosts a concurrent B-Neck deployment over a mutable graph.
+//
+// Locking is two-tier, mirroring the simulator transport's per-shard
+// stats/delivery domains. The cold path — session lifecycle, topology
+// mutation, migration, validation — serializes on mu, so concurrent
+// reconfigurations never interleave half-applied. The hot path — Emit, one
+// call per packet per hop across every actor — touches only small sharded
+// domains: the incarnation lookup and the per-link actor/packet-counter
+// tables are each split across emitDomains independently-locked stripes, so
+// actors emitting on different sessions and links proceed without
+// contending on a global lock. Merge-on-demand readers (LinkPackets,
+// Validate) gather the stripes under mu.
+//
+// Lock order: mu → domain stripe → actor mailbox. Emit never holds two
+// locks at once, and nothing acquires mu while holding a stripe.
 type Runtime struct {
 	g *graph.Graph
 
-	mu           sync.Mutex
-	resolver     *graph.Resolver
-	links        map[graph.LinkID]*linkActor
-	incarnations map[core.SessionID]*incarnation
-	order        []*Session // logical sessions, in creation order
-	nextID       core.SessionID
-	closed       bool
-	migrated     uint64
+	mu       sync.Mutex
+	resolver *graph.Resolver
+	order    []*Session // logical sessions, in creation order
+	nextID   core.SessionID
+	closed   bool
+	migrated uint64
 
 	activity *activityCounter
 
-	// linkPkts counts packets sent across each directed link (guarded by
-	// mu, which Emit already takes) — the live-side twin of the simulator's
-	// per-wire counters.
-	linkPkts []uint64
+	// incs shards the incarnation table by session ID; lnks shards the
+	// link-actor table and the per-link packet counters (the live twin of
+	// the simulator's per-wire counters) by link ID.
+	incs [emitDomains]incDomain
+	lnks [emitDomains]linkDomain
 
 	ratesMu sync.Mutex
 	rates   map[core.SessionID]rate.Rate
+}
+
+// emitDomains is the stripe count of the Emit-path tables. A power of two
+// so the stripe pick is a mask; 32 stripes keep the collision probability
+// low at actor counts well past the paper's topologies.
+const emitDomains = 32
+
+type incDomain struct {
+	mu sync.Mutex
+	m  map[core.SessionID]*incarnation
+}
+
+type linkDomain struct {
+	mu     sync.Mutex
+	actors map[graph.LinkID]*linkActor
+	pkts   map[graph.LinkID]uint64
 }
 
 type linkActor struct {
 	a    *actor
 	task *core.RouterLink
 }
+
+func incStripe(id core.SessionID) int { return int(uint64(id) & (emitDomains - 1)) }
+func linkStripe(id graph.LinkID) int  { return int(uint32(id) & (emitDomains - 1)) }
 
 // incarnation is one protocol-level lifetime of a logical session: a session
 // ID, a path, and the actors hosting its source and destination tasks. A
@@ -80,21 +116,52 @@ type incarnation struct {
 	// reclaimed marks an incarnation whose actors were stopped after its
 	// Leave cascade drained; a later Join mints a fresh incarnation.
 	reclaimed bool
+	// departed marks an incarnation a Leave was issued to. A later Join
+	// mints a fresh incarnation instead of rejoining this ID: responses of
+	// the departed lifetime can still be in flight, and a link receiving
+	// one for a re-created entry would corrupt its state machine (the
+	// fresh-ID rule migrations and restores already follow).
+	departed bool
 }
 
 // New returns a runtime over g. The runtime owns g's mutable state: apply
-// topology changes only through SetLinkCapacity/FailLinks/RestoreLinks.
+// topology changes only through SetLinkCapacity/FailLinks/RestoreLinks (the
+// node/link structure itself must be complete before traffic flows).
 func New(g *graph.Graph) *Runtime {
-	return &Runtime{
-		g:            g,
-		resolver:     graph.NewResolver(g, 256),
-		links:        make(map[graph.LinkID]*linkActor),
-		incarnations: make(map[core.SessionID]*incarnation),
-		nextID:       1,
-		activity:     newActivityCounter(),
-		linkPkts:     make([]uint64, g.NumLinks()),
-		rates:        make(map[core.SessionID]rate.Rate),
+	rt := &Runtime{
+		g:        g,
+		resolver: graph.NewResolver(g, 256),
+		nextID:   1,
+		activity: newActivityCounter(),
+		rates:    make(map[core.SessionID]rate.Rate),
 	}
+	for i := range rt.incs {
+		rt.incs[i].m = make(map[core.SessionID]*incarnation)
+	}
+	for i := range rt.lnks {
+		rt.lnks[i].actors = make(map[graph.LinkID]*linkActor)
+		rt.lnks[i].pkts = make(map[graph.LinkID]uint64)
+	}
+	return rt
+}
+
+// incarnationFor returns the live incarnation registered under a session ID
+// (nil when retired and reclaimed). Hot path: one stripe lock.
+func (rt *Runtime) incarnationFor(id core.SessionID) *incarnation {
+	d := &rt.incs[incStripe(id)]
+	d.mu.Lock()
+	inc := d.m[id]
+	d.mu.Unlock()
+	return inc
+}
+
+// countPacket bumps a directed link's packet counter. Hot path: one stripe
+// lock.
+func (rt *Runtime) countPacket(l graph.LinkID) {
+	d := &rt.lnks[linkStripe(l)]
+	d.mu.Lock()
+	d.pkts[l]++
+	d.mu.Unlock()
 }
 
 // Session is a logical session between two hosts. Reroutes change its
@@ -119,9 +186,6 @@ func (rt *Runtime) NewSession(path graph.Path) (*Session, error) {
 	}
 	if err := graph.ValidatePath(rt.g, path); err != nil {
 		return nil, fmt.Errorf("live: %w", err)
-	}
-	if want := rt.g.NumLinks(); len(rt.linkPkts) < want {
-		rt.linkPkts = append(rt.linkPkts, make([]uint64, want-len(rt.linkPkts))...)
 	}
 	s := &Session{
 		rt:      rt,
@@ -171,7 +235,10 @@ func (rt *Runtime) newIncarnationLocked(s *Session, path graph.Path) {
 	})
 	hop := len(path) + 1
 	inc.dst.start(func(m message) { dstT.Receive(m.pkt, hop) })
-	rt.incarnations[id] = inc
+	d := &rt.incs[incStripe(id)]
+	d.mu.Lock()
+	d.m[id] = inc
+	d.mu.Unlock()
 	s.cur = inc
 }
 
@@ -213,9 +280,11 @@ func (s *Session) Join(demand rate.Rate) {
 	if s.stranded {
 		return // joins when a restore reconnects the hosts
 	}
-	if s.cur.reclaimed {
-		// The previous incarnation's actors were reclaimed after it left;
-		// rejoin as a fresh incarnation on the same path.
+	if s.cur.reclaimed || s.cur.departed {
+		// The previous incarnation left (its actors may or may not have
+		// been reclaimed yet); rejoin as a fresh incarnation on the same
+		// path so its in-flight teardown traffic cannot touch the new
+		// lifetime's state.
 		s.rt.newIncarnationLocked(s, s.cur.path)
 	}
 	s.cur.src.enqueue(message{kind: msgJoin, demand: demand})
@@ -235,6 +304,7 @@ func (s *Session) Leave() {
 	if stranded {
 		return
 	}
+	s.cur.departed = true
 	s.cur.src.enqueue(message{kind: msgLeave})
 }
 
@@ -275,7 +345,10 @@ func (s *Session) Rate() (rate.Rate, bool) {
 
 // SetLinkCapacity changes the capacity of the given directed links. Pass a
 // link and its reverse for a duplex reconfiguration. Crossing sessions
-// re-probe and the network re-quiesces by itself.
+// re-probe and the network re-quiesces by itself. Reconfigure only links
+// that are up: on a failed link the re-probe races the migration teardown
+// of its departing sessions (the scenario checker rejects such scripts
+// statically, and the simulator transport assumes the same contract).
 func (rt *Runtime) SetLinkCapacity(c rate.Rate, links ...graph.LinkID) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -284,7 +357,11 @@ func (rt *Runtime) SetLinkCapacity(c rate.Rate, links ...graph.LinkID) {
 	}
 	for _, l := range links {
 		rt.g.SetCapacity(l, c)
-		if la, ok := rt.links[l]; ok {
+		d := &rt.lnks[linkStripe(l)]
+		d.mu.Lock()
+		la, ok := d.actors[l]
+		d.mu.Unlock()
+		if ok {
 			la.a.enqueue(message{kind: msgSetCapacity, demand: c})
 		}
 	}
@@ -363,6 +440,7 @@ func (rt *Runtime) Migrations() uint64 {
 // fresh one on a surviving path, or strands the session.
 func (rt *Runtime) migrateLocked(s *Session) {
 	if s.active {
+		s.cur.departed = true
 		s.cur.src.enqueue(message{kind: msgLeave})
 		rt.ratesMu.Lock()
 		delete(rt.rates, s.cur.id)
@@ -410,46 +488,64 @@ func (rt *Runtime) WaitQuiescent() {
 // reclaimRetired stops and drops the actors of every incarnation that can
 // never process protocol traffic again: superseded by a migration, departed
 // through Leave, or stranded by a failure. Call only when the network is
-// quiescent (no message in flight can target a retired incarnation).
+// quiescent (no message in flight can target a retired incarnation). The
+// retirement decision reads session state under mu; the stripe locks only
+// order the deletes against concurrent Emit lookups.
 func (rt *Runtime) reclaimRetired() {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if rt.closed {
 		return
 	}
-	for id, inc := range rt.incarnations {
-		s := inc.owner
-		retired := s.cur != inc || !s.active || s.stranded
-		if !retired {
-			continue
+	for i := range rt.incs {
+		d := &rt.incs[i]
+		d.mu.Lock()
+		for id, inc := range d.m {
+			s := inc.owner
+			retired := s.cur != inc || !s.active || s.stranded
+			if !retired {
+				continue
+			}
+			inc.reclaimed = true
+			inc.src.stop()
+			inc.dst.stop()
+			delete(d.m, id)
 		}
-		inc.reclaimed = true
-		inc.src.stop()
-		inc.dst.stop()
-		delete(rt.incarnations, id)
+		d.mu.Unlock()
 	}
 }
 
 // Incarnations returns how many session incarnations currently hold live
 // actors (reclaimed ones are gone; see WaitQuiescent).
 func (rt *Runtime) Incarnations() int {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return len(rt.incarnations)
+	n := 0
+	for i := range rt.incs {
+		d := &rt.incs[i]
+		d.mu.Lock()
+		n += len(d.m)
+		d.mu.Unlock()
+	}
+	return n
 }
 
 // LinkPackets returns per-directed-link packet totals for every link that
 // carried traffic, ordered by link ID — the same report, with the same
-// field names, as the simulator transport's Network.LinkPackets.
+// field names, as the simulator transport's Network.LinkPackets. The
+// per-stripe counters merge on demand, the same shape as the sharded
+// simulator's stats domains.
 func (rt *Runtime) LinkPackets() []metrics.LinkCount {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	var out []metrics.LinkCount
-	for id, n := range rt.linkPkts {
-		if n > 0 {
-			out = append(out, metrics.LinkCount{Link: graph.LinkID(id), Packets: n})
+	for i := range rt.lnks {
+		d := &rt.lnks[i]
+		d.mu.Lock()
+		for id, n := range d.pkts {
+			if n > 0 {
+				out = append(out, metrics.LinkCount{Link: id, Packets: n})
+			}
 		}
+		d.mu.Unlock()
 	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Link < out[b].Link })
 	return out
 }
 
@@ -496,9 +592,14 @@ func (rt *Runtime) Validate() error {
 		inst.Sessions = append(inst.Sessions, ws)
 		active = append(active, entry{s, s.cur.id})
 	}
-	tasks := make(map[graph.LinkID]*core.RouterLink, len(rt.links))
-	for l, la := range rt.links {
-		tasks[l] = la.task
+	tasks := make(map[graph.LinkID]*core.RouterLink)
+	for i := range rt.lnks {
+		d := &rt.lnks[i]
+		d.mu.Lock()
+		for l, la := range d.actors {
+			tasks[l] = la.task
+		}
+		d.mu.Unlock()
 	}
 	rt.mu.Unlock()
 
@@ -537,25 +638,49 @@ func (rt *Runtime) Close() {
 		return
 	}
 	rt.closed = true
-	for _, la := range rt.links {
-		la.a.stop()
+	for i := range rt.lnks {
+		d := &rt.lnks[i]
+		d.mu.Lock()
+		for _, la := range d.actors {
+			la.a.stop()
+		}
+		d.mu.Unlock()
 	}
-	for _, inc := range rt.incarnations {
-		inc.src.stop()
-		inc.dst.stop()
+	for i := range rt.incs {
+		d := &rt.incs[i]
+		d.mu.Lock()
+		for _, inc := range d.m {
+			inc.src.stop()
+			inc.dst.stop()
+		}
+		d.mu.Unlock()
 	}
 }
 
 // linkActorFor returns (creating if needed) the actor hosting the RouterLink
-// task of a directed link.
+// task of a directed link. The fast path takes only the link's stripe; a
+// miss creates the actor under mu (respecting the mu → stripe order), which
+// excludes SetLinkCapacity for the whole read-capacity-and-install sequence
+// — a reconfiguration therefore either lands in the capacity the new task
+// is built with, or finds the installed actor and enqueues its re-probe.
 func (rt *Runtime) linkActorFor(id graph.LinkID) *actor {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if la, ok := rt.links[id]; ok {
+	d := &rt.lnks[linkStripe(id)]
+	d.mu.Lock()
+	la, ok := d.actors[id]
+	d.mu.Unlock()
+	if ok {
 		return la.a
 	}
-	l := rt.g.Link(id)
-	task := core.NewRouterLink(core.LinkRef(id), l.Capacity, (*emitter)(rt))
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	d.mu.Lock()
+	la, ok = d.actors[id]
+	d.mu.Unlock()
+	if ok {
+		return la.a // lost the creation race
+	}
+	task := core.NewRouterLink(core.LinkRef(id), rt.g.Link(id).Capacity, (*emitter)(rt))
 	a := newActor(rt.activity)
 	a.start(func(m message) {
 		switch m.kind {
@@ -565,7 +690,9 @@ func (rt *Runtime) linkActorFor(id graph.LinkID) *actor {
 			task.SetCapacity(m.demand)
 		}
 	})
-	rt.links[id] = &linkActor{a: a, task: task}
+	d.mu.Lock()
+	d.actors[id] = &linkActor{a: a, task: task}
+	d.mu.Unlock()
 	return a
 }
 
@@ -574,29 +701,30 @@ func (rt *Runtime) linkActorFor(id graph.LinkID) *actor {
 // cascade is in flight.
 type emitter Runtime
 
-// Emit implements core.Emitter.
+// Emit implements core.Emitter. This is the hottest call site of the whole
+// runtime — every packet of every hop of every session goes through it, from
+// every actor goroutine concurrently — so it takes no global lock: the
+// incarnation lookup and the packet counter each touch one stripe, the path
+// and the endpoint actors are immutable once the incarnation is published,
+// and graph.LinkReverse reads only immutable link structure.
 func (e *emitter) Emit(s core.SessionID, from int, dir core.Direction, pkt core.Packet) {
 	rt := (*Runtime)(e)
-	rt.mu.Lock()
-	inc := rt.incarnations[s]
-	if inc != nil {
-		// Account the physical link the packet crosses (intra-host hand-offs
-		// have no wire), exactly the simulator's per-link counting rule.
-		wire := graph.NoLink
-		if dir == core.Down {
-			if from >= 1 {
-				wire = inc.path[from-1]
-			}
-		} else if from >= 2 {
-			wire = rt.g.Link(inc.path[from-2]).Reverse
-		}
-		if wire != graph.NoLink && int(wire) < len(rt.linkPkts) {
-			rt.linkPkts[wire]++
-		}
-	}
-	rt.mu.Unlock()
+	inc := rt.incarnationFor(s)
 	if inc == nil {
-		return
+		return // retired and reclaimed; stragglers dissolve
+	}
+	// Account the physical link the packet crosses (intra-host hand-offs
+	// have no wire), exactly the simulator's per-link counting rule.
+	wire := graph.NoLink
+	if dir == core.Down {
+		if from >= 1 {
+			wire = inc.path[from-1]
+		}
+	} else if from >= 2 {
+		wire = rt.g.LinkReverse(inc.path[from-2])
+	}
+	if wire != graph.NoLink {
+		rt.countPacket(wire)
 	}
 	to := from + 1
 	if dir == core.Up {

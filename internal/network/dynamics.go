@@ -153,7 +153,10 @@ func (n *Network) joinOrStrand(s *Session, demand rate.Rate) {
 		return
 	}
 	if n.pathUp(s.Path) {
-		n.join(s, demand)
+		// joinOnPath applies the fresh-ID rule: a session rejoining after a
+		// Leave gets a successor incarnation, so stale responses of the
+		// departed lifetime can never be mistaken for the new one's.
+		n.joinOnPath(s, s.Path, demand)
 		return
 	}
 	path, err := n.resolver.HostPath(s.SrcHost, s.DstHost)

@@ -369,3 +369,44 @@ func TestDynamicsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestRejoinMintsFreshIncarnation pins the fresh-ID rule for plain user
+// rejoins: a session that leaves and joins again must continue as a
+// successor incarnation (new protocol ID), never re-use the departed one —
+// stale responses of the departed lifetime still in flight would otherwise
+// be mistaken for the new lifetime's and corrupt link state machines.
+func TestRejoinMintsFreshIncarnation(t *testing.T) {
+	g, ha, hb := buildLine(rate.Mbps(40))
+	eng := sim.New()
+	n := New(g, eng, DefaultConfig())
+	res := graph.NewResolver(g, 8)
+	path, err := res.HostPath(ha, hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := n.NewSession(ha, hb, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := s.ID
+	n.ScheduleJoin(s, 0, rate.Inf)
+	// The leave lands mid-convergence and the rejoin chases it closely, the
+	// exact shape that used to resurrect the departed ID.
+	n.ScheduleLeave(s, 40*time.Microsecond)
+	n.ScheduleJoin(s, 45*time.Microsecond, rate.Mbps(10))
+	n.Run()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cur := s.Current()
+	if cur.ID == orig {
+		t.Fatalf("rejoin re-used session ID %d; want a successor incarnation", orig)
+	}
+	if !cur.Active() {
+		t.Fatal("rejoined session not active")
+	}
+	r, ok := cur.Rate()
+	if !ok || !r.Equal(rate.Mbps(10)) {
+		t.Fatalf("rejoined rate = %v (ok=%v), want 10mbps", r, ok)
+	}
+}

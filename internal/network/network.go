@@ -134,6 +134,10 @@ type Network struct {
 	links    []*core.RouterLink // dense by LinkID; nil until a path uses it
 	wires    []*sim.Wire        // dense by LinkID; nil until a path uses it
 	sessions map[core.SessionID]*Session
+	// sessByID duplicates the session table densely by ID (IDs are assigned
+	// 1, 2, …): Emit resolves its session once per packet per hop, and the
+	// slice lookup beats the map on that path.
+	sessByID []*Session
 	order    []core.SessionID // insertion order, for deterministic iteration
 	stranded []*Session       // parked without a path, in strand order
 	domains  []*domain        // one per shard (one total in classic mode)
@@ -145,6 +149,19 @@ type Network struct {
 	// generation-aware repartition at the next barrier.
 	partGen   uint64
 	partNodes int
+
+	// oracle holds the reusable scratch of Oracle/Validate: the waterfill
+	// instance, its link index and the flattened path arena survive between
+	// calls, so per-epoch validation of a churning run stops reallocating.
+	oracle oracleScratch
+}
+
+type oracleScratch struct {
+	solver  waterfill.Solver
+	linkIdx map[graph.LinkID]int
+	inst    waterfill.Instance
+	pathBuf []int
+	ids     []core.SessionID
 }
 
 // domain is the per-shard execution state: the shard's packet statistics and
@@ -240,9 +257,13 @@ func (n *Network) Engine() *sim.Engine { return n.eng }
 func (n *Network) Sharded() *sim.ShardedEngine { return n.she }
 
 // domainFor returns the execution domain of a node: the single classic
-// domain, or the node's shard.
+// domain, or the node's shard. A sharded engine in inline mode executes
+// everything on the coordinating goroutine, so one shared domain is safe —
+// and keeps the delivery free list at the classic engine's hit rate instead
+// of leaking events across cut-traffic pools (stats merge by summation, so
+// the collapse is invisible in results).
 func (n *Network) domainFor(node graph.NodeID) *domain {
-	if n.she == nil {
+	if n.she == nil || !n.she.Parallel() {
 		return n.domains[0]
 	}
 	return n.domains[n.she.ShardOf(int32(node))]
@@ -330,6 +351,10 @@ func (n *Network) NewSession(srcHost, dstHost graph.NodeID, path graph.Path) (*S
 	})
 	s.dst = core.NewDestinationNode(id, taskEmitter{n, dstHost})
 	n.sessions[id] = s
+	for int(id) >= len(n.sessByID) {
+		n.sessByID = append(n.sessByID, nil)
+	}
+	n.sessByID[id] = s
 	n.order = append(n.order, id)
 	return s, nil
 }
@@ -434,7 +459,7 @@ func (n *Network) repartition() {
 		}
 		paths = append(paths, s.Path)
 	}
-	p := graph.PartitionNodes(n.g, n.she.Shards(), graph.SessionWeights(n.g, paths))
+	p := graph.PartitionNodes(n.g, n.she.Shards(), graph.SessionWeights(n.g, paths), n.linkFloors())
 	look := sim.Time(p.Lookahead)
 	if p.K <= 1 {
 		look = 0 // single shard: the engine treats 0 as unbounded windows
@@ -442,6 +467,26 @@ func (n *Network) repartition() {
 	n.she.SetTopology(n.g.NumNodes(), p.Parts, look)
 	n.partGen = n.g.Generation()
 	n.partNodes = n.g.NumNodes()
+}
+
+// linkFloors returns each link's per-packet transmission floor — the
+// earliest a packet emitted now can arrive is now + tx + propagation, so the
+// floor widens the conservative lookahead beyond raw propagation. On LAN
+// topologies (uniform 1 µs propagation) serialization dominates, and the
+// wider window is what makes sharding profitable there. Floors move with
+// capacity, so ScheduleSetCapacity-driven repartitions (the partition is
+// generation-stamped) keep the bound sound: a capacity change only takes
+// effect at a barrier, and the fresh partition's lookahead reflects it
+// before the next window forms.
+func (n *Network) linkFloors() []time.Duration {
+	if n.cfg.ControlPacketBits <= 0 {
+		return nil
+	}
+	floors := make([]time.Duration, n.g.NumLinks())
+	for i := range floors {
+		floors[i] = n.txFor(n.g.Link(graph.LinkID(i)).Capacity)
+	}
+	return floors
 }
 
 // taskEmitter implements core.Emitter for one protocol task, bound to the
@@ -457,7 +502,10 @@ type taskEmitter struct {
 // crossing the corresponding physical wire.
 func (em taskEmitter) Emit(s core.SessionID, from int, dir core.Direction, pkt core.Packet) {
 	n := em.n
-	sess := n.sessions[s]
+	var sess *Session
+	if int(s) < len(n.sessByID) {
+		sess = n.sessByID[s]
+	}
 	if sess == nil {
 		panic(fmt.Sprintf("network: emit for unknown session %d", s))
 	}
@@ -471,25 +519,27 @@ func (em taskEmitter) Emit(s core.SessionID, from int, dir core.Direction, pkt c
 	} else {
 		to = from - 1
 		if from >= 2 {
-			wireLink = n.g.Link(sess.Path[from-2]).Reverse
+			wireLink = n.g.LinkReverse(sess.Path[from-2])
 		}
 	}
 	dom := n.domainFor(em.node)
 	if wireLink == graph.NoLink {
 		// Intra-host hand-off (source ↔ its access-link task): no wire. Both
 		// endpoints live on the source host, so the delivery stays local.
+		// Both engines key the event by the emitting node, so the classic
+		// order matches the sharded one.
 		deliver := n.takeDeliver(dom, sess, to, pkt, em.node)
+		nd := int32(em.node)
 		if n.she == nil {
-			n.eng.After(0, deliver)
+			n.eng.SendFrom(nd, n.eng.Now(), deliver)
 		} else {
-			nd := int32(em.node)
 			n.she.SendAt(nd, nd, n.she.NowAt(nd), deliver)
 		}
 		return
 	}
 	// The packet crosses a physical link: account it (the paper counts
 	// every packet sent across a link) and serialize it on the wire.
-	target := n.g.Link(wireLink).To
+	target := n.g.LinkTo(wireLink)
 	deliver := n.takeDeliver(dom, sess, to, pkt, target)
 	dom.stats.Record(pkt.Type, n.nowFor(em.node))
 	if n.cfg.OnPacket != nil {
@@ -545,7 +595,10 @@ func (n *Network) routerLink(id graph.LinkID) *core.RouterLink {
 	return rl
 }
 
-// wire lazily creates the simulator wire for a directed link.
+// wire lazily creates the simulator wire for a directed link. Both engines
+// key a wire's deliveries by the link's From node — the creator whose
+// execution sends the packet — which is what makes classic and sharded runs
+// byte-identical.
 func (n *Network) wire(id graph.LinkID) *sim.Wire {
 	n.growLinkSlices()
 	if w := n.wires[id]; w != nil {
@@ -554,7 +607,7 @@ func (n *Network) wire(id graph.LinkID) *sim.Wire {
 	l := n.g.Link(id)
 	var sched sim.Sched
 	if n.she == nil {
-		sched = n.eng
+		sched = serialLinkSched{n.eng, int32(l.From)}
 	} else {
 		sched = n.she.LinkSched(int32(l.From), int32(l.To))
 	}
@@ -562,6 +615,18 @@ func (n *Network) wire(id graph.LinkID) *sim.Wire {
 	n.wires[id] = w
 	return w
 }
+
+// serialLinkSched is the classic engine's counterpart of the sharded
+// engine's per-link scheduler: deliveries carry the sending node as their
+// creator, so the serial event order equals the sharded (time, creator,
+// creator sequence) order.
+type serialLinkSched struct {
+	eng  *sim.Engine
+	from int32
+}
+
+func (ls serialLinkSched) Now() sim.Time           { return ls.eng.Now() }
+func (ls serialLinkSched) At(t sim.Time, f func()) { ls.eng.SendFrom(ls.from, t, f) }
 
 // txFor returns the per-packet transmission time on a link of the given
 // capacity: tx = bits / capacity, in seconds.
@@ -577,38 +642,62 @@ func (n *Network) txFor(capacity rate.Rate) time.Duration {
 }
 
 // Oracle computes the max-min fair rates of the currently active sessions
-// with Centralized B-Neck. The result maps session IDs to rates.
+// with Centralized B-Neck. The result maps session IDs to rates. The
+// instance is assembled in (and solved with) reusable scratch buffers, so
+// per-epoch oracle validation of a long churning run allocates only its
+// result map.
 func (n *Network) Oracle() (map[core.SessionID]rate.Rate, error) {
-	linkIdx := make(map[graph.LinkID]int)
-	var in waterfill.Instance
-	var ids []core.SessionID
+	sc := &n.oracle
+	if sc.linkIdx == nil {
+		sc.linkIdx = make(map[graph.LinkID]int)
+	}
+	clear(sc.linkIdx)
+	sc.inst.Capacity = sc.inst.Capacity[:0]
+	sc.inst.Sessions = sc.inst.Sessions[:0]
+	sc.ids = sc.ids[:0]
+	// Presize the path arena: sessions keep aliased subslices of it, so it
+	// must not reallocate while the instance is being assembled.
+	totalPath := 0
+	for _, id := range n.order {
+		if s := n.sessions[id]; s.active {
+			totalPath += len(s.Path)
+		}
+	}
+	if cap(sc.pathBuf) < totalPath {
+		sc.pathBuf = make([]int, 0, totalPath)
+	}
+	buf := sc.pathBuf[:0]
 	for _, id := range n.order {
 		s := n.sessions[id]
 		if !s.active {
 			continue
 		}
-		ws := waterfill.Session{Demand: s.src.Demand()}
+		start := len(buf)
 		for _, l := range s.Path {
-			i, ok := linkIdx[l]
+			i, ok := sc.linkIdx[l]
 			if !ok {
-				i = len(in.Capacity)
-				linkIdx[l] = i
-				in.Capacity = append(in.Capacity, n.g.Link(l).Capacity)
+				i = len(sc.inst.Capacity)
+				sc.linkIdx[l] = i
+				sc.inst.Capacity = append(sc.inst.Capacity, n.g.Link(l).Capacity)
 			}
-			ws.Path = append(ws.Path, i)
+			buf = append(buf, i)
 		}
-		in.Sessions = append(in.Sessions, ws)
-		ids = append(ids, id)
+		sc.inst.Sessions = append(sc.inst.Sessions, waterfill.Session{
+			Demand: s.src.Demand(),
+			Path:   buf[start:len(buf):len(buf)],
+		})
+		sc.ids = append(sc.ids, id)
 	}
-	if len(ids) == 0 {
+	sc.pathBuf = buf
+	if len(sc.ids) == 0 {
 		return map[core.SessionID]rate.Rate{}, nil
 	}
-	rates, err := waterfill.Solve(in)
+	rates, err := sc.solver.Solve(sc.inst)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[core.SessionID]rate.Rate, len(ids))
-	for i, id := range ids {
+	out := make(map[core.SessionID]rate.Rate, len(sc.ids))
+	for i, id := range sc.ids {
 		out[id] = rates[i]
 	}
 	return out, nil

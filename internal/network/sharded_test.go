@@ -191,3 +191,51 @@ func TestShardedOracleAgreement(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedLookaheadIncludesTransmissionFloor: on a LAN topology (uniform
+// 1 µs propagation) the conservative window must be wider than raw
+// propagation by the cut links' serialization floor (512-bit control
+// packets over the link capacity) — the lever that makes LAN sharding
+// profitable. With serialization disabled, the window falls back to raw
+// propagation.
+func TestShardedLookaheadIncludesTransmissionFloor(t *testing.T) {
+	run := func(cfg network.Config) time.Duration {
+		topo, err := topology.Generate(topology.Small, topology.LAN, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		she := sim.NewSharded(4)
+		net := network.NewSharded(topo.Graph, she, cfg)
+		hosts := topo.AddHosts(16)
+		res := graph.NewResolver(topo.Graph, 64)
+		for i := 0; i < 8; i++ {
+			path, err := res.HostPath(hosts[i], hosts[8+i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := net.NewSession(hosts[i], hosts[8+i], path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			net.ScheduleJoin(s, 0, rate.Inf)
+		}
+		net.Run()
+		if err := net.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return she.Lookahead()
+	}
+	withTx := run(network.DefaultConfig())
+	cfg := network.DefaultConfig()
+	cfg.ControlPacketBits = 0
+	withoutTx := run(cfg)
+	if withoutTx <= 0 || withTx <= 0 {
+		t.Fatalf("lookahead not installed: with=%v without=%v", withTx, withoutTx)
+	}
+	if withTx <= withoutTx {
+		t.Fatalf("transmission floor did not widen the window: with=%v without=%v", withTx, withoutTx)
+	}
+	if withoutTx != time.Microsecond {
+		t.Fatalf("raw-propagation lookahead %v, want 1µs on LAN", withoutTx)
+	}
+}

@@ -92,6 +92,8 @@ func build(sc *Script) (*world, error) {
 		switch ev.Op {
 		case OpJoin, OpLeave, OpChange:
 			rev.sessionIdx = sessionIdx[ev.Session]
+		case OpExpectMigrated, OpExpectStranded:
+			// Nothing to resolve: the assertion reads runtime counters.
 		case OpExpectRate:
 			if i, ok := sessionIdx[ev.Session]; ok {
 				rev.sessionIdx = i

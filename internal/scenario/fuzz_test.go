@@ -26,6 +26,13 @@ func FuzzParse(f *testing.F) {
 	f.Add("at 1ms set-capacity r1 r2 unlimited\n")
 	f.Add("# empty\n\n\n")
 	f.Add(strings.Repeat("router r\n", 2))
+	f.Add(repeatScript)
+	f.Add("router r1\nrouter r2\nlink r1 r2 10mbps 1us\nrepeat 3 {\nat 1ms fail r1 r2\nat 2ms restore r1 r2\n}\nat 7ms expect migrated 0\nat 7ms expect stranded 0\n")
+	f.Add("repeat 2 {\n")
+	f.Add("}\n")
+	f.Add("repeat 999999999 {\nat 1ms expect stranded 0\n}\n")
+	f.Add("repeat 9223372036854775807 {\nat 1ns fail r1 r2\nat 2ns restore r1 r2\n}\n")
+	f.Add("at 1ms expect migrated -5\n")
 
 	f.Fuzz(func(t *testing.T, src string) {
 		sc, err := Parse(src)

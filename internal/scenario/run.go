@@ -96,15 +96,8 @@ func RunSim(sc *Script) (*Result, error) {
 		if err := net.Validate(); err != nil {
 			return nil, fmt.Errorf("scenario: epoch %v: %w", ep.at, err)
 		}
-		for _, ev := range ep.events {
-			if ev.Op != OpExpectRate {
-				continue
-			}
-			got := assertedRate(w, sc, sessions, ev)
-			if !got.Equal(ev.Demand) {
-				return nil, fmt.Errorf("scenario: line %d: expect rate %s %v: got %v after epoch %v",
-					ev.Line, ev.Session, ev.Demand, got, ep.at)
-			}
+		if err := checkExpectations(w, sc, sessions, ep, uint64(net.Migrations()), countStranded(sessions)); err != nil {
+			return nil, err
 		}
 		er := EpochResult{
 			At:      ep.at,
@@ -173,15 +166,8 @@ func RunLive(sc *Script) (*Result, error) {
 		if err := rt.Validate(); err != nil {
 			return nil, fmt.Errorf("scenario: epoch %v: %w", ep.at, err)
 		}
-		for _, ev := range ep.events {
-			if ev.Op != OpExpectRate {
-				continue
-			}
-			got := assertedRate(w, sc, sessions, ev)
-			if !got.Equal(ev.Demand) {
-				return nil, fmt.Errorf("scenario: line %d: expect rate %s %v: got %v after epoch %v",
-					ev.Line, ev.Session, ev.Demand, got, ep.at)
-			}
+		if err := checkExpectations(w, sc, sessions, ep, rt.Migrations(), countStranded(sessions)); err != nil {
+			return nil, err
 		}
 		er := EpochResult{At: ep.at, Applied: ep.at, Events: describe(ep.events)}
 		er.Active, er.Stranded = countLive(sessions)
@@ -196,6 +182,43 @@ type ratedSession interface {
 	Active() bool
 	Stranded() bool
 	Rate() (rate.Rate, bool)
+}
+
+// checkExpectations evaluates an epoch's expect events after it quiesced and
+// validated: golden rates, the cumulative migration count, and the current
+// stranded-session count — identically on both transports.
+func checkExpectations[S ratedSession](w *world, sc *Script, sessions []S, ep epoch, migrated uint64, stranded int) error {
+	for _, ev := range ep.events {
+		switch ev.Op {
+		case OpExpectRate:
+			got := assertedRate(w, sc, sessions, ev)
+			if !got.Equal(ev.Demand) {
+				return fmt.Errorf("scenario: line %d: expect rate %s %v: got %v after epoch %v",
+					ev.Line, ev.Session, ev.Demand, got, ep.at)
+			}
+		case OpExpectMigrated:
+			if migrated != uint64(ev.Count) {
+				return fmt.Errorf("scenario: line %d: expect migrated %d: got %d after epoch %v",
+					ev.Line, ev.Count, migrated, ep.at)
+			}
+		case OpExpectStranded:
+			if stranded != ev.Count {
+				return fmt.Errorf("scenario: line %d: expect stranded %d: got %d after epoch %v",
+					ev.Line, ev.Count, stranded, ep.at)
+			}
+		}
+	}
+	return nil
+}
+
+func countStranded[S ratedSession](sessions []S) int {
+	n := 0
+	for _, s := range sessions {
+		if s.Stranded() {
+			n++
+		}
+	}
+	return n
 }
 
 // assertedRate evaluates one expect-rate assertion: a session's granted
@@ -252,6 +275,8 @@ func describe(events []resolvedEvent) []string {
 			out[i] = fmt.Sprintf("%s %s", ev.Op, ev.Session)
 		case OpExpectRate:
 			out[i] = fmt.Sprintf("%s %s %v", ev.Op, ev.Session, ev.Demand)
+		case OpExpectMigrated, OpExpectStranded:
+			out[i] = fmt.Sprintf("%s %d", ev.Op, ev.Count)
 		case OpSetCapacity:
 			out[i] = fmt.Sprintf("%s %s-%s %v", ev.Op, ev.A, ev.B, ev.Capacity)
 		default:

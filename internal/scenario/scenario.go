@@ -27,6 +27,13 @@
 //	at 6ms   restore r1 r2
 //	at 7ms   expect rate s1 25mbps       # golden assertion after the epoch
 //	at 7ms   expect rate h1 25mbps       # ...or the host's total source rate
+//	at 7ms   expect migrated 2           # total reroutes so far
+//	at 7ms   expect stranded 0           # sessions currently parked
+//
+//	repeat 50 {                          # long-soak loop: the block repeats,
+//	  at 1ms  fail r1 r2                 # each iteration shifted by the
+//	  at 2ms  restore r1 r2              # block's largest timestamp (2ms)
+//	}
 //
 // Topology events name a duplex link by its two endpoints and apply to both
 // directions. Generated transit-stub topologies use the generator's
@@ -35,18 +42,22 @@
 //
 // Events sharing a timestamp form one epoch: the runner applies the epoch,
 // drives the network to quiescence, and validates the allocation before the
-// next epoch. `expect rate` events assert, after their epoch has quiesced
-// and validated, that a session holds exactly the given rate — or, when
-// given a host, that the host's active sessions' granted rates sum to it —
-// turning scripts into golden regression tests on both transports. Parse
-// additionally replays the timeline statically and rejects
-// scripts that fail an already-failed link, restore an up link, reconfigure
-// a failed link's capacity, or churn a session inconsistently.
+// next epoch. `expect` events assert, after their epoch has quiesced and
+// validated, that the network is in a given state — `expect rate` that a
+// session holds exactly the given rate (or, for a host, that its active
+// sessions' granted rates sum to it), `expect migrated` that topology events
+// have rerouted exactly n sessions so far, `expect stranded` that exactly n
+// sessions are currently parked without a path — turning scripts into golden
+// regression tests on both transports. Parse additionally replays the
+// timeline statically (repeat blocks fully expanded) and rejects scripts
+// that fail an already-failed link, restore an up link, reconfigure a failed
+// link's capacity, or churn a session inconsistently.
 package scenario
 
 import (
 	"bufio"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -67,6 +78,8 @@ const (
 	OpRestore
 	OpSetCapacity
 	OpExpectRate
+	OpExpectMigrated
+	OpExpectStranded
 )
 
 func (o Op) String() string {
@@ -85,6 +98,10 @@ func (o Op) String() string {
 		return "set-capacity"
 	case OpExpectRate:
 		return "expect rate"
+	case OpExpectMigrated:
+		return "expect migrated"
+	case OpExpectStranded:
+		return "expect stranded"
 	default:
 		return "unknown"
 	}
@@ -93,7 +110,8 @@ func (o Op) String() string {
 // Event is one timeline entry. Session ops use Session (+Demand for
 // join/change); topology ops use the A–B endpoint names (+Capacity for
 // set-capacity). An expect-rate assertion names a session or a host in
-// Session and carries the expected rate in Demand.
+// Session and carries the expected rate in Demand; expect-migrated and
+// expect-stranded assertions carry their expected count in Count.
 type Event struct {
 	At       time.Duration
 	Op       Op
@@ -101,6 +119,7 @@ type Event struct {
 	A, B     string
 	Demand   rate.Rate
 	Capacity rate.Rate
+	Count    int
 	Line     int
 }
 
@@ -164,6 +183,18 @@ type Script struct {
 // gigantic generation.
 const maxScriptHosts = 100_000
 
+// maxScriptEvents bounds the expanded timeline (repeat blocks multiply
+// events) so a typo cannot demand a gigantic run.
+const maxScriptEvents = 100_000
+
+// repeatBlock collects the events of one `repeat <n> { ... }` block while
+// it is being parsed.
+type repeatBlock struct {
+	n      int
+	line   int
+	events []Event
+}
+
 // Parse reads a scenario script and statically checks it. Every error names
 // the offending line.
 func Parse(src string) (*Script, error) {
@@ -172,6 +203,7 @@ func Parse(src string) (*Script, error) {
 	routers := make(map[string]int)
 	hosts := make(map[string]int)
 	sawTopology := false
+	var rep *repeatBlock
 
 	lineNo := 0
 	scanner := bufio.NewScanner(strings.NewReader(src))
@@ -188,6 +220,41 @@ func Parse(src string) (*Script, error) {
 		}
 		fail := func(format string, args ...any) error {
 			return fmt.Errorf("scenario: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		if rep != nil && f[0] != "at" && f[0] != "}" {
+			return nil, fail("only `at` events may appear inside a repeat block")
+		}
+		switch f[0] {
+		case "repeat":
+			if rep != nil {
+				return nil, fail("repeat blocks cannot nest")
+			}
+			if len(f) != 3 || f[2] != "{" {
+				return nil, fail("usage: repeat <n> {")
+			}
+			n, err := strconv.Atoi(f[1])
+			if err != nil || n < 1 {
+				return nil, fail("repeat count %q must be a positive integer", f[1])
+			}
+			rep = &repeatBlock{n: n, line: lineNo}
+			continue
+		case "}":
+			if rep == nil {
+				return nil, fail("`}` without an open repeat block")
+			}
+			if len(f) != 1 {
+				return nil, fail("`}` must stand alone")
+			}
+			expanded, err := rep.expand()
+			if err != nil {
+				return nil, fmt.Errorf("scenario: line %d: %w", rep.line, err)
+			}
+			if len(sc.Events)+len(expanded) > maxScriptEvents {
+				return nil, fail("repeat expands past %d events", maxScriptEvents)
+			}
+			sc.Events = append(sc.Events, expanded...)
+			rep = nil
+			continue
 		}
 		switch f[0] {
 		case "topology":
@@ -278,6 +345,13 @@ func Parse(src string) (*Script, error) {
 			if err != nil {
 				return nil, fail("%v", err)
 			}
+			if rep != nil {
+				rep.events = append(rep.events, ev)
+				continue
+			}
+			if len(sc.Events) >= maxScriptEvents {
+				return nil, fail("script exceeds %d events", maxScriptEvents)
+			}
 			sc.Events = append(sc.Events, ev)
 		default:
 			return nil, fail("unknown directive %q", f[0])
@@ -285,6 +359,9 @@ func Parse(src string) (*Script, error) {
 	}
 	if err := scanner.Err(); err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if rep != nil {
+		return nil, fmt.Errorf("scenario: line %d: repeat block never closed", rep.line)
 	}
 
 	if sc.Topo.Kind == 0 {
@@ -303,7 +380,8 @@ func Parse(src string) (*Script, error) {
 			}
 		}
 		for _, ev := range sc.Events {
-			if ev.Op == OpJoin || ev.Op == OpLeave || ev.Op == OpChange || ev.Op == OpExpectRate {
+			switch ev.Op {
+			case OpJoin, OpLeave, OpChange, OpExpectRate, OpExpectMigrated, OpExpectStranded:
 				continue
 			}
 			for _, n := range []string{ev.A, ev.B} {
@@ -392,6 +470,45 @@ func (sc *Script) checkTimeline() error {
 		}
 	}
 	return nil
+}
+
+// expand lays the block's events out n times: timestamps inside the block
+// are relative to each iteration's start, and iterations are spaced by the
+// block's largest timestamp (its span). A block `repeat 3 { at 5ms fail a b;
+// at 10ms restore a b }` therefore fires at 5,10, 15,20, 25,30 ms — the
+// shape of a long churn soak. The static timeline checker then replays the
+// expanded events, so a block whose iterations would double-fail a link is
+// rejected like any hand-written timeline.
+func (r *repeatBlock) expand() ([]Event, error) {
+	if len(r.events) == 0 {
+		return nil, fmt.Errorf("repeat block is empty")
+	}
+	// Division, not multiplication: a huge count must not overflow the
+	// guard itself (this parser sees untrusted input).
+	if r.n > maxScriptEvents/len(r.events) {
+		return nil, fmt.Errorf("repeat of %d × %d events expands past %d", r.n, len(r.events), maxScriptEvents)
+	}
+	span := time.Duration(0)
+	for _, ev := range r.events {
+		if ev.At > span {
+			span = ev.At
+		}
+	}
+	if span <= 0 {
+		return nil, fmt.Errorf("repeat block needs a positive time span (its largest `at` offset)")
+	}
+	if span > time.Duration(math.MaxInt64)/time.Duration(r.n) {
+		return nil, fmt.Errorf("repeat span %v overflows over %d iterations", span, r.n)
+	}
+	out := make([]Event, 0, r.n*len(r.events))
+	for i := 0; i < r.n; i++ {
+		off := time.Duration(i) * span
+		for _, ev := range r.events {
+			ev.At += off
+			out = append(out, ev)
+		}
+	}
+	return out, nil
 }
 
 func declareName(routers, hosts, sessions map[string]int, name string) error {
@@ -519,16 +636,29 @@ func parseEvent(f []string, line int) (Event, error) {
 			return Event{}, fmt.Errorf("%s endpoints coincide (%q)", op, ev.A)
 		}
 	case "expect":
-		ev.Op = OpExpectRate
-		if len(args) != 3 || args[0] != "rate" {
-			return Event{}, fmt.Errorf("usage: at <time> expect rate <session|host> <rate>")
+		switch {
+		case len(args) == 3 && args[0] == "rate":
+			ev.Op = OpExpectRate
+			ev.Session = args[1]
+			r, err := parseExpectedRate(args[2])
+			if err != nil {
+				return Event{}, err
+			}
+			ev.Demand = r
+		case len(args) == 2 && (args[0] == "migrated" || args[0] == "stranded"):
+			if args[0] == "migrated" {
+				ev.Op = OpExpectMigrated
+			} else {
+				ev.Op = OpExpectStranded
+			}
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n < 0 {
+				return Event{}, fmt.Errorf("expect %s count %q must be a non-negative integer", args[0], args[1])
+			}
+			ev.Count = n
+		default:
+			return Event{}, fmt.Errorf("usage: at <time> expect rate <session|host> <rate> | expect migrated <n> | expect stranded <n>")
 		}
-		ev.Session = args[1]
-		r, err := parseExpectedRate(args[2])
-		if err != nil {
-			return Event{}, err
-		}
-		ev.Demand = r
 	case "set-capacity":
 		ev.Op = OpSetCapacity
 		if len(args) != 3 {

@@ -340,3 +340,149 @@ func TestExpectRateLive(t *testing.T) {
 		t.Fatalf("live expectations failed: %v", err)
 	}
 }
+
+// repeatScript flips a session between the two arms of a diamond three
+// times; each iteration migrates it twice (the joined path's arm fails,
+// then the other).
+const repeatScript = `
+router r1
+router r2
+router r3
+router r4
+link r1 r2 40mbps 1us
+link r2 r4 40mbps 1us
+link r1 r3 40mbps 1us
+link r3 r4 40mbps 1us
+host ha r1
+host hb r4
+
+session s1 ha hb
+
+at 0ms  join s1
+
+repeat 3 {
+  at 1ms  fail r1 r2
+  at 2ms  restore r1 r2
+  at 3ms  fail r1 r3
+  at 4ms  restore r1 r3
+}
+
+at 13ms expect migrated 6
+at 13ms expect stranded 0
+at 13ms expect rate s1 40mbps
+`
+
+func TestRepeatExpansion(t *testing.T) {
+	sc, err := Parse(repeatScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 join + 3×4 topology events + 3 expects.
+	if len(sc.Events) != 1+12+3 {
+		t.Fatalf("events = %d, want 16", len(sc.Events))
+	}
+	// Iteration i shifts the block by i×span (span = 4ms): the fails of the
+	// first arm land at 1, 5, 9 ms.
+	var fails []time.Duration
+	for _, ev := range sc.Events {
+		if ev.Op == OpFail && ev.A == "r1" && ev.B == "r2" {
+			fails = append(fails, ev.At)
+		}
+	}
+	want := []time.Duration{1 * time.Millisecond, 5 * time.Millisecond, 9 * time.Millisecond}
+	if !reflect.DeepEqual(fails, want) {
+		t.Fatalf("r1-r2 fails at %v, want %v", fails, want)
+	}
+}
+
+func TestRepeatRunBothTransports(t *testing.T) {
+	sc, err := Parse(repeatScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSim(sc); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if _, err := RunLive(sc); err != nil {
+		t.Fatalf("live: %v", err)
+	}
+	// A wrong migration expectation must fail usefully.
+	wrong := strings.Replace(repeatScript, "expect migrated 6", "expect migrated 7", 1)
+	sc, err = Parse(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSim(sc); err == nil || !strings.Contains(err.Error(), "expect migrated") {
+		t.Fatalf("wrong migrated expectation did not fail usefully: %v", err)
+	}
+	wrong = strings.Replace(repeatScript, "expect stranded 0", "expect stranded 2", 1)
+	sc, err = Parse(wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSim(sc); err == nil || !strings.Contains(err.Error(), "expect stranded") {
+		t.Fatalf("wrong stranded expectation did not fail usefully: %v", err)
+	}
+}
+
+func TestRepeatParseErrors(t *testing.T) {
+	base := "router r1\nrouter r2\nlink r1 r2 10mbps 1us\nhost ha r1\nhost hb r2\nsession s1 ha hb\n"
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unclosed", base + "repeat 2 {\nat 1ms join s1\n", "never closed"},
+		{"nested", base + "repeat 2 {\nrepeat 2 {\n}\n}\n", "only `at` events"},
+		{"badCount", base + "repeat zero {\nat 1ms join s1\n}\n", "positive integer"},
+		{"noBrace", base + "repeat 2\nat 1ms join s1\n", "usage: repeat"},
+		{"empty", base + "repeat 2 {\n}\n", "empty"},
+		{"zeroSpan", base + "repeat 2 {\nat 0ms fail r1 r2\n}\n", "positive time span"},
+		{"strayClose", base + "}\n", "without an open repeat"},
+		{"declInside", base + "repeat 2 {\nrouter r9\n}\n", "only `at` events"},
+		{"badExpect", base + "at 1ms expect migrated -1\n", "non-negative"},
+		{"expectUsage", base + "at 1ms expect migrated\n", "usage"},
+		// The static checker sees the expanded timeline: a block that fails
+		// without restoring double-fails on its second iteration.
+		{"doubleFail", base + "repeat 2 {\nat 1ms fail r1 r2\n}\n", "already failed"},
+		// The count guard must not overflow on absurd counts (untrusted input).
+		{"hugeCount", base + "repeat 9223372036854775807 {\nat 1ns fail r1 r2\nat 2ns restore r1 r2\n}\n", "expands past"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestSoakScenarioBothTransports runs the checked-in soak script — the
+// repeat-block churn loop plus the strand/restore tail — on both transports.
+func TestSoakScenarioBothTransports(t *testing.T) {
+	src, err := os.ReadFile("../../examples/scenarios/soak.bneck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	migrExpects, strandExpects := 0, 0
+	for _, ev := range sc.Events {
+		switch ev.Op {
+		case OpExpectMigrated:
+			migrExpects++
+		case OpExpectStranded:
+			strandExpects++
+		}
+	}
+	if migrExpects < 2 || strandExpects < 3 {
+		t.Fatalf("soak too tame: %d migrated + %d stranded expects", migrExpects, strandExpects)
+	}
+	if _, err := RunSim(sc); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	if _, err := RunLive(sc); err != nil {
+		t.Fatalf("live: %v", err)
+	}
+}

@@ -22,7 +22,12 @@ import (
 type Time = time.Duration
 
 // Engine is a single-threaded discrete event scheduler. Events scheduled for
-// the same instant run in scheduling order, which makes runs deterministic.
+// the same instant run in key order — (time, creator, creator sequence), the
+// same total order the sharded engine uses — which makes runs deterministic
+// and byte-identical to a 1-shard sharded run of the same workload. Events
+// scheduled without a creator (At/After/DaemonAt) share the ExtCreator
+// bucket and fire in scheduling order among themselves, the engine's
+// historical contract.
 //
 // Events come in two flavors: regular events keep Run alive, daemon events
 // (periodic measurement ticks and the like) do not — Run returns when only
@@ -32,8 +37,9 @@ type Engine struct {
 	now      Time
 	events   eventQueue
 	seq      uint64
-	regular  int  // number of non-daemon events in the heap
-	stopped  bool // Stop was called; Run unwinds
+	ctr      []uint64 // per-creator sequence counters for SendFrom
+	regular  int      // number of non-daemon events in the heap
+	stopped  bool     // Stop was called; Run unwinds
 	nEvents  uint64
 	lastBusy Time // time of the most recently executed regular event
 }
@@ -78,10 +84,29 @@ func (e *Engine) schedule(t Time, fn func(), daemon bool) {
 		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
 	}
 	e.seq++
-	e.events.push(event{at: t, seq: e.seq, fn: fn, daemon: daemon})
+	e.events.push(event{at: t, src: ExtCreator, seq: e.seq, fn: fn, daemon: daemon})
 	if !daemon {
 		e.regular++
 	}
+}
+
+// SendFrom schedules fn at absolute time t with an explicit creator: the
+// node whose execution performs the scheduling. Events share the exact
+// (time, creator, creator sequence) key order of the sharded engine, so a
+// workload scheduled through SendFrom (plus At for external events) executes
+// in the same total order on this engine and on a sharded engine at any
+// shard count — the bridge that makes classic runs byte-identical to
+// sharded ones.
+func (e *Engine) SendFrom(creator int32, t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
+	}
+	if n := int(creator) + 1; n > len(e.ctr) {
+		e.ctr = append(e.ctr, make([]uint64, n-len(e.ctr))...)
+	}
+	e.ctr[creator]++
+	e.events.push(event{at: t, src: creator, seq: e.ctr[creator], fn: fn})
+	e.regular++
 }
 
 // Step executes the next event. It returns false when no events remain.
@@ -135,13 +160,16 @@ func (e *Engine) Pending() int { return e.regular }
 // event is one scheduled callback. Events are stored by value inside the
 // queue's backing slice; nothing outside the queue holds a reference.
 //
-// The serial Engine leaves src/owner at zero, so its ordering stays the
-// classic (time, global sequence). The sharded engine keys events by
-// (time, creator, per-creator sequence): src is the node (or extCreator)
-// whose execution scheduled the event and seq counts that creator's
-// schedulings, which makes the total order independent of how nodes are
-// partitioned into shards. owner is the node the event executes on, so a
-// repartition can re-home queued events.
+// Both engines key events by (time, creator, per-creator sequence): src is
+// the node whose execution scheduled the event — ExtCreator for At/After/
+// DaemonAt, which therefore sort before all node creators at the same
+// instant and keep their historical scheduling order among themselves — and
+// seq counts that creator's schedulings. The serial Engine stamps creators
+// through SendFrom; the sharded engine through SendAt. The shared keying
+// makes the total order independent of how nodes are partitioned into
+// shards, and makes serial runs byte-identical to sharded ones. owner is
+// the node the event executes on, so a repartition can re-home queued
+// events (the serial engine leaves it zero).
 type event struct {
 	at     Time
 	seq    uint64

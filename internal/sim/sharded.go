@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -15,6 +17,13 @@ const infTime = Time(math.MaxInt64)
 // node, so a global event at time t always precedes node events at t.
 const ExtCreator int32 = -1
 
+// defaultWindowBatch is the number of consecutive conservative windows one
+// fork/join may span when no global event interrupts them. Batching exists
+// for low-delay (LAN) topologies, where a single window is so short that
+// per-window coordination would dominate; the value only bounds how much
+// coordination is amortized, it never changes results.
+const defaultWindowBatch = 16
+
 // ShardedEngine is a conservatively-synchronized parallel discrete event
 // scheduler: nodes of a network are partitioned into shards, each shard owns
 // a value-typed 4-ary heap and a local virtual clock, and shards execute
@@ -22,7 +31,17 @@ const ExtCreator int32 = -1
 // minimum latency of any cross-shard edge, so an event executing inside a
 // window can only schedule into another shard at or beyond the window's end;
 // those messages travel through per-shard outboxes and are delivered at the
-// next barrier.
+// next window boundary.
+//
+// Windows are executed in batches: one fork/join runs up to WindowBatch
+// consecutive windows when no global event falls inside them. Within a
+// batch, cross-shard sends are binned by the window their arrival time falls
+// in; shards synchronize on a lightweight barrier between windows and each
+// shard ingests its next window's bin itself, so the coordinator — and its
+// channel round-trips — are off the per-window path. When the process has a
+// single CPU (or SetParallel(false) was called), windows execute inline on
+// the coordinating goroutine in shard order, with no synchronization at all:
+// on one core, goroutine parallelism can only add overhead.
 //
 // Determinism: every event is keyed by (time, creator, creator sequence),
 // where the creator is the node whose execution scheduled it (ExtCreator for
@@ -30,7 +49,9 @@ const ExtCreator int32 = -1
 // schedulings. Because a node's execution order is independent of the
 // partition (cross-shard influence always arrives strictly later than the
 // lookahead bound), the keys — and therefore the complete run — are
-// byte-identical for any shard count, including one.
+// byte-identical for any shard count, any WindowBatch, and either execution
+// mode, including one shard — which in turn matches the serial Engine
+// driving the same creator-keyed workload.
 //
 // Events come in three flavors:
 //   - shard events (SendAt): always regular, execute on the owning shard;
@@ -48,6 +69,15 @@ type ShardedEngine struct {
 	// cut (single shard).
 	lookahead Time
 
+	// windowBatch is the maximum windows per fork/join; stride is the number
+	// of outbox slots per destination shard (windowBatch in-batch bins plus
+	// one tail slot for arrivals beyond the batch).
+	windowBatch int
+	stride      int
+	// parallel selects worker goroutines for multi-shard windows; false runs
+	// every window inline on the coordinator (the single-CPU fast path).
+	parallel bool
+
 	global        eventQueue // global events, creator ExtCreator
 	extSeq        uint64
 	globalRegular int
@@ -56,13 +86,28 @@ type ShardedEngine struct {
 	lastBusy Time
 	nEvents  uint64
 
-	stopped   atomic.Bool
-	inWindow  bool
-	windowEnd Time
+	stopped  atomic.Bool
+	inWindow bool
+	// inlineWindow marks a window (or batch) executing inline on the
+	// coordinating goroutine: with no concurrent shard execution, a
+	// cross-shard send may push straight into the destination heap — the
+	// lookahead bound proves its arrival lies beyond every window currently
+	// forming — skipping the outbox machinery entirely.
+	inlineWindow bool
+
+	busy []*seShard // scratch: shards with events due in the current window
 
 	workers bool
-	wake    []chan Time
+	bar     seBarrier
+	wake    []chan seBatch
 	done    chan struct{}
+}
+
+// seBatch describes one fork/join: K consecutive windows starting at W,
+// each lookahead wide, the last one ending at end.
+type seBatch struct {
+	W, L, end Time
+	K         int
 }
 
 // seShard is one shard: a heap of owned events, a local clock, and the
@@ -74,23 +119,42 @@ type seShard struct {
 	regular  int
 	nEvents  uint64
 	lastBusy Time
-	ctr      []uint64  // per-node creator counters (live entry at the owner)
-	out      [][]event // outboxes, one per destination shard
+	ctr      []uint64 // per-node creator counters (live entry at the owner)
+	// out holds cross-shard sends: stride slots per destination shard, one
+	// per in-batch window plus a tail slot. dirty lists the slot indices
+	// with pending events, so the coordinator's drain scans only what was
+	// written instead of shards × stride slots (inline windows bypass the
+	// outboxes entirely and keep drain at zero work).
+	out   [][]event
+	dirty []int
+	// windowEnd and the batch fields mirror the shard's current window so
+	// SendAt can check the lookahead guarantee and bin cross-shard sends
+	// without touching shared engine state.
+	windowEnd Time
+	batchW    Time
+	batchL    Time
+	batchEnd  Time
+	batchK    int
 }
 
-// NewSharded returns an engine with the given number of shards (clamped to at
-// least 1). Call SetTopology before scheduling node events.
+// NewSharded returns an engine with the given number of shards (clamped to
+// at least 1). Call SetTopology before scheduling node events.
 func NewSharded(shards int) *ShardedEngine {
 	if shards < 1 {
 		shards = 1
 	}
-	se := &ShardedEngine{}
+	se := &ShardedEngine{
+		windowBatch: defaultWindowBatch,
+		parallel:    runtime.GOMAXPROCS(0) > 1,
+	}
+	se.stride = se.windowBatch + 1
 	for i := 0; i < shards; i++ {
 		se.shards = append(se.shards, &seShard{
 			id:  int32(i),
-			out: make([][]event, shards),
+			out: make([][]event, shards*se.stride),
 		})
 	}
+	se.bar.n = shards
 	se.lookahead = infTime
 	return se
 }
@@ -106,6 +170,46 @@ func (se *ShardedEngine) Lookahead() Time {
 	}
 	return se.lookahead
 }
+
+// WindowBatch returns the maximum number of consecutive windows one
+// fork/join may run.
+func (se *ShardedEngine) WindowBatch() int { return se.windowBatch }
+
+// SetWindowBatch bounds how many consecutive conservative windows run per
+// fork/join (clamped to at least 1, which disables batching). Results are
+// identical at every setting; only synchronization frequency changes. Call
+// it outside Run, or from a global event.
+func (se *ShardedEngine) SetWindowBatch(k int) {
+	if se.inWindow {
+		panic("sim: SetWindowBatch during a shard window")
+	}
+	if k < 1 {
+		k = 1
+	}
+	se.drain() // outbox slot meaning changes with the stride
+	se.windowBatch = k
+	se.stride = k + 1
+	for _, s := range se.shards {
+		s.out = make([][]event, len(se.shards)*se.stride)
+	}
+}
+
+// SetParallel selects between worker-goroutine window execution and inline
+// sequential execution on the coordinator. The default is parallel exactly
+// when GOMAXPROCS > 1; results are identical either way (the choice is pure
+// scheduling). Call it outside Run.
+func (se *ShardedEngine) SetParallel(on bool) {
+	if se.inWindow {
+		panic("sim: SetParallel during a shard window")
+	}
+	se.parallel = on
+}
+
+// Parallel reports whether windows execute on worker goroutines (true) or
+// inline on the coordinator (false). Transports use it to decide whether
+// per-shard state needs goroutine isolation: inline execution is a single
+// goroutine, so sharing one domain is safe and cheaper.
+func (se *ShardedEngine) Parallel() bool { return se.parallel }
 
 // ShardOf returns the shard owning a node.
 func (se *ShardedEngine) ShardOf(node int32) int { return int(se.part[node]) }
@@ -226,18 +330,40 @@ func (se *ShardedEngine) scheduleGlobal(t Time, fn func(), daemon bool) {
 // SendAt schedules fn at absolute time t on the shard owning node `to`, with
 // creator `from`: the node whose execution performs the scheduling. During a
 // window, a cross-shard send must land at or beyond the window's end — the
-// conservative guarantee the lookahead bound exists to provide.
+// conservative guarantee the lookahead bound exists to provide. Within a
+// window batch, cross-shard sends are binned by the window their arrival
+// falls in; arrivals beyond the batch land in the tail slot, drained by the
+// coordinator at the join.
 func (se *ShardedEngine) SendAt(from, to int32, t Time, fn func()) {
 	sf := se.shards[se.part[from]]
 	sf.ctr[from]++
 	ev := event{at: t, src: from, owner: to, seq: sf.ctr[from], fn: fn}
 	di := se.part[to]
 	if se.inWindow && di != sf.id {
-		if t < se.windowEnd {
-			panic(fmt.Sprintf("sim: cross-shard send at %v inside window ending %v (lookahead %v violated)", t, se.windowEnd, se.lookahead))
+		if t < sf.windowEnd {
+			panic(fmt.Sprintf("sim: cross-shard send at %v inside window ending %v (lookahead %v violated)", t, sf.windowEnd, se.lookahead))
 		}
-		sf.out[di] = append(sf.out[di], ev)
-		return
+		if !se.inlineWindow {
+			slot := se.windowBatch // tail
+			if t < sf.batchEnd {
+				// The lookahead guarantee puts t at least one full window past
+				// the sending window, so the bin is always a later in-batch
+				// window.
+				if j := int((t - sf.batchW) / sf.batchL); j < sf.batchK {
+					slot = j
+				}
+			}
+			idx := int(di)*se.stride + slot
+			if len(sf.out[idx]) == 0 {
+				sf.dirty = append(sf.dirty, idx)
+			}
+			sf.out[idx] = append(sf.out[idx], ev)
+			return
+		}
+		// Inline execution: no other goroutine touches the destination heap,
+		// and t ≥ this window's end means the event cannot belong to any
+		// window currently underway, so the direct push preserves the exact
+		// execution order the outbox route would produce.
 	}
 	d := se.shards[di]
 	if t < d.now {
@@ -260,7 +386,7 @@ func (ls linkSched) Now() Time           { return ls.se.NowAt(ls.from) }
 func (ls linkSched) At(t Time, f func()) { ls.se.SendAt(ls.from, ls.to, t, f) }
 
 // Stop makes the innermost Run/RunUntil return at the next event boundary
-// (shards finish their current window).
+// (shards finish their current window batch).
 func (se *ShardedEngine) Stop() { se.stopped.Store(true) }
 
 // Run executes events until no regular events remain anywhere — shard
@@ -280,7 +406,7 @@ func (se *ShardedEngine) Run() Time {
 			se.execGlobal()
 			continue
 		}
-		se.runWindow(tL, tG, infTime)
+		se.runWindows(tL, tG, infTime)
 	}
 	se.syncNow()
 	return se.lastBusyAll()
@@ -308,7 +434,7 @@ func (se *ShardedEngine) RunUntil(t Time) {
 		if hard < infTime {
 			hard++ // the window end is exclusive; events at exactly t must run
 		}
-		se.runWindow(tL, tG, hard)
+		se.runWindows(tL, tG, hard)
 	}
 	se.syncNow()
 	if se.now < t {
@@ -321,22 +447,31 @@ func (se *ShardedEngine) RunUntil(t Time) {
 	}
 }
 
-// drain moves outbox events into their destination shards' heaps. Insertion
-// order is irrelevant: keys are unique, and heaps pop the exact minimum.
+// drain moves outbox events into their destination shards' heaps — the
+// coordinator-side ingest, covering tail bins (and, after a Stop aborted a
+// batch, any bins its barriers never reached). Only the slots a shard
+// actually wrote are visited (in-batch ingestion may have emptied some of
+// them already — the length check skips those). Insertion order is
+// irrelevant: keys are unique, and heaps pop the exact minimum.
 func (se *ShardedEngine) drain() {
 	for _, s := range se.shards {
-		for di, box := range s.out {
+		if len(s.dirty) == 0 {
+			continue
+		}
+		for _, idx := range s.dirty {
+			box := s.out[idx]
 			if len(box) == 0 {
 				continue
 			}
-			d := se.shards[di]
+			d := se.shards[idx/se.stride]
 			for i := range box {
 				d.q.push(box[i])
 				d.regular++
 				box[i] = event{} // release the closure reference
 			}
-			s.out[di] = box[:0]
+			s.out[idx] = box[:0]
 		}
+		s.dirty = s.dirty[:0]
 	}
 }
 
@@ -384,28 +519,51 @@ func (se *ShardedEngine) execGlobal() {
 	ev.fn()
 }
 
-// runWindow executes one conservative window starting at W: every shard runs
-// its local events in [W, end) in parallel, where end = min(W+lookahead,
-// first global event, hard).
-func (se *ShardedEngine) runWindow(W, tG, hard Time) {
-	end := W + se.lookahead
-	if end < W { // overflow
+// runWindows executes one fork/join starting at W: up to windowBatch
+// consecutive conservative windows, bounded by the first global event (tG)
+// and the hard horizon. The batch size K is exactly the number of windows
+// that fit — barrier events never fall inside a batch.
+func (se *ShardedEngine) runWindows(W, tG, hard Time) {
+	maxEnd := tG
+	if hard < maxEnd {
+		maxEnd = hard
+	}
+	L := se.lookahead
+	end := W + L
+	if end < W { // overflow: unbounded window
 		end = infTime
 	}
-	if tG < end {
-		end = tG
+	K := 1
+	if end >= maxEnd {
+		end = maxEnd
+	} else if se.windowBatch > 1 {
+		K = se.windowBatch
+		if maxEnd != infTime {
+			// end < maxEnd implies L < maxEnd-W, so the ceiling division
+			// cannot overflow for any timestamp a real event carries.
+			if need := (maxEnd - W + L - 1) / L; Time(K) > need {
+				K = int(need)
+			}
+		}
+		last := W + Time(K)*L
+		if last < W || last > maxEnd {
+			last = maxEnd
+		}
+		end = last
 	}
-	if hard < end {
-		end = hard
+
+	if K > 1 {
+		se.runBatch(seBatch{W: W, L: L, end: end, K: K})
+		return
 	}
-	se.windowEnd = end
-	var busy []*seShard
+
+	se.busy = se.busy[:0]
 	for _, s := range se.shards {
 		if s.q.len() > 0 && s.q.minTime() < end {
-			busy = append(busy, s)
+			se.busy = append(se.busy, s)
 		}
 	}
-	if len(busy) == 0 {
+	if len(se.busy) == 0 {
 		return
 	}
 	// inWindow is set even when a single shard runs inline on the
@@ -413,18 +571,104 @@ func (se *ShardedEngine) runWindow(W, tG, hard Time) {
 	// must fire identically regardless of how many shards happen to be busy,
 	// or a violation would corrupt determinism only at some shard counts.
 	se.inWindow = true
-	if len(busy) == 1 {
-		busy[0].run(se, end)
-	} else {
-		se.ensureWorkers()
-		for _, s := range busy {
-			se.wake[s.id] <- end
+	if len(se.busy) == 1 || !se.parallel {
+		se.inlineWindow = true
+		for _, s := range se.busy {
+			s.runPlan(se, seBatch{W: W, L: L, end: end, K: 1})
 		}
-		for range busy {
+		se.inlineWindow = false
+	} else {
+		plan := seBatch{W: W, L: L, end: end, K: 1}
+		se.ensureWorkers()
+		for _, s := range se.busy {
+			se.wake[s.id] <- plan
+		}
+		for range se.busy {
 			<-se.done
 		}
 	}
 	se.inWindow = false
+}
+
+// runBatch executes K consecutive windows in one fork/join. Every shard
+// participates — an idle shard can become busy from a mid-batch bin — and
+// shards synchronize on the engine barrier between windows, each ingesting
+// its own next-window bin. Inline mode runs the same schedule sequentially
+// on the coordinator, with the ingest between windows and no barriers.
+func (se *ShardedEngine) runBatch(plan seBatch) {
+	se.inWindow = true
+	if !se.parallel {
+		// Inline sequential batch: cross-shard sends push directly into
+		// destination heaps (see SendAt), so there is nothing to ingest
+		// between windows — the loop is just each shard's events per window.
+		se.inlineWindow = true
+		for i := 0; i < plan.K; i++ {
+			endI := plan.end
+			if i+1 < plan.K {
+				endI = plan.W + Time(i+1)*plan.L
+			}
+			for _, s := range se.shards {
+				s.begin(plan, endI)
+				s.run(se, endI)
+			}
+		}
+		se.inlineWindow = false
+	} else {
+		se.ensureWorkers()
+		for _, s := range se.shards {
+			se.wake[s.id] <- plan
+		}
+		for range se.shards {
+			<-se.done
+		}
+	}
+	se.inWindow = false
+}
+
+// runPlan executes one shard's side of a fork/join: K windows with a
+// barrier and a bin ingest between consecutive ones.
+func (s *seShard) runPlan(se *ShardedEngine, plan seBatch) {
+	for i := 0; i < plan.K; i++ {
+		endI := plan.end
+		if i+1 < plan.K {
+			endI = plan.W + Time(i+1)*plan.L
+		}
+		s.begin(plan, endI)
+		s.run(se, endI)
+		if i+1 < plan.K {
+			// The barrier orders every bin write of window ≤ i before the
+			// reads below; producers ahead in window i+1 only touch later
+			// bins (the lookahead keeps arrivals a full window out).
+			se.bar.await()
+			s.ingest(se, i+1)
+		}
+	}
+}
+
+// begin installs the shard's current window bounds for SendAt's lookahead
+// check and bin selection. It runs on the shard's executing goroutine, so
+// SendAt (same goroutine) always sees fresh values.
+func (s *seShard) begin(plan seBatch, endI Time) {
+	s.windowEnd = endI
+	s.batchW, s.batchL, s.batchEnd, s.batchK = plan.W, plan.L, plan.end, plan.K
+}
+
+// ingest moves every shard's bin for window j of the current batch into this
+// shard's heap.
+func (s *seShard) ingest(se *ShardedEngine, j int) {
+	idx := int(s.id)*se.stride + j
+	for _, src := range se.shards {
+		box := src.out[idx]
+		if len(box) == 0 {
+			continue
+		}
+		for k := range box {
+			s.q.push(box[k])
+			s.regular++
+			box[k] = event{}
+		}
+		src.out[idx] = box[:0]
+	}
 }
 
 // run executes the shard's events strictly before end, in key order.
@@ -450,14 +694,14 @@ func (se *ShardedEngine) ensureWorkers() {
 		return
 	}
 	se.workers = true
-	se.wake = make([]chan Time, len(se.shards))
+	se.wake = make([]chan seBatch, len(se.shards))
 	se.done = make(chan struct{}, len(se.shards))
 	for _, s := range se.shards {
-		ch := make(chan Time)
+		ch := make(chan seBatch)
 		se.wake[s.id] = ch
-		go func(s *seShard, ch chan Time) {
-			for end := range ch {
-				s.run(se, end)
+		go func(s *seShard, ch chan seBatch) {
+			for plan := range ch {
+				s.runPlan(se, plan)
 				se.done <- struct{}{}
 			}
 		}(s, ch)
@@ -493,4 +737,35 @@ func (se *ShardedEngine) lastBusyAll() Time {
 		}
 	}
 	return t
+}
+
+// seBarrier is a reusable phase barrier for the in-batch window boundaries:
+// await blocks until all n shard workers have arrived, then releases them
+// together. One barrier crossing replaces a full coordinator fork/join.
+type seBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	phase   uint64
+}
+
+func (b *seBarrier) await() {
+	b.mu.Lock()
+	if b.cond == nil {
+		b.cond = sync.NewCond(&b.mu)
+	}
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	phase := b.phase
+	for b.phase == phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"strconv"
 	"testing"
 	"time"
 )
@@ -19,8 +21,18 @@ func ringTopology(se *ShardedEngine, n, k int, lookahead Time) {
 // TestShardedBarrierStress ping-pongs messages around a cross-shard ring at
 // exactly the lookahead bound: every window moves every chain by one hop, so
 // the coordinator and the shard workers hammer the barrier protocol. Run
-// with -race this doubles as the shard-barrier data-race test.
+// with -race this doubles as the shard-barrier data-race test. Parallel
+// execution is forced so the worker/barrier path is exercised even on a
+// single-CPU machine, and the batch settings sweep the in-fork barrier.
 func TestShardedBarrierStress(t *testing.T) {
+	for _, batch := range []int{1, 4, 16} {
+		t.Run("batch="+strconv.Itoa(batch), func(t *testing.T) {
+			testShardedBarrierStress(t, batch)
+		})
+	}
+}
+
+func testShardedBarrierStress(t *testing.T, batch int) {
 	const (
 		nodes   = 32
 		shards  = 8
@@ -29,6 +41,8 @@ func TestShardedBarrierStress(t *testing.T) {
 		latency = time.Microsecond
 	)
 	se := NewSharded(shards)
+	se.SetParallel(true)
+	se.SetWindowBatch(batch)
 	ringTopology(se, nodes, shards, latency)
 	var delivered [chains]int
 	var hop func(chain, node, remaining int)
@@ -165,5 +179,131 @@ func TestShardedStop(t *testing.T) {
 	se.Run() // resumes
 	if n != 100 {
 		t.Fatalf("resume executed %d events total, want 100", n)
+	}
+}
+
+// mix is a stateless hash driving the randomized workloads below: every
+// configuration derives the identical workload from (node, remaining), with
+// no shared mutable RNG that concurrent shard goroutines would race on.
+func mix(a, b int) uint64 {
+	x := uint64(a)*0x9E3779B97F4A7C15 + uint64(b)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// TestShardedBatchDeterminism pins the batching invariant at the engine
+// level: a randomized cross-shard workload leaves every node with exactly
+// the same execution trace — its sequence of (virtual time) visits — for
+// every combination of shard count, window batch and execution mode (inline
+// sequential vs worker goroutines).
+func TestShardedBatchDeterminism(t *testing.T) {
+	const nodes = 24
+	run := func(shards, batch int, parallel bool) [][]Time {
+		se := NewSharded(shards)
+		se.SetWindowBatch(batch)
+		se.SetParallel(parallel)
+		ringTopology(se, nodes, shards, time.Microsecond)
+		// Per-node traces: a node's events always execute on its owning
+		// shard, sequentially, so appends to a node's slice never race.
+		logs := make([][]Time, nodes)
+		var hop func(node, remaining int)
+		hop = func(node, remaining int) {
+			logs[node] = append(logs[node], se.NowAt(int32(node)))
+			if remaining == 0 {
+				return
+			}
+			to := (node + 1 + int(mix(node, remaining)%uint64(nodes-1))) % nodes
+			d := time.Duration(1+mix(remaining, node)%9) * time.Microsecond
+			se.SendAt(int32(node), int32(to), se.NowAt(int32(node))+d, func() {
+				hop(to, remaining-1)
+			})
+		}
+		for c := 0; c < 16; c++ {
+			start := c % nodes
+			se.At(time.Duration(c)*3*time.Microsecond, func() { hop(start, 60) })
+		}
+		// A couple of later global events interrupt batches mid-stream.
+		se.At(100*time.Microsecond, func() {})
+		se.At(333*time.Microsecond, func() {})
+		se.Run()
+		return logs
+	}
+	base := run(1, 1, false)
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, batch := range []int{1, 2, 16} {
+			for _, parallel := range []bool{false, true} {
+				got := run(shards, batch, parallel)
+				for n := range base {
+					if len(got[n]) != len(base[n]) {
+						t.Fatalf("shards=%d batch=%d parallel=%v: node %d ran %d events, want %d",
+							shards, batch, parallel, n, len(got[n]), len(base[n]))
+					}
+					for i := range base[n] {
+						if got[n][i] != base[n][i] {
+							t.Fatalf("shards=%d batch=%d parallel=%v: node %d event %d at %v, want %v",
+								shards, batch, parallel, n, i, got[n][i], base[n][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSerialMatchesShardedOrder: the serial Engine driving a creator-keyed
+// workload (SendFrom) executes in exactly the sharded engine's global order.
+// The sharded run uses inline sequential mode, whose single goroutine makes
+// the global execution order observable.
+func TestSerialMatchesShardedOrder(t *testing.T) {
+	const nodes = 12
+	workload := func(now func(int) Time, send func(from, to int, t Time, fn func()), at func(Time, func()), log *[]string) {
+		record := func(node int, t Time) {
+			*log = append(*log, fmt.Sprintf("%d@%v", node, t))
+		}
+		var hop func(node, remaining int)
+		hop = func(node, remaining int) {
+			record(node, now(node))
+			if remaining == 0 {
+				return
+			}
+			to := (node + 1 + int(mix(node, remaining)%uint64(nodes-1))) % nodes
+			send(node, to, now(node)+time.Microsecond, func() { hop(to, remaining-1) })
+		}
+		for c := 0; c < 8; c++ {
+			start := c % nodes
+			// Same-instant starts force tie-breaks through the creator keys.
+			at(time.Duration(c%3)*time.Microsecond, func() { hop(start, 40) })
+		}
+	}
+
+	var serialLog []string
+	eng := New()
+	workload(func(int) Time { return eng.Now() },
+		func(from, to int, tm Time, fn func()) { eng.SendFrom(int32(from), tm, fn) },
+		eng.At, &serialLog)
+	eng.Run()
+
+	// One shard is the sharded-serial reference: its single heap executes in
+	// global key order, which must be exactly the serial engine's order.
+	// (Multi-shard runs preserve per-node traces, not the global interleaving
+	// — see TestShardedBatchDeterminism.)
+	var shardedLog []string
+	se := NewSharded(1)
+	se.SetParallel(false)
+	ringTopology(se, nodes, 1, time.Microsecond)
+	workload(func(n int) Time { return se.NowAt(int32(n)) },
+		func(from, to int, tm Time, fn func()) { se.SendAt(int32(from), int32(to), tm, fn) },
+		se.At, &shardedLog)
+	se.Run()
+	if len(shardedLog) != len(serialLog) {
+		t.Fatalf("%d events, want %d", len(shardedLog), len(serialLog))
+	}
+	for i := range serialLog {
+		if shardedLog[i] != serialLog[i] {
+			t.Fatalf("event %d = %s, serial %s", i, shardedLog[i], serialLog[i])
+		}
 	}
 }

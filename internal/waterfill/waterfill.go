@@ -64,97 +64,179 @@ func (in Instance) demandLinks() Instance {
 }
 
 // Solve runs Centralized B-Neck (Figure 1) and returns the max-min fair rate
-// of every session.
+// of every session. It is shorthand for a one-shot Solver; callers solving
+// many instances (the per-epoch oracle validation of the dynamic-topology
+// experiments) should keep a Solver and reuse its scratch buffers.
 func Solve(in Instance) ([]rate.Rate, error) {
+	var sv Solver
+	return sv.Solve(in)
+}
+
+// Solver computes max-min fair rates with reusable scratch buffers: all the
+// per-link membership lists, counters and the virtual demand links live in
+// flat arrays that survive between calls, so solving one instance per
+// reconfiguration epoch allocates almost nothing after the first. The
+// zero value is ready to use. A Solver is not safe for concurrent use.
+type Solver struct {
+	capacity []rate.Rate // real + virtual (demand) link capacities
+	sumFe    []rate.Rate // per-link sum of fixed (assigned) rates
+	deg      []int32     // scratch: per-link member count during build
+	arena    []int32     // backing storage of all membership lists
+	members  [][]int32   // per-link unassigned sessions, slices of arena
+	live     []int32     // links still carrying unassigned sessions
+	nextLive []int32
+	assigned []bool
+}
+
+// Solve computes the max-min fair rate of every session. The returned slice
+// is freshly allocated; everything else is drawn from the Solver's scratch.
+func (sv *Solver) Solve(in Instance) ([]rate.Rate, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	ex := in.demandLinks()
-	nL, nS := len(ex.Capacity), len(ex.Sessions)
-
-	// Re / Fe as per-link session lists; sumFe incrementally.
-	re := make([]map[int]struct{}, nL)
-	sumFe := make([]rate.Rate, nL)
-	for e := 0; e < nL; e++ {
-		re[e] = make(map[int]struct{})
-	}
-	for i, s := range ex.Sessions {
-		for _, e := range s.Path {
-			re[e][i] = struct{}{}
-		}
-	}
-	inL := make([]bool, nL)
-	var live []int
-	for e := 0; e < nL; e++ {
-		if len(re[e]) > 0 {
-			inL[e] = true
-			live = append(live, e)
-		}
-	}
-
+	nS := len(in.Sessions)
 	lambda := make([]rate.Rate, nS)
-	assigned := make([]bool, nS)
+	if nS == 0 {
+		return lambda, nil
+	}
 
+	// Expand bounded demands into virtual private links (the paper's
+	// D_s = min(C_e, r_s) trick) without materializing expanded sessions:
+	// a virtual link's membership is exactly its one session.
+	sv.capacity = append(sv.capacity[:0], in.Capacity...)
+	total := 0
+	for _, s := range in.Sessions {
+		total += len(s.Path)
+		if !s.Demand.IsInf() {
+			sv.capacity = append(sv.capacity, s.Demand)
+			total++
+		}
+	}
+	nL := len(sv.capacity)
+
+	sv.sumFe = grow(sv.sumFe, nL)
+	sv.deg = grow(sv.deg, nL)
+	sv.assigned = grow(sv.assigned, nS)
+	sv.members = grow(sv.members, nL)
+	if cap(sv.arena) < total {
+		sv.arena = make([]int32, total)
+	}
+	arena := sv.arena[:total]
+
+	// Two passes: count degrees, then carve the arena into per-link lists.
+	for e := 0; e < nL; e++ {
+		sv.deg[e] = 0
+	}
+	virtDeg := len(in.Capacity)
+	for _, s := range in.Sessions {
+		for _, e := range s.Path {
+			sv.deg[e]++
+		}
+		if !s.Demand.IsInf() {
+			sv.deg[virtDeg] = 1
+			virtDeg++
+		}
+	}
+	off := 0
+	for e := 0; e < nL; e++ {
+		sv.members[e] = arena[off : off : off+int(sv.deg[e])]
+		off += int(sv.deg[e])
+	}
+	virt := len(in.Capacity)
+	for i, s := range in.Sessions {
+		for _, e := range s.Path {
+			// Membership is a set, like the map-based R_e it replaces: a
+			// path crossing the same link twice still counts once. Sessions
+			// are added in index order, so a duplicate is always the list's
+			// current last element.
+			if n := len(sv.members[e]); n > 0 && sv.members[e][n-1] == int32(i) {
+				continue
+			}
+			sv.members[e] = append(sv.members[e], int32(i))
+		}
+		if !s.Demand.IsInf() {
+			sv.members[virt] = append(sv.members[virt], int32(i))
+			virt++
+		}
+	}
+
+	sv.live = sv.live[:0]
+	for e := 0; e < nL; e++ {
+		sv.sumFe[e] = rate.Zero
+		if len(sv.members[e]) > 0 {
+			sv.live = append(sv.live, int32(e))
+		}
+	}
+	for i := range sv.assigned {
+		sv.assigned[i] = false
+	}
+
+	live := sv.live
 	for len(live) > 0 {
 		// B ← min over live links of Be = (Ce − ΣFe)/|Re|.
 		var b rate.Rate
-		first := true
-		for _, e := range live {
-			be := ex.Capacity[e].Sub(sumFe[e]).DivInt(len(re[e]))
-			if first || be.Less(b) {
+		for i, e := range live {
+			be := sv.capacity[e].Sub(sv.sumFe[e]).DivInt(len(sv.members[e]))
+			if i == 0 || be.Less(b) {
 				b = be
-				first = false
 			}
 		}
-		// L' = argmin links; X = sessions they restrict.
-		x := make(map[int]struct{})
-		var lPrime []int
+		// L' = argmin links; their members X are restricted at rate B.
 		for _, e := range live {
-			be := ex.Capacity[e].Sub(sumFe[e]).DivInt(len(re[e]))
+			be := sv.capacity[e].Sub(sv.sumFe[e]).DivInt(len(sv.members[e]))
 			if be.Equal(b) {
-				lPrime = append(lPrime, e)
-				for s := range re[e] {
-					x[s] = struct{}{}
+				for _, s := range sv.members[e] {
+					if !sv.assigned[s] {
+						lambda[s] = b
+						sv.assigned[s] = true
+					}
 				}
+				sv.members[e] = sv.members[e][:0] // drop L' from the live set
 			}
 		}
-		for s := range x {
-			lambda[s] = b
-			assigned[s] = true
-		}
-		// Move X members from Re to Fe on surviving links; drop L' and
-		// emptied links from L.
-		isLPrime := make(map[int]bool, len(lPrime))
-		for _, e := range lPrime {
-			isLPrime[e] = true
-			inL[e] = false
-		}
-		var nextLive []int
+		// Surviving links move this round's X members from Re to Fe: compact
+		// each list in place, crediting every removal at its (just assigned)
+		// rate B. Links left without members leave the live set.
+		sv.nextLive = sv.nextLive[:0]
 		for _, e := range live {
-			if isLPrime[e] {
+			m := sv.members[e]
+			if len(m) == 0 {
 				continue
 			}
-			for s := range x {
-				if _, ok := re[e][s]; ok {
-					delete(re[e], s)
-					sumFe[e] = sumFe[e].Add(b)
+			kept := m[:0]
+			for _, s := range m {
+				if sv.assigned[s] {
+					sv.sumFe[e] = sv.sumFe[e].Add(b)
+				} else {
+					kept = append(kept, s)
 				}
 			}
-			if len(re[e]) > 0 {
-				nextLive = append(nextLive, e)
-			} else {
-				inL[e] = false
+			sv.members[e] = kept
+			if len(kept) > 0 {
+				sv.nextLive = append(sv.nextLive, e)
 			}
 		}
-		live = nextLive
+		live, sv.nextLive = sv.nextLive, live
 	}
+	// live and sv.nextLive hold the two distinct scratch arrays after the
+	// final swap; re-home the one the loop variable ended up with.
+	sv.live = live
 
-	for i := range ex.Sessions {
-		if !assigned[i] {
+	for i := 0; i < nS; i++ {
+		if !sv.assigned[i] {
 			return nil, fmt.Errorf("waterfill: session %d left unassigned", i)
 		}
 	}
 	return lambda, nil
+}
+
+// grow returns s resized to n elements, reusing its backing array when big
+// enough (contents are unspecified; callers overwrite).
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // WaterFilling computes the same rates with the classic progressive-filling

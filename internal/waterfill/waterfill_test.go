@@ -282,3 +282,72 @@ func TestPropVerifyRejectsPerturbations(t *testing.T) {
 		}
 	}
 }
+
+// TestSolveDuplicateLinkPath pins the set semantics of link membership: a
+// path crossing the same link twice counts once, exactly like the map-based
+// R_e the Solver's flat lists replaced, and agrees with WaterFilling.
+func TestSolveDuplicateLinkPath(t *testing.T) {
+	in := Instance{
+		Capacity: []rate.Rate{rate.Mbps(100), rate.Mbps(80)},
+		Sessions: []Session{
+			{Demand: rate.Inf, Path: []int{0, 1, 0}},
+			{Demand: rate.Inf, Path: []int{1}},
+		},
+	}
+	got, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := WaterFilling(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("session %d: Solve %v, WaterFilling %v", i, got[i], want[i])
+		}
+	}
+	if !got[0].Equal(rate.Mbps(40)) || !got[1].Equal(rate.Mbps(40)) {
+		t.Fatalf("rates %v, want both 40mbps (link 1 shared fairly)", got)
+	}
+}
+
+// TestSolverReuseStable: a reused Solver returns identical results across
+// calls with different instance shapes (scratch from a bigger instance must
+// not leak into a smaller one).
+func TestSolverReuseStable(t *testing.T) {
+	var sv Solver
+	big := Instance{
+		Capacity: []rate.Rate{rate.Mbps(100), rate.Mbps(50), rate.Mbps(30)},
+		Sessions: []Session{
+			{Demand: rate.Inf, Path: []int{0, 1}},
+			{Demand: rate.Mbps(5), Path: []int{1, 2}},
+			{Demand: rate.Inf, Path: []int{2}},
+			{Demand: rate.Inf, Path: []int{0}},
+		},
+	}
+	small := Instance{
+		Capacity: []rate.Rate{rate.Mbps(90)},
+		Sessions: []Session{
+			{Demand: rate.Inf, Path: []int{0}},
+			{Demand: rate.Mbps(10), Path: []int{0}},
+		},
+	}
+	for round := 0; round < 3; round++ {
+		for _, in := range []Instance{big, small} {
+			got, err := sv.Solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := WaterFilling(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("round %d session %d: Solve %v, WaterFilling %v", round, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

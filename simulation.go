@@ -48,6 +48,9 @@ func newSimulation(g *graph.Graph, topo *topology.Network, opts ...Option) (*Sim
 	}
 	if o.shards >= 1 {
 		out.she = sim.NewSharded(o.shards)
+		if o.windowBatch > 0 {
+			out.she.SetWindowBatch(o.windowBatch)
+		}
 		out.net = network.NewSharded(g, out.she, cfg)
 	} else {
 		out.eng = sim.New()
