@@ -11,7 +11,7 @@ GO ?= go
 # accumulate instead of overwriting the previous PR's committed artifact.
 BENCH_OUT ?= BENCH_PR4.json
 
-.PHONY: check vet build test test-full bench bench-full bench-json fmt
+.PHONY: check vet build test test-full bench bench-full bench-json fmt docs-check
 
 check: vet build test bench
 
@@ -50,3 +50,16 @@ bench-json:
 
 fmt:
 	gofmt -w .
+
+# The documentation gate: formatting, vet, a godoc smoke pass over the
+# public API and the scenario/policy packages, and a dead-link check over
+# README.md, DESIGN.md and docs/ (cmd/doccheck). CI runs it on every push.
+docs-check:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+	@$(GO) doc . > /dev/null
+	@$(GO) doc ./internal/scenario > /dev/null
+	@$(GO) doc ./internal/policy > /dev/null
+	@$(GO) doc bneck.Simulation > /dev/null
+	$(GO) run ./cmd/doccheck

@@ -7,6 +7,8 @@
 // arrivals, departures or demand changes, no control traffic flows at all.
 // Session dynamics reactivate exactly the affected parts of the network.
 //
+// # Building a network
+//
 // The package offers two ways to build a network:
 //
 //   - NewNetwork for hand-built topologies (routers, hosts, links), and
@@ -15,7 +17,8 @@
 // Both return a Simulation that runs the full distributed protocol over a
 // deterministic discrete event simulator with FIFO links, transmission
 // serialization, and propagation delays. Every converged state can be
-// cross-checked against a centralized water-filling oracle with Validate.
+// cross-checked against a centralized water-filling oracle with
+// Simulation.Validate and Simulation.Oracle.
 //
 // A minimal example:
 //
@@ -31,8 +34,34 @@
 //	report := sim.RunToQuiescence()
 //	fmt.Println(report.Rates[s.ID()]) // 40000000 (the 40 Mbps bottleneck)
 //
-// See examples/ for runnable programs and internal/exp for the harness that
-// regenerates every figure of the paper's evaluation.
+// # Topology dynamics and path policy
+//
+// Links can fail, be restored and change capacity at runtime: Link handles
+// (from NetworkBuilder.Link, Simulation.RouterLinks or
+// Simulation.LinkBetween) schedule the events, and affected sessions
+// migrate through the protocol's own Leave → reroute → Join under fresh
+// session IDs. Sessions whose hosts become disconnected are stranded and
+// rejoin automatically on restore; Simulation.Migrations,
+// Simulation.StrandedSessions and Simulation.ReconfigPackets expose the
+// bookkeeping.
+//
+// Paths are pinned at join time by default, matching the paper. The
+// WithPathPolicy(ReoptimizeOnRestore) option migrates sessions back onto
+// shorter paths once restores (or large capacity increases) re-enable them
+// — see PathPolicy and the ExamplePathPolicy example;
+// Simulation.Reoptimizations counts the moves.
+//
+// # Scaling a run
+//
+// WithShards partitions a single run across CPU cores under conservative
+// lookahead windows, and WithWindowBatch amortizes their synchronization;
+// both are pure performance levers — results are byte-identical at every
+// setting, including against the classic serial engine.
+//
+// See examples/ for runnable programs, docs/SCENARIOS.md for the
+// declarative scenario-script DSL that drives whole failure timelines, and
+// internal/exp for the harness that regenerates every figure of the paper's
+// evaluation.
 package bneck
 
 import (

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bneck/internal/graph"
+	"bneck/internal/policy"
 	"bneck/internal/topology"
 )
 
@@ -138,10 +139,73 @@ type options struct {
 	onRate            func(SessionID, Rate, time.Duration)
 	shards            int
 	windowBatch       int
+	pathPolicy        policy.Config
 }
 
 func defaultOptions() options {
 	return options{controlPacketBits: 512, binSize: 5 * time.Millisecond}
+}
+
+// PathPolicy selects how a Simulation treats session paths after topology
+// events. See WithPathPolicy.
+type PathPolicy int
+
+const (
+	// Pinned is the default and the paper's model: a session's path is
+	// fixed at join time and moves only when a link failure forces a
+	// migration. After a failure → restore cycle, sessions stay on their
+	// detour paths.
+	Pinned PathPolicy = iota
+	// ReoptimizeOnRestore re-runs shortest-path over the active sessions
+	// whenever a link restore (or a capacity increase beyond the
+	// WithReoptimizeCapacityGain threshold) signals that shorter paths may
+	// exist, and migrates any session whose current path exceeds the
+	// configured stretch/hysteresis margin — through the protocol's own
+	// Leave → reroute → Join, a fresh session ID per move, exactly like a
+	// failure-driven migration.
+	ReoptimizeOnRestore
+)
+
+// WithPathPolicy selects the path re-optimization policy. The default,
+// Pinned, reproduces the paper's pin-at-join behavior exactly. With
+// ReoptimizeOnRestore the simulation migrates sessions back onto shorter
+// paths after restores; tune the hysteresis with WithReoptimizeStretch,
+// WithReoptimizeMinGain and WithReoptimizeCapacityGain. Policy sweeps run
+// as barrier events in session-creation order, so results stay
+// byte-identical at every WithShards and WithWindowBatch setting.
+func WithPathPolicy(p PathPolicy) Option {
+	return func(o *options) {
+		if p == ReoptimizeOnRestore {
+			o.pathPolicy.Kind = policy.ReoptimizeOnRestore
+		} else {
+			o.pathPolicy.Kind = policy.Pinned
+		}
+	}
+}
+
+// WithReoptimizeStretch sets the multiplicative hysteresis of
+// ReoptimizeOnRestore: a session migrates only when its current path is
+// longer than stretch × its best path. Values ≤ 1 (the default) migrate on
+// any strictly shorter path.
+func WithReoptimizeStretch(stretch float64) Option {
+	return func(o *options) { o.pathPolicy.Stretch = stretch }
+}
+
+// WithReoptimizeMinGain sets the additive hysteresis of
+// ReoptimizeOnRestore: a session migrates only when the move saves at least
+// hops links. Values ≤ 1 (the default) migrate on any strict improvement.
+func WithReoptimizeMinGain(hops int) Option {
+	return func(o *options) { o.pathPolicy.MinGain = hops }
+}
+
+// WithReoptimizeCapacityGain sets the capacity-increase trigger of
+// ReoptimizeOnRestore: raising a link's capacity to at least gain × its old
+// value runs a re-optimization sweep in which sessions whose best path
+// crosses the upgraded link migrate on any strict improvement, hysteresis
+// bypassed (the upgrade is an operator signal that traffic belongs back).
+// Values ≤ 0 keep the default of 2 (a doubling).
+func WithReoptimizeCapacityGain(gain float64) Option {
+	return func(o *options) { o.pathPolicy.CapacityGain = gain }
 }
 
 // WithControlPacketBits sets the control packet size used for per-link

@@ -6,8 +6,9 @@
 // Usage:
 //
 //	bneck [-size small|medium|big] [-scenario lan|wan] [-sessions N]
-//	      [-demand-cap P] [-seed S] [-shards N] [-validate] [-v] [-live]
-//	bneck -run-scenario <script> [-live]
+//	      [-demand-cap P] [-seed S] [-shards N] [-window-batch K]
+//	      [-path-policy pinned|reoptimize] [-validate] [-v] [-live]
+//	bneck -run-scenario <script> [-live] [-path-policy pinned|reoptimize]
 //
 // With -live the protocol runs on the concurrent actor runtime (one
 // goroutine per task, no simulator): quiescence becomes wall-clock
@@ -16,8 +17,14 @@
 // With -run-scenario the command executes a declarative event script — one
 // timeline mixing session churn with link failures, restorations and
 // capacity changes — validating the allocation against the water-filling
-// oracle after every epoch. See internal/scenario for the script grammar and
-// examples/scenarios/ for ready-made scripts.
+// oracle after every epoch. See docs/SCENARIOS.md for the complete script
+// reference and examples/scenarios/ for ready-made scripts.
+//
+// -path-policy selects the path re-optimization policy (pinned, the
+// default, or reoptimize — migrate sessions back onto shorter paths after
+// restores). With -run-scenario, each of -path-policy, -reopt-stretch and
+// -reopt-min-gain overrides just its own field of the script's `policy`
+// directive; unset flags keep the script's settings.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"bneck/internal/graph"
 	"bneck/internal/live"
 	"bneck/internal/network"
+	"bneck/internal/policy"
 	"bneck/internal/rate"
 	"bneck/internal/scenario"
 	"bneck/internal/sim"
@@ -46,22 +54,48 @@ func main() {
 	log.SetPrefix("bneck: ")
 
 	var (
-		sizeName    = flag.String("size", "small", "topology size: small, medium, big")
-		scenName    = flag.String("scenario", "lan", "propagation scenario: lan, wan")
-		sessions    = flag.Int("sessions", 100, "number of sessions to join")
-		demandCap   = flag.Float64("demand-cap", 0.25, "fraction of sessions with a finite demand")
-		seed        = flag.Int64("seed", 1, "deterministic seed")
-		validate    = flag.Bool("validate", true, "cross-check against the centralized oracle")
-		verbose     = flag.Bool("v", false, "print every session's rate")
-		liveMode    = flag.Bool("live", false, "run on the concurrent actor runtime instead of the simulator")
-		shards      = flag.Int("shards", 0, "shards for the simulator run: 0 = classic serial engine, >0 = sharded engine (byte-identical at any count)")
-		windowBatch = flag.Int("window-batch", 0, "conservative windows per sharded fork/join: 0 = engine default, 1 = no batching (byte-identical at any setting)")
-		scenFile    = flag.String("run-scenario", "", "execute a declarative scenario script (see internal/scenario)")
+		sizeName     = flag.String("size", "small", "topology size: small, medium, big")
+		scenName     = flag.String("scenario", "lan", "propagation scenario: lan, wan")
+		sessions     = flag.Int("sessions", 100, "number of sessions to join")
+		demandCap    = flag.Float64("demand-cap", 0.25, "fraction of sessions with a finite demand")
+		seed         = flag.Int64("seed", 1, "deterministic seed")
+		validate     = flag.Bool("validate", true, "cross-check against the centralized oracle")
+		verbose      = flag.Bool("v", false, "print every session's rate")
+		liveMode     = flag.Bool("live", false, "run on the concurrent actor runtime instead of the simulator")
+		shards       = flag.Int("shards", 0, "shards for the simulator run: 0 = classic serial engine, >0 = sharded engine (byte-identical at any count)")
+		windowBatch  = flag.Int("window-batch", 0, "conservative windows per sharded fork/join: 0 = engine default, 1 = no batching (byte-identical at any setting)")
+		scenFile     = flag.String("run-scenario", "", "execute a declarative scenario script (full DSL reference: docs/SCENARIOS.md)")
+		pathPolicy   = flag.String("path-policy", "", "path re-optimization policy: pinned or reoptimize (migrate sessions back onto shorter paths after restores); overrides a scenario script's `policy` directive, keeping the script's hysteresis knobs")
+		reoptStretch = flag.Float64("reopt-stretch", 0, "reoptimize hysteresis: migrate only when the current path exceeds stretch × the best path (0 keeps the script/default setting)")
+		reoptMinGain = flag.Int("reopt-min-gain", 0, "reoptimize hysteresis: migrate only when at least this many hops are saved (0 keeps the script/default setting)")
 	)
 	flag.Parse()
 
+	if *pathPolicy != "" {
+		if _, ok := policy.Parse(*pathPolicy); !ok {
+			log.Fatalf("unknown -path-policy %q (pinned, reoptimize)", *pathPolicy)
+		}
+	}
+	// overlayPolicy applies each policy flag that was actually set on top of
+	// base (a scenario script's `policy` directive, or the default pinned
+	// policy) — so `-reopt-stretch 5` alone tightens a script's hysteresis
+	// without touching its kind, and `-path-policy reoptimize` alone keeps
+	// the script's knobs.
+	overlayPolicy := func(base policy.Config) policy.Config {
+		if *pathPolicy != "" {
+			base.Kind, _ = policy.Parse(*pathPolicy)
+		}
+		if *reoptStretch > 0 {
+			base.Stretch = *reoptStretch
+		}
+		if *reoptMinGain > 0 {
+			base.MinGain = *reoptMinGain
+		}
+		return base
+	}
+
 	if *scenFile != "" {
-		runScenario(*scenFile, *liveMode)
+		runScenario(*scenFile, *liveMode, overlayPolicy)
 		return
 	}
 
@@ -80,18 +114,20 @@ func main() {
 	}
 
 	if *liveMode {
-		runLive(topo, size, *sessions, *demandCap, *seed, *validate)
+		runLive(topo, size, *sessions, *demandCap, *seed, *validate, overlayPolicy(policy.Config{}))
 		return
 	}
+	cfg := network.DefaultConfig()
+	cfg.PathPolicy = overlayPolicy(cfg.PathPolicy)
 	var net *network.Network
 	if *shards >= 1 {
 		she := sim.NewSharded(*shards)
 		if *windowBatch > 0 {
 			she.SetWindowBatch(*windowBatch)
 		}
-		net = network.NewSharded(topo.Graph, she, network.DefaultConfig())
+		net = network.NewSharded(topo.Graph, she, cfg)
 	} else {
-		net = network.New(topo.Graph, sim.New(), network.DefaultConfig())
+		net = network.New(topo.Graph, sim.New(), cfg)
 	}
 	ss, err := exp.PlaceSessions(topo, net, *sessions)
 	if err != nil {
@@ -147,7 +183,9 @@ func main() {
 
 // runScenario parses and executes a scenario script, printing the per-epoch
 // re-quiescence table. Every epoch is validated against the oracle.
-func runScenario(path string, liveMode bool) {
+// overlay applies the command-line policy flags on top of the script's
+// `policy` directive.
+func runScenario(path string, liveMode bool, overlay func(policy.Config) policy.Config) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -156,6 +194,7 @@ func runScenario(path string, liveMode bool) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sc.Policy = overlay(sc.Policy)
 	var res *scenario.Result
 	wall := time.Now()
 	if liveMode {
@@ -174,12 +213,13 @@ func runScenario(path string, liveMode bool) {
 
 // runLive executes the scenario on the goroutine/actor runtime: joins fire
 // from concurrent goroutines and quiescence is detected by termination.
-func runLive(topo *topology.Network, size topology.Params, sessions int, demandCap float64, seed int64, validate bool) {
+func runLive(topo *topology.Network, size topology.Params, sessions int, demandCap float64, seed int64, validate bool, pol policy.Config) {
 	hosts := topo.AddHosts(2 * sessions)
 	g := topo.Graph
 	res := graph.NewResolver(g, 256)
 	rt := live.New(g)
 	defer rt.Close()
+	rt.SetPathPolicy(pol)
 
 	rng := rand.New(rand.NewSource(seed + 7))
 	demandFn := trace.MixedDemands(demandCap, 1, 100)

@@ -1,0 +1,106 @@
+// Command doccheck is the repository's documentation gate: it scans the
+// markdown files (README.md, DESIGN.md, docs/) for dead relative links —
+// [text](path) targets that do not exist on disk — and fails with a listing
+// if any are found. External links (http/https/mailto) and pure #anchors
+// are skipped; a relative target's trailing #anchor is stripped before the
+// existence check.
+//
+// It is wired into `make docs-check` (alongside gofmt, go vet and a go doc
+// smoke pass) and the CI workflow, so documentation drift fails the build
+// like any other regression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links. Images ([!...](...)) resolve the
+// same way, so one pattern covers both.
+var linkRE = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: doccheck [file-or-dir ...]\n\nDefaults to README.md, DESIGN.md and docs/.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"README.md", "DESIGN.md", "docs"}
+	}
+
+	var files []string
+	for _, root := range roots {
+		info, err := os.Stat(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(1)
+		}
+		if !info.IsDir() {
+			files = append(files, root)
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	dead := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(1)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if !checkTarget(filepath.Dir(file), target) {
+					fmt.Fprintf(os.Stderr, "doccheck: %s:%d: dead link %q\n", file, i+1, target)
+					dead++
+				}
+			}
+		}
+	}
+	if dead > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d dead link(s)\n", dead)
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d markdown file(s) clean\n", len(files))
+}
+
+// checkTarget reports whether a link target resolves: external schemes and
+// in-page anchors pass untested, relative paths (anchor stripped) must
+// exist on disk relative to the linking file.
+func checkTarget(dir, target string) bool {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"),
+		strings.HasPrefix(target, "#"):
+		return true
+	}
+	if i := strings.IndexByte(target, '#'); i >= 0 {
+		target = target[:i]
+	}
+	if target == "" {
+		return true
+	}
+	_, err := os.Stat(filepath.Join(dir, target))
+	return err == nil
+}

@@ -6,6 +6,9 @@
 //	-exp 3  → Figures 7+8 (error distributions and packets vs BFYZ/CG/RCP)
 //	-exp 4  → topology churn (quiescence across link failures, restores and
 //	          capacity changes — the dynamics dimension the paper left out)
+//	-exp 5  → path re-optimization (pinned vs reoptimize after a
+//	          fail → restore cycle: hops and rate regained vs the extra
+//	          reconfiguration packets)
 //	-exp all → everything
 //
 // Defaults are laptop-scale; use -scale to multiply session counts toward
@@ -38,6 +41,7 @@ import (
 	"time"
 
 	"bneck/internal/exp"
+	"bneck/internal/policy"
 	"bneck/internal/topology"
 )
 
@@ -46,19 +50,22 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		which       = flag.String("exp", "all", "experiment to run: 1, 2, 3, all")
-		scale       = flag.Float64("scale", 1.0, "session-count multiplier toward paper scale")
-		seed        = flag.Int64("seed", 1, "deterministic seed")
-		big         = flag.Bool("big", false, "include the Big (11,000 router) topology in experiment 1")
-		counts      = flag.String("counts", "", "comma-separated session counts for experiment 1 (overrides defaults)")
-		protocols   = flag.String("protocols", "bneck,bfyz", "comma-separated protocols for experiment 3 (bneck,bfyz,cg,rcp)")
-		validate    = flag.Bool("validate", true, "cross-check B-Neck runs against the centralized oracle")
-		quiet       = flag.Bool("q", false, "suppress progress lines")
-		csvDir      = flag.String("csv", "", "also write figure data as CSV files into this directory")
-		workers     = flag.Int("workers", 1, "parallel sweep workers per fan-out level (1 = serial, negative = GOMAXPROCS); output is identical at any setting")
-		shards      = flag.Int("shards", 0, "shards per simulation run: 0 = classic serial engine, 1 = sharded engine serial reference, >1 parallelizes each run across cores; sharded output is identical at any shard count")
-		windowBatch = flag.Int("window-batch", 0, "conservative windows per sharded-engine fork/join: 0 = engine default, 1 = no batching, higher amortizes synchronization on low-delay (LAN) topologies; output is identical at any setting")
-		exp4Paper   = flag.Bool("exp4-paper", false, "run experiment 4 at paper size (Medium+Big topologies, WAN failure sweep); combine with -shards and -workers")
+		which        = flag.String("exp", "all", "experiment to run: 1, 2, 3, 4, 5, all")
+		scale        = flag.Float64("scale", 1.0, "session-count multiplier toward paper scale")
+		seed         = flag.Int64("seed", 1, "deterministic seed")
+		big          = flag.Bool("big", false, "include the Big (11,000 router) topology in experiment 1")
+		counts       = flag.String("counts", "", "comma-separated session counts for experiment 1 (overrides defaults)")
+		protocols    = flag.String("protocols", "bneck,bfyz", "comma-separated protocols for experiment 3 (bneck,bfyz,cg,rcp)")
+		validate     = flag.Bool("validate", true, "cross-check B-Neck runs against the centralized oracle")
+		quiet        = flag.Bool("q", false, "suppress progress lines")
+		csvDir       = flag.String("csv", "", "also write figure data as CSV files into this directory")
+		workers      = flag.Int("workers", 1, "parallel sweep workers per fan-out level (1 = serial, negative = GOMAXPROCS); output is identical at any setting")
+		shards       = flag.Int("shards", 0, "shards per simulation run: 0 = classic serial engine, 1 = sharded engine serial reference, >1 parallelizes each run across cores; sharded output is identical at any shard count")
+		windowBatch  = flag.Int("window-batch", 0, "conservative windows per sharded-engine fork/join: 0 = engine default, 1 = no batching, higher amortizes synchronization on low-delay (LAN) topologies; output is identical at any setting")
+		exp4Paper    = flag.Bool("exp4-paper", false, "run experiment 4 at paper size (Medium+Big topologies, WAN failure sweep); combine with -shards and -workers")
+		pathPolicy   = flag.String("path-policy", "pinned", "path re-optimization policy for experiment 4: pinned (historical behavior) or reoptimize (restores migrate sessions back onto shorter paths); experiment 5 always sweeps both")
+		reoptStretch = flag.Float64("reopt-stretch", 0, "re-optimization stretch hysteresis for experiments 4 and 5 (≤ 1 = any strict improvement)")
+		reoptMinGain = flag.Int("reopt-min-gain", 0, "re-optimization minimum hop gain for experiments 4 and 5 (≤ 1 = any strict improvement)")
 	)
 	flag.Parse()
 	if *workers == 0 {
@@ -79,11 +86,17 @@ func main() {
 		progress = nil
 	}
 
+	polKind, ok := policy.Parse(*pathPolicy)
+	if !ok {
+		log.Fatalf("unknown -path-policy %q (pinned, reoptimize)", *pathPolicy)
+	}
+	polCfg := policy.Config{Kind: polKind, Stretch: *reoptStretch, MinGain: *reoptMinGain}
+
 	runs := map[string]bool{}
 	switch *which {
 	case "all":
-		runs["1"], runs["2"], runs["3"], runs["4"] = true, true, true, true
-	case "1", "2", "3", "4":
+		runs["1"], runs["2"], runs["3"], runs["4"], runs["5"] = true, true, true, true, true
+	case "1", "2", "3", "4", "5":
 		runs[*which] = true
 	default:
 		log.Fatalf("unknown -exp %q", *which)
@@ -215,6 +228,7 @@ func main() {
 			cfg.Workers = *workers
 			cfg.Shards = *shards
 			cfg.WindowBatch = *windowBatch
+			cfg.Policy = polCfg
 			start := time.Now()
 			rows, err := exp.RunExperiment4(cfg)
 			if err != nil {
@@ -230,6 +244,43 @@ func main() {
 				return err
 			}
 			if err := exp.WriteExp4CSV(f, rows); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		})
+	}
+
+	if runs["5"] {
+		jobs = append(jobs, func(out io.Writer) error {
+			cfg := exp.DefaultExp5()
+			if *big {
+				cfg.Sizes = append(cfg.Sizes, topology.Big)
+			}
+			cfg.Seeds = []int64{*seed, *seed + 1}
+			cfg.Validate = *validate
+			cfg.Sessions = int(float64(cfg.Sessions) * *scale)
+			cfg.Stretch = *reoptStretch
+			cfg.MinGain = *reoptMinGain
+			cfg.Progress = progress
+			cfg.Workers = *workers
+			cfg.Shards = *shards
+			cfg.WindowBatch = *windowBatch
+			start := time.Now()
+			rows, err := exp.RunExperiment5(cfg)
+			if err != nil {
+				return fmt.Errorf("experiment 5: %v", err)
+			}
+			fmt.Fprintln(out, exp.FormatExp5(rows))
+			fmt.Fprintf(out, "(experiment 5 wall time: %v)\n\n", time.Since(start).Round(time.Second))
+			if *csvDir == "" {
+				return nil
+			}
+			f, err := openCSV("exp5_reopt.csv")
+			if err != nil {
+				return err
+			}
+			if err := exp.WriteExp5CSV(f, rows); err != nil {
 				f.Close()
 				return err
 			}

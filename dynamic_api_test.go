@@ -93,6 +93,72 @@ func TestLinkFailAtAndRestoreAt(t *testing.T) {
 	}
 }
 
+// TestPathPolicyAPI pins the public policy surface: WithPathPolicy +
+// hysteresis knobs, Reoptimizations, and the ReconfigPackets migration-cost
+// metric.
+func TestPathPolicyAPI(t *testing.T) {
+	build := func(opts ...bneck.Option) (*bneck.Simulation, *bneck.Session, *bneck.Link) {
+		b := bneck.NewNetwork()
+		r1, r2, r3 := b.Router("r1"), b.Router("r2"), b.Router("r3")
+		src, dst := b.Host("src"), b.Host("dst")
+		b.Link(src, r1, bneck.Mbps(100), time.Microsecond)
+		b.Link(dst, r2, bneck.Mbps(100), time.Microsecond)
+		direct := b.Link(r1, r2, bneck.Mbps(80), time.Microsecond)
+		b.Link(r1, r3, bneck.Mbps(40), time.Microsecond)
+		b.Link(r3, r2, bneck.Mbps(40), time.Microsecond)
+		sim, err := b.Build(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sim.Session(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim, s, direct
+	}
+	cycle := func(sim *bneck.Simulation, s *bneck.Session, direct *bneck.Link) {
+		s.JoinAt(0, bneck.Unlimited)
+		sim.RunToQuiescence()
+		direct.FailAt(sim.Now() + time.Millisecond)
+		sim.RunToQuiescence()
+		direct.RestoreAt(sim.Now() + time.Millisecond)
+		sim.RunToQuiescence()
+		if err := sim.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Default: pinned — but the forced migration still has a packet cost.
+	sim, s, direct := build()
+	cycle(sim, s, direct)
+	if s.PathLen() != 4 || sim.Reoptimizations() != 0 {
+		t.Fatalf("pinned: %d hops, %d reoptimizations", s.PathLen(), sim.Reoptimizations())
+	}
+	if sim.ReconfigPackets() == 0 || sim.ReconfigPackets() >= sim.Packets() {
+		t.Fatalf("pinned: reconfig packets %d out of bounds (total %d)",
+			sim.ReconfigPackets(), sim.Packets())
+	}
+
+	// ReoptimizeOnRestore: the restore folds the detour back.
+	sim, s, direct = build(bneck.WithPathPolicy(bneck.ReoptimizeOnRestore))
+	cycle(sim, s, direct)
+	if s.PathLen() != 3 || sim.Reoptimizations() != 1 {
+		t.Fatalf("reoptimize: %d hops, %d reoptimizations", s.PathLen(), sim.Reoptimizations())
+	}
+
+	// Hysteresis knobs pass through: a 1.5× stretch tolerates the 4-hop
+	// detour.
+	sim, s, direct = build(
+		bneck.WithPathPolicy(bneck.ReoptimizeOnRestore),
+		bneck.WithReoptimizeStretch(1.5),
+		bneck.WithReoptimizeMinGain(2),
+	)
+	cycle(sim, s, direct)
+	if s.PathLen() != 4 || sim.Reoptimizations() != 0 {
+		t.Fatalf("hysteresis: %d hops, %d reoptimizations", s.PathLen(), sim.Reoptimizations())
+	}
+}
+
 func TestRouterLinksOnTransitStub(t *testing.T) {
 	sim, err := bneck.NewTransitStub(bneck.Small, bneck.LAN, 3)
 	if err != nil {

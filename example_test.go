@@ -82,6 +82,45 @@ func ExampleSession_ChangeAt() {
 	// after change: s1=10 Mbps s2=50 Mbps
 }
 
+// ExamplePathPolicy shows path re-optimization after a failure → restore
+// cycle: a session is forced onto a slow detour when the direct link fails,
+// and — because the simulation runs with ReoptimizeOnRestore — migrates back
+// onto the direct path the moment the link returns. Under the default
+// Pinned policy it would stay on the 40 Mbps detour forever.
+func ExamplePathPolicy() {
+	b := bneck.NewNetwork()
+	r1, r2, r3 := b.Router("r1"), b.Router("r2"), b.Router("r3")
+	src, dst := b.Host("src"), b.Host("dst")
+	b.Link(src, r1, bneck.Mbps(100), time.Microsecond)
+	b.Link(dst, r2, bneck.Mbps(100), time.Microsecond)
+	direct := b.Link(r1, r2, bneck.Mbps(80), time.Microsecond) // shortest path
+	b.Link(r1, r3, bneck.Mbps(40), time.Microsecond)           // the detour
+	b.Link(r3, r2, bneck.Mbps(40), time.Microsecond)
+
+	sim, _ := b.Build(bneck.WithPathPolicy(bneck.ReoptimizeOnRestore))
+	s, _ := sim.Session(src, dst)
+	s.JoinAt(0, bneck.Unlimited)
+	sim.RunToQuiescence()
+	r, _ := s.Rate()
+	fmt.Printf("joined:   %d hops at %.0f Mbps\n", s.PathLen(), r.Float64()/1e6)
+
+	direct.FailAt(sim.Now() + time.Millisecond)
+	sim.RunToQuiescence()
+	r, _ = s.Rate()
+	fmt.Printf("failed:   %d hops at %.0f Mbps (migrations=%d)\n",
+		s.PathLen(), r.Float64()/1e6, sim.Migrations())
+
+	direct.RestoreAt(sim.Now() + time.Millisecond)
+	sim.RunToQuiescence()
+	r, _ = s.Rate()
+	fmt.Printf("restored: %d hops at %.0f Mbps (reoptimizations=%d)\n",
+		s.PathLen(), r.Float64()/1e6, sim.Reoptimizations())
+	// Output:
+	// joined:   3 hops at 80 Mbps
+	// failed:   4 hops at 40 Mbps (migrations=1)
+	// restored: 3 hops at 80 Mbps (reoptimizations=1)
+}
+
 // ExampleSimulation_Oracle compares the distributed result with the
 // centralized water-filling computation.
 func ExampleSimulation_Oracle() {

@@ -94,6 +94,43 @@ func WriteExp4CSV(w io.Writer, rows []Exp4Row) error {
 	return cw.Error()
 }
 
+// WriteExp5CSV emits Experiment 5 rows: one line per phase per policy per
+// sweep cell — the regained-hops/regained-rate vs reconfiguration-packet
+// trade of the path re-optimization policy.
+func WriteExp5CSV(w io.Writer, rows []Exp5Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"network", "scenario", "seed", "policy", "phase", "active", "stranded",
+		"migrated", "reoptimized", "hops_active", "hops_best", "excess_hops",
+		"sum_rate_mbps", "requiescence_us", "packets", "reconfig_packets",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Network, r.Scenario,
+			strconv.FormatInt(r.Seed, 10),
+			r.Policy, r.Phase,
+			strconv.Itoa(r.Active),
+			strconv.Itoa(r.Stranded),
+			strconv.FormatUint(r.Migrated, 10),
+			strconv.FormatUint(r.Reoptimized, 10),
+			strconv.Itoa(r.HopsActive),
+			strconv.Itoa(r.HopsBest),
+			strconv.Itoa(r.HopsActive - r.HopsBest),
+			strconv.FormatFloat(r.SumRateMbps, 'f', 2, 64),
+			strconv.FormatInt(r.Requiescence.Microseconds(), 10),
+			strconv.FormatUint(r.Packets, 10),
+			strconv.FormatUint(r.ReconfigPackets, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteExp3ErrorCSV emits one protocol's Figure 7 error series (sources or
 // links).
 func WriteExp3ErrorCSV(w io.Writer, s metrics.Series, protocol string) error {

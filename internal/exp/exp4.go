@@ -9,6 +9,7 @@ import (
 
 	"bneck/internal/graph"
 	"bneck/internal/network"
+	"bneck/internal/policy"
 	"bneck/internal/rate"
 	"bneck/internal/topology"
 	"bneck/internal/trace"
@@ -54,6 +55,10 @@ type Exp4Config struct {
 	// runs per coordinator fork/join (0 = engine default, 1 = no batching).
 	// Purely a performance knob: results are identical at every setting.
 	WindowBatch int
+	// Policy is the path re-optimization policy for the churn sweep (zero
+	// value: pinned, the historical behavior). With ReoptimizeOnRestore the
+	// restore epochs also migrate sessions back onto shorter paths.
+	Policy policy.Config
 }
 
 // DefaultExp4 is a laptop-scale default. It sweeps both propagation models:
@@ -195,7 +200,9 @@ func runExp4Cell(cfg Exp4Config, size topology.Params, scen topology.Scenario, s
 		return nil, err
 	}
 	g := topo.Graph
-	eng, net := newNet(g, network.DefaultConfig(), cfg.Shards, cfg.WindowBatch)
+	netCfg := network.DefaultConfig()
+	netCfg.PathPolicy = cfg.Policy
+	eng, net := newNet(g, netCfg, cfg.Shards, cfg.WindowBatch)
 
 	// All sessions — the base population and every epoch's joiners — are
 	// placed up front (the exp2 pattern). Joiners whose resolved path breaks

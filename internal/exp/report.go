@@ -70,6 +70,22 @@ func FormatExp4(rows []Exp4Row) string {
 	return b.String()
 }
 
+// FormatExp5 renders Experiment 5 as a per-phase policy comparison table.
+func FormatExp5(rows []Exp5Row) string {
+	var b strings.Builder
+	b.WriteString("Experiment 5: path re-optimization after restores (pinned vs reoptimize)\n")
+	b.WriteString(fmt.Sprintf("%-8s %-5s %5s %-11s %-8s %7s %6s %9s %7s %7s %7s %12s %14s %10s %13s\n",
+		"network", "scen", "seed", "policy", "phase", "active", "strand", "migr/reopt",
+		"hops", "best", "excess", "rate(Mbps)", "requiescence", "packets", "reconfig_pkts"))
+	for _, r := range rows {
+		b.WriteString(fmt.Sprintf("%-8s %-5s %5d %-11s %-8s %7d %6d %5d/%-3d %7d %7d %7d %12.1f %14v %10d %13d\n",
+			r.Network, r.Scenario, r.Seed, r.Policy, r.Phase, r.Active, r.Stranded,
+			r.Migrated, r.Reoptimized, r.HopsActive, r.HopsBest, r.HopsActive-r.HopsBest,
+			r.SumRateMbps, r.Requiescence.Round(time.Microsecond), r.Packets, r.ReconfigPackets))
+	}
+	return b.String()
+}
+
 // FormatExp3 renders Experiment 3 as the Figure 7 error tables and the
 // Figure 8 packets-per-interval series.
 func FormatExp3(res *Exp3Result) string {

@@ -16,8 +16,10 @@
 // FailLinks/RestoreLinks migrate affected sessions through the protocol's own
 // Leave → reroute → Join, a fresh incarnation (new session ID, new path) per
 // reroute so the two incarnations' in-flight packets can never interfere.
-// Sessions with no surviving path are stranded and rejoin on restore. See
-// DESIGN.md §6.
+// Sessions with no surviving path are stranded and rejoin on restore. An
+// optional path re-optimization policy (SetPathPolicy, see internal/policy)
+// migrates sessions back onto shorter paths when restores re-enable them.
+// See DESIGN.md §6 and §11.
 //
 // Mailboxes are unbounded by design: B-Neck generates bounded traffic per
 // reconfiguration, and bounded mailboxes could deadlock the bidirectional
@@ -33,10 +35,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"bneck/internal/core"
 	"bneck/internal/graph"
 	"bneck/internal/metrics"
+	"bneck/internal/policy"
 	"bneck/internal/rate"
 	"bneck/internal/waterfill"
 )
@@ -65,6 +69,19 @@ type Runtime struct {
 	nextID   core.SessionID
 	closed   bool
 	migrated uint64
+
+	// policy is the path re-optimization policy (Pinned by default);
+	// reoptimized counts the sessions it moved back onto shorter paths.
+	// Guarded by mu, like the rest of the lifecycle state.
+	policy      policy.Config
+	reoptimized uint64
+	// Reconfiguration-packet accounting, the live twin of the simulator
+	// transport's: spans opened by topology-driven Leaves and joins close at
+	// the next WaitQuiescent. Guarded by mu; the per-incarnation counters
+	// they read are atomics bumped by Emit.
+	reconfTear   []reconfIncSpan
+	reconfJoin   []*incarnation
+	reconfigPkts uint64
 
 	activity *activityCounter
 
@@ -102,6 +119,14 @@ type linkActor struct {
 func incStripe(id core.SessionID) int { return int(uint64(id) & (emitDomains - 1)) }
 func linkStripe(id graph.LinkID) int  { return int(uint32(id) & (emitDomains - 1)) }
 
+// reconfIncSpan is one pending teardown debit: the packets a force-departed
+// incarnation sends from its Leave (base) until the next quiescence are its
+// Leave cascade — reconfiguration traffic.
+type reconfIncSpan struct {
+	inc  *incarnation
+	base uint64
+}
+
 // incarnation is one protocol-level lifetime of a logical session: a session
 // ID, a path, and the actors hosting its source and destination tasks. A
 // topology-event reroute retires the old incarnation (through Leave) and
@@ -113,6 +138,13 @@ type incarnation struct {
 	dst   *actor
 	srcT  *core.SourceNode
 	owner *Session
+	// pkts counts the packets sent across physical links on this
+	// incarnation's behalf. Bumped by Emit from any actor goroutine, hence
+	// atomic; everything else reads it under mu.
+	pkts atomic.Uint64
+	// reconfAccounted marks an incarnation whose packets-until-quiescence
+	// are already attributed to reconfiguration traffic (guarded by mu).
+	reconfAccounted bool
 	// reclaimed marks an incarnation whose actors were stopped after its
 	// Leave cascade drained; a later Join mints a fresh incarnation.
 	reclaimed bool
@@ -143,6 +175,16 @@ func New(g *graph.Graph) *Runtime {
 		rt.lnks[i].pkts = make(map[graph.LinkID]uint64)
 	}
 	return rt
+}
+
+// SetPathPolicy installs the path re-optimization policy (see
+// internal/policy). The default is Pinned. Install it before topology
+// events fire; the policy itself is applied under the runtime mutex, so the
+// call is safe at any time.
+func (rt *Runtime) SetPathPolicy(cfg policy.Config) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.policy = cfg
 }
 
 // incarnationFor returns the live incarnation registered under a session ID
@@ -355,7 +397,9 @@ func (rt *Runtime) SetLinkCapacity(c rate.Rate, links ...graph.LinkID) {
 	if rt.closed {
 		return
 	}
+	var upgraded map[graph.LinkID]bool
 	for _, l := range links {
+		old := rt.g.Link(l).Capacity
 		rt.g.SetCapacity(l, c)
 		d := &rt.lnks[linkStripe(l)]
 		d.mu.Lock()
@@ -364,6 +408,15 @@ func (rt *Runtime) SetLinkCapacity(c rate.Rate, links ...graph.LinkID) {
 		if ok {
 			la.a.enqueue(message{kind: msgSetCapacity, demand: c})
 		}
+		if rt.policy.CapacityTriggers(old, c) {
+			if upgraded == nil {
+				upgraded = make(map[graph.LinkID]bool, len(links))
+			}
+			upgraded[l] = true
+		}
+	}
+	if upgraded != nil {
+		rt.reoptimizeLocked(upgraded)
 	}
 }
 
@@ -396,7 +449,9 @@ func (rt *Runtime) FailLinks(links ...graph.LinkID) {
 
 // RestoreLinks brings the given directed links back up and readmits stranded
 // sessions whose hosts are reconnected. Routed sessions keep their pinned
-// paths.
+// paths under the default Pinned policy; under ReoptimizeOnRestore
+// (SetPathPolicy) the restore also sweeps the active population and
+// migrates sessions back onto shorter paths.
 func (rt *Runtime) RestoreLinks(links ...graph.LinkID) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -422,40 +477,147 @@ func (rt *Runtime) RestoreLinks(links ...graph.LinkID) {
 			continue
 		}
 		s.stranded = false
-		rt.newIncarnationLocked(s, path)
-		if s.active {
-			s.cur.src.enqueue(message{kind: msgJoin, demand: s.demand})
-		}
+		rt.rejoinLocked(s, path)
 	}
+	rt.reoptimizeLocked(nil)
 }
 
-// Migrations returns how many session reroutes topology events have caused.
+// Migrations returns how many session reroutes link failures have forced.
+// Policy-driven reroutes are counted separately by Reoptimizations.
 func (rt *Runtime) Migrations() uint64 {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.migrated
 }
 
+// Reoptimizations returns how many sessions the path policy migrated back
+// onto shorter paths (zero under the default Pinned policy).
+func (rt *Runtime) Reoptimizations() uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.reoptimized
+}
+
+// retireLocked force-departs s's current incarnation — Leave, granted-rate
+// cleanup, teardown accounting — the shared first half of every
+// topology-driven reroute. Only meaningful for active sessions. Callers
+// hold rt.mu.
+func (rt *Runtime) retireLocked(s *Session) {
+	rt.beginTeardownLocked(s.cur)
+	s.cur.departed = true
+	s.cur.src.enqueue(message{kind: msgLeave})
+	rt.ratesMu.Lock()
+	delete(rt.rates, s.cur.id)
+	rt.ratesMu.Unlock()
+}
+
+// rejoinLocked mints a fresh incarnation for s on path and, when the user
+// intent is joined, enqueues its Join with reconfiguration accounting —
+// the shared second half of every topology-driven reroute. Callers hold
+// rt.mu.
+func (rt *Runtime) rejoinLocked(s *Session, path graph.Path) {
+	rt.newIncarnationLocked(s, path)
+	if !s.active {
+		return
+	}
+	rt.markReconfigJoinLocked(s.cur)
+	s.cur.src.enqueue(message{kind: msgJoin, demand: s.demand})
+}
+
 // migrateLocked retires s's current incarnation through Leave and rejoins a
 // fresh one on a surviving path, or strands the session.
 func (rt *Runtime) migrateLocked(s *Session) {
 	if s.active {
-		s.cur.departed = true
-		s.cur.src.enqueue(message{kind: msgLeave})
-		rt.ratesMu.Lock()
-		delete(rt.rates, s.cur.id)
-		rt.ratesMu.Unlock()
+		rt.retireLocked(s)
 	}
 	path, err := rt.resolver.HostPath(s.srcHost, s.dstHost)
 	if err != nil {
 		s.stranded = true
 		return
 	}
-	rt.newIncarnationLocked(s, path)
 	if s.active {
 		rt.migrated++
-		s.cur.src.enqueue(message{kind: msgJoin, demand: s.demand})
 	}
+	rt.rejoinLocked(s, path)
+}
+
+// reoptimizeLocked re-runs shortest-path over the routed active sessions in
+// creation order and migrates — Leave, fresh incarnation, Join, exactly the
+// failure machinery — every session the policy says is too far off its best
+// path. upgraded, when non-nil, marks the capacity-trigger sweep: sessions
+// whose best path crosses an upgraded link bypass the hysteresis. Callers
+// hold rt.mu.
+func (rt *Runtime) reoptimizeLocked(upgraded map[graph.LinkID]bool) {
+	if !rt.policy.Enabled() {
+		return
+	}
+	for _, s := range rt.order {
+		if !s.active || s.stranded {
+			continue
+		}
+		best, err := rt.resolver.HostPath(s.srcHost, s.dstHost)
+		if err != nil {
+			continue // routed active sessions always have a path
+		}
+		bypass := upgraded != nil && crossesAny(best, upgraded)
+		if !rt.policy.ShouldMigrate(len(s.cur.path), len(best), bypass) {
+			continue
+		}
+		rt.retireLocked(s)
+		rt.reoptimized++
+		rt.rejoinLocked(s, best)
+	}
+}
+
+// beginTeardownLocked opens a reconfiguration teardown span: everything the
+// force-departed incarnation sends from here to the next quiescence is its
+// Leave cascade. Callers hold rt.mu.
+func (rt *Runtime) beginTeardownLocked(inc *incarnation) {
+	if inc.reconfAccounted {
+		return
+	}
+	inc.reconfAccounted = true
+	rt.reconfTear = append(rt.reconfTear, reconfIncSpan{inc: inc, base: inc.pkts.Load()})
+}
+
+// markReconfigJoinLocked attributes a freshly (re)joined incarnation's
+// packets — from birth to the next quiescence — to reconfiguration traffic.
+// Callers hold rt.mu.
+func (rt *Runtime) markReconfigJoinLocked(inc *incarnation) {
+	if inc.reconfAccounted {
+		return
+	}
+	inc.reconfAccounted = true
+	rt.reconfJoin = append(rt.reconfJoin, inc)
+}
+
+// finalizeReconfig closes the pending reconfiguration spans. Call only when
+// the network is quiescent (WaitQuiescent does).
+func (rt *Runtime) finalizeReconfig() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, t := range rt.reconfTear {
+		rt.reconfigPkts += t.inc.pkts.Load() - t.base
+		t.inc.reconfAccounted = false
+	}
+	rt.reconfTear = rt.reconfTear[:0]
+	for _, inc := range rt.reconfJoin {
+		rt.reconfigPkts += inc.pkts.Load()
+		inc.reconfAccounted = false
+	}
+	rt.reconfJoin = rt.reconfJoin[:0]
+}
+
+// ReconfigPackets returns the cumulative control-packet cost of topology
+// reconfigurations — the Leave-cascade packets of force-departed
+// incarnations plus the Join-cascade packets of topology-driven (re)joins,
+// each measured until the quiescence that follows — the same report as the
+// simulator transport's Network.ReconfigPackets. Updated by WaitQuiescent;
+// user churn is never counted.
+func (rt *Runtime) ReconfigPackets() uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.reconfigPkts
 }
 
 func crossesAny(p graph.Path, links map[graph.LinkID]bool) bool {
@@ -482,6 +644,7 @@ func crossesAny(p graph.Path, links map[graph.LinkID]bool) bool {
 // all API calls have returned (they enqueue synchronously) before waiting.
 func (rt *Runtime) WaitQuiescent() {
 	rt.activity.wait()
+	rt.finalizeReconfig()
 	rt.reclaimRetired()
 }
 
@@ -546,6 +709,28 @@ func (rt *Runtime) LinkPackets() []metrics.LinkCount {
 		d.mu.Unlock()
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Link < out[b].Link })
+	return out
+}
+
+// SessionPackets returns per-incarnation packet totals for every
+// incarnation that currently holds live actors and carried traffic, ordered
+// by incarnation ID — the live counterpart of the simulator transport's
+// Network.SessionPackets (same field names). Incarnations reclaimed at a
+// past quiescence are gone; their reconfiguration cost is preserved in
+// ReconfigPackets.
+func (rt *Runtime) SessionPackets() []metrics.SessionCount {
+	var out []metrics.SessionCount
+	for i := range rt.incs {
+		d := &rt.incs[i]
+		d.mu.Lock()
+		for id, inc := range d.m {
+			if pk := inc.pkts.Load(); pk > 0 {
+				out = append(out, metrics.SessionCount{Session: id, Packets: pk})
+			}
+		}
+		d.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Session < out[b].Session })
 	return out
 }
 
@@ -725,6 +910,7 @@ func (e *emitter) Emit(s core.SessionID, from int, dir core.Direction, pkt core.
 	}
 	if wire != graph.NoLink {
 		rt.countPacket(wire)
+		inc.pkts.Add(1)
 	}
 	to := from + 1
 	if dir == core.Up {

@@ -75,6 +75,18 @@ type LinkCount struct {
 	Packets uint64
 }
 
+// SessionCount is one session incarnation's packet total (packets sent
+// across physical links on its behalf). Both transports report per-session
+// counters with these field names; the counters are kept per shard (or per
+// actor stripe) and merged on demand, like the link counters. They are the
+// raw material for profiling migration cost: a reconfiguration's price is
+// the Leave-cascade packets of the retired incarnation plus the Join-cascade
+// packets of its successor.
+type SessionCount struct {
+	Session core.SessionID
+	Packets uint64
+}
+
 // Total returns the number of packets recorded.
 func (ps *PacketStats) Total() uint64 { return ps.total }
 

@@ -13,6 +13,13 @@
 // them. Capacity changes keep paths intact and instead reconfigure the
 // RouterLink task in place (core.RouterLink.SetCapacity), which re-probes the
 // crossing sessions.
+//
+// Routed sessions keep their pinned paths across restores by default. An
+// optional path re-optimization policy (Config.PathPolicy, see
+// internal/policy) sweeps the active population when a restore — or a
+// capacity increase past the policy's threshold — signals that shorter
+// paths may exist, and migrates sessions back through the same
+// Leave → reroute → Join machinery.
 package network
 
 import (
@@ -52,11 +59,19 @@ func (n *Network) ScheduleLinkRestore(at sim.Time, links ...graph.LinkID) {
 // path.
 func (n *Network) StrandedSessions() int { return len(n.stranded) }
 
-// Migrations returns how many session reroutes topology events have caused.
+// Migrations returns how many session reroutes link failures have forced.
+// Policy-driven reroutes are counted separately by Reoptimizations.
 func (n *Network) Migrations() uint64 { return n.migrated }
 
 func (n *Network) applySetCapacity(c rate.Rate, links []graph.LinkID) {
+	// Capacity increases past the policy's threshold fire a re-optimization
+	// sweep: the upgrade is an operator signal that traffic belongs back on
+	// the link (min-hop best paths themselves never depend on capacity), so
+	// sessions whose best path crosses an upgraded link migrate on any
+	// strict improvement, hysteresis bypassed.
+	var upgraded map[graph.LinkID]bool
 	for _, l := range links {
+		old := n.g.Link(l).Capacity
 		n.g.SetCapacity(l, c)
 		if int(l) < len(n.links) && n.links[l] != nil {
 			n.links[l].SetCapacity(c)
@@ -64,6 +79,15 @@ func (n *Network) applySetCapacity(c rate.Rate, links []graph.LinkID) {
 		if int(l) < len(n.wires) && n.wires[l] != nil {
 			n.wires[l].SetTx(n.txFor(c))
 		}
+		if n.cfg.PathPolicy.CapacityTriggers(old, c) {
+			if upgraded == nil {
+				upgraded = make(map[graph.LinkID]bool, len(links))
+			}
+			upgraded[l] = true
+		}
+	}
+	if upgraded != nil {
+		n.reoptimizeSessions(upgraded)
 	}
 	n.maybeRepartition()
 }
@@ -101,32 +125,110 @@ func (n *Network) applyRestore(links []graph.LinkID) {
 			restored = true
 		}
 	}
-	if !restored || len(n.stranded) == 0 {
+	if !restored {
 		return
 	}
 	// Readmit stranded sessions in strand order; those still unroutable stay
 	// parked for the next restore.
-	waiting := n.stranded
-	n.stranded = nil
-	for _, s := range waiting {
-		path, err := n.resolver.HostPath(s.SrcHost, s.DstHost)
-		if err != nil {
-			n.stranded = append(n.stranded, s)
-			continue
+	hadStranded := len(n.stranded) > 0
+	if hadStranded {
+		waiting := n.stranded
+		n.stranded = nil
+		for _, s := range waiting {
+			path, err := n.resolver.HostPath(s.SrcHost, s.DstHost)
+			if err != nil {
+				n.stranded = append(n.stranded, s)
+				continue
+			}
+			s.stranded = false
+			n.markReconfigJoin(n.joinOnPath(s, path, s.strandedDemand))
 		}
-		s.stranded = false
-		n.joinOnPath(s, path, s.strandedDemand)
+	}
+	// Restore-triggered re-optimization: the restored link may have
+	// re-enabled shorter paths, so the policy sweeps the active population
+	// (a no-op under policy.Pinned). Readmitted sessions just resolved a
+	// fresh shortest path and pass the sweep untouched.
+	reopt := n.reoptimizeSessions(nil)
+	if !hadStranded && reopt == 0 {
+		return
 	}
 	n.maybeRepartition()
+}
+
+// reoptimizeSessions re-runs shortest-path over the active sessions in
+// creation order and migrates — Leave, successor Join, fresh incarnation,
+// the exact machinery failures use — every session the policy says is too
+// far off its best path. upgraded, when non-nil, marks the capacity-trigger
+// sweep: sessions whose best path crosses an upgraded link bypass the
+// hysteresis. Runs in serial context (a barrier event when sharded), so the
+// sweep is deterministic at every shard count. Returns how many sessions
+// moved.
+func (n *Network) reoptimizeSessions(upgraded map[graph.LinkID]bool) int {
+	if !n.cfg.PathPolicy.Enabled() {
+		return 0
+	}
+	moved := 0
+	// Snapshot the order: migration appends successor sessions, whose fresh
+	// shortest paths need no second look.
+	ids := append([]core.SessionID(nil), n.order...)
+	for _, id := range ids {
+		s := n.sessions[id]
+		if !s.active {
+			continue
+		}
+		best, err := n.resolver.HostPath(s.SrcHost, s.DstHost)
+		if err != nil {
+			continue // active sessions always have a path; belt and braces
+		}
+		bypass := upgraded != nil && pathCrossesAny(best, upgraded)
+		if !n.cfg.PathPolicy.ShouldMigrate(len(s.Path), len(best), bypass) {
+			continue
+		}
+		n.reroute(s, best)
+		moved++
+	}
+	return moved
+}
+
+// reroute retires an active session through Leave and joins a successor on
+// path — the migrate machinery, driven by the path policy instead of a
+// failure.
+func (n *Network) reroute(s *Session, path graph.Path) {
+	demand := n.forceDepart(s)
+	n.reoptimized++
+	n.rejoinSuccessor(s, path, demand, "re-optimization")
+}
+
+// forceDepart retires an active session through Leave — the shared first
+// half of every topology-driven reroute (failure migration and policy
+// re-optimization) — and returns the demand its successor rejoins with.
+func (n *Network) forceDepart(s *Session) rate.Rate {
+	demand := s.src.Demand()
+	n.beginTeardown(s)
+	s.active = false
+	s.departed = true
+	s.src.Leave()
+	return demand
+}
+
+// rejoinSuccessor joins a fresh-ID successor of s on path — the shared
+// second half of every topology-driven reroute. what names the caller in
+// the impossible-path panic.
+func (n *Network) rejoinSuccessor(s *Session, path graph.Path, demand rate.Rate, what string) {
+	succ, err := n.NewSession(s.SrcHost, s.DstHost, path)
+	if err != nil {
+		// The resolver only returns valid up paths.
+		panic("network: " + what + " produced invalid path: " + err.Error())
+	}
+	s.succ = succ
+	n.markReconfigJoin(succ)
+	n.join(succ, demand)
 }
 
 // migrate departs an active session through Leave and rejoins a successor on
 // a surviving path, or strands the session if none exists.
 func (n *Network) migrate(s *Session) {
-	demand := s.src.Demand()
-	s.active = false
-	s.departed = true
-	s.src.Leave()
+	demand := n.forceDepart(s)
 	path, err := n.resolver.HostPath(s.SrcHost, s.DstHost)
 	if err != nil {
 		s.stranded = true
@@ -135,13 +237,7 @@ func (n *Network) migrate(s *Session) {
 		return
 	}
 	n.migrated++
-	succ, err := n.NewSession(s.SrcHost, s.DstHost, path)
-	if err != nil {
-		// The resolver only returns valid up paths.
-		panic("network: migration produced invalid path: " + err.Error())
-	}
-	s.succ = succ
-	n.join(succ, demand)
+	n.rejoinSuccessor(s, path, demand, "migration")
 }
 
 // joinOrStrand runs a scheduled join, rerouting around links that failed
@@ -169,15 +265,15 @@ func (n *Network) joinOrStrand(s *Session, demand rate.Rate) {
 	n.joinOnPath(s, path, demand)
 }
 
-// joinOnPath (re)admits s along path. A session whose ID never carried
-// traffic can simply adopt the path; otherwise a successor with a fresh ID
-// joins, so straggler packets of the old incarnation cannot corrupt state on
-// shared links.
-func (n *Network) joinOnPath(s *Session, path graph.Path, demand rate.Rate) {
+// joinOnPath (re)admits s along path and returns the session that actually
+// joined. A session whose ID never carried traffic can simply adopt the
+// path; otherwise a successor with a fresh ID joins, so straggler packets of
+// the old incarnation cannot corrupt state on shared links.
+func (n *Network) joinOnPath(s *Session, path graph.Path, demand rate.Rate) *Session {
 	if !s.everJoined {
 		s.Path = path
 		n.join(s, demand)
-		return
+		return s
 	}
 	succ, err := n.NewSession(s.SrcHost, s.DstHost, path)
 	if err != nil {
@@ -185,6 +281,7 @@ func (n *Network) joinOnPath(s *Session, path graph.Path, demand rate.Rate) {
 	}
 	s.succ = succ
 	n.join(succ, demand)
+	return succ
 }
 
 func (n *Network) join(s *Session, demand rate.Rate) {

@@ -27,6 +27,7 @@ import (
 	"bneck/internal/core"
 	"bneck/internal/graph"
 	"bneck/internal/metrics"
+	"bneck/internal/policy"
 	"bneck/internal/rate"
 	"bneck/internal/sim"
 	"bneck/internal/waterfill"
@@ -51,6 +52,14 @@ type Config struct {
 	// physical link (intra-host hand-offs are not reported). Useful for
 	// protocol tracing and debugging. Sharded runs call it concurrently.
 	OnPacket func(link graph.LinkID, pkt core.Packet, at sim.Time)
+	// PathPolicy selects the path re-optimization policy. The zero value is
+	// policy.Pinned — paths never move unless a failure forces them to —
+	// which reproduces the historical behavior exactly. With
+	// policy.ReoptimizeOnRestore, link restores (and capacity increases past
+	// the policy's threshold) sweep the active sessions and migrate any
+	// session whose path exceeds the policy's stretch/hysteresis margin,
+	// through the same Leave → reroute → Join machinery failures use.
+	PathPolicy policy.Config
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -78,6 +87,11 @@ type Session struct {
 	everJoined bool
 	// succ is the migrated continuation of this session, if any.
 	succ *Session
+	// reconfAccounted marks a session whose packets-until-next-quiescence
+	// are already attributed to reconfiguration traffic (as a forced-Leave
+	// teardown or a topology-driven rejoin), so overlapping reconfiguration
+	// events never double-count it.
+	reconfAccounted bool
 	// stranded marks a session parked because no path exists between its
 	// hosts; it rejoins with strandedDemand when a restore reconnects them.
 	stranded       bool
@@ -142,7 +156,18 @@ type Network struct {
 	stranded []*Session       // parked without a path, in strand order
 	domains  []*domain        // one per shard (one total in classic mode)
 	nextID   core.SessionID
-	migrated uint64 // sessions rerouted by topology events
+	migrated uint64 // sessions link failures force-rerouted onto new paths
+
+	// reoptimized counts sessions the path policy migrated back onto
+	// shorter paths (disjoint from migrated: forced reroutes and policy
+	// reroutes are separate metrics).
+	reoptimized uint64
+	// Reconfiguration-packet accounting: spans opened by topology-driven
+	// Leaves (teardowns) and joins accumulate into reconfigPkts when Run
+	// reaches quiescence — see finalizeReconfig.
+	reconfTear   []reconfSpan
+	reconfJoin   []*Session
+	reconfigPkts uint64
 
 	// partGen/partNodes stamp the partition installed on the sharded engine;
 	// topology churn or host additions make it stale and trigger a
@@ -164,13 +189,26 @@ type oracleScratch struct {
 	ids     []core.SessionID
 }
 
-// domain is the per-shard execution state: the shard's packet statistics and
-// its free list of recycled packet deliveries. Each domain is touched only
-// by its shard's goroutine (or by the coordinator at a barrier), so the hot
-// path stays lock-free.
+// domain is the per-shard execution state: the shard's packet statistics,
+// its per-session packet counters, and its free list of recycled packet
+// deliveries. Each domain is touched only by its shard's goroutine (or by
+// the coordinator at a barrier), so the hot path stays lock-free.
 type domain struct {
 	stats *metrics.PacketStats
 	free  []*deliverEvent
+	// sessPkts counts, densely by session ID, the packets this domain's
+	// tasks sent across physical links on each session's behalf. Grown in
+	// serial context by NewSession; summed across domains on demand
+	// (SessionPackets, the reconfiguration-cost accounting).
+	sessPkts []uint64
+}
+
+// reconfSpan is one pending teardown debit: the packets a force-departed
+// incarnation sends from its Leave (base) until the next quiescence are
+// reconfiguration traffic.
+type reconfSpan struct {
+	s    *Session
+	base uint64
 }
 
 // maxFreeDeliver caps a domain's free list: cross-shard deliveries recycle
@@ -323,6 +361,81 @@ func (n *Network) LinkPackets() []metrics.LinkCount {
 	return out
 }
 
+// SessionPackets returns per-session packet totals (packets sent across
+// physical links on the session's behalf) for every session incarnation
+// that carried traffic, in creation order. The per-domain counters are
+// merged on demand, like Stats — the live runtime reports the same shape.
+func (n *Network) SessionPackets() []metrics.SessionCount {
+	var out []metrics.SessionCount
+	for _, id := range n.order {
+		if pk := n.sessionPacketCount(id); pk > 0 {
+			out = append(out, metrics.SessionCount{Session: id, Packets: pk})
+		}
+	}
+	return out
+}
+
+// sessionPacketCount sums one session's packet counters across domains.
+// Call from serial context (setup, a barrier event, or between runs).
+func (n *Network) sessionPacketCount(id core.SessionID) uint64 {
+	var pk uint64
+	for _, d := range n.domains {
+		if int(id) < len(d.sessPkts) {
+			pk += d.sessPkts[id]
+		}
+	}
+	return pk
+}
+
+// ReconfigPackets returns the cumulative control-packet cost of topology
+// reconfigurations: the Leave-cascade packets of every force-departed
+// incarnation plus the Join-cascade packets of every topology-driven
+// (re)join — migrations, policy re-optimizations and strand rejoins — each
+// measured until the quiescence that follows it. The counter is updated
+// when Run reaches quiescence; user churn (scheduled joins, leaves,
+// demand changes) is never counted.
+func (n *Network) ReconfigPackets() uint64 { return n.reconfigPkts }
+
+// Reoptimizations returns how many sessions the path policy migrated back
+// onto shorter paths (zero under policy.Pinned). Disjoint from Migrations,
+// which counts only failure-forced reroutes.
+func (n *Network) Reoptimizations() uint64 { return n.reoptimized }
+
+// beginTeardown opens a reconfiguration teardown span for a session being
+// force-departed: everything it sends from here to the next quiescence is
+// its Leave cascade.
+func (n *Network) beginTeardown(s *Session) {
+	if s.reconfAccounted {
+		return // its remaining packets are already attributed
+	}
+	s.reconfAccounted = true
+	n.reconfTear = append(n.reconfTear, reconfSpan{s: s, base: n.sessionPacketCount(s.ID)})
+}
+
+// markReconfigJoin attributes a freshly (re)joined session's packets —
+// from birth to the next quiescence — to reconfiguration traffic.
+func (n *Network) markReconfigJoin(s *Session) {
+	if s.reconfAccounted {
+		return
+	}
+	s.reconfAccounted = true
+	n.reconfJoin = append(n.reconfJoin, s)
+}
+
+// finalizeReconfig closes the pending reconfiguration spans at quiescence.
+func (n *Network) finalizeReconfig() {
+	for _, t := range n.reconfTear {
+		n.reconfigPkts += n.sessionPacketCount(t.s.ID) - t.base
+		t.s.reconfAccounted = false
+	}
+	n.reconfTear = n.reconfTear[:0]
+	for _, s := range n.reconfJoin {
+		n.reconfigPkts += n.sessionPacketCount(s.ID)
+		s.reconfAccounted = false
+	}
+	n.reconfJoin = n.reconfJoin[:0]
+}
+
 // Sessions returns all sessions ever created, in creation order.
 func (n *Network) Sessions() []*Session {
 	out := make([]*Session, 0, len(n.order))
@@ -355,6 +468,14 @@ func (n *Network) NewSession(srcHost, dstHost graph.NodeID, path graph.Path) (*S
 		n.sessByID = append(n.sessByID, nil)
 	}
 	n.sessByID[id] = s
+	// Size every domain's per-session counter table now, in serial context
+	// (sessions are created at setup or inside barrier events), so Emit can
+	// index it without bounds games.
+	for _, d := range n.domains {
+		for int(id) >= len(d.sessPkts) {
+			d.sessPkts = append(d.sessPkts, 0)
+		}
+	}
 	n.order = append(n.order, id)
 	return s, nil
 }
@@ -405,12 +526,18 @@ func (n *Network) ScheduleChange(s *Session, at sim.Time, demand rate.Rate) {
 // Run drives the simulation to quiescence and returns the quiescence time
 // (the timestamp of the last protocol event). On a sharded network it first
 // (re)computes the partition if the topology changed since the last run.
+// Quiescence is also where pending reconfiguration-packet spans close (see
+// ReconfigPackets).
 func (n *Network) Run() sim.Time {
+	var q sim.Time
 	if n.she != nil {
 		n.ensurePartition()
-		return n.she.Run()
+		q = n.she.Run()
+	} else {
+		q = n.eng.Run()
 	}
-	return n.eng.Run()
+	n.finalizeReconfig()
+	return q
 }
 
 // RunUntil executes all events scheduled at or before t, then sets the
@@ -542,6 +669,7 @@ func (em taskEmitter) Emit(s core.SessionID, from int, dir core.Direction, pkt c
 	target := n.g.LinkTo(wireLink)
 	deliver := n.takeDeliver(dom, sess, to, pkt, target)
 	dom.stats.Record(pkt.Type, n.nowFor(em.node))
+	dom.sessPkts[sess.ID]++
 	if n.cfg.OnPacket != nil {
 		n.cfg.OnPacket(wireLink, pkt, n.nowFor(em.node))
 	}

@@ -92,7 +92,7 @@ func build(sc *Script) (*world, error) {
 		switch ev.Op {
 		case OpJoin, OpLeave, OpChange:
 			rev.sessionIdx = sessionIdx[ev.Session]
-		case OpExpectMigrated, OpExpectStranded:
+		case OpExpectMigrated, OpExpectStranded, OpExpectReoptimized:
 			// Nothing to resolve: the assertion reads runtime counters.
 		case OpExpectRate:
 			if i, ok := sessionIdx[ev.Session]; ok {

@@ -44,6 +44,13 @@ type Result struct {
 	Epochs       []EpochResult
 	TotalPackets uint64
 	Migrations   uint64
+	// Reoptimizations counts policy-driven reroutes (nonzero only with a
+	// `policy reoptimize` script directive).
+	Reoptimizations uint64
+	// ReconfigPackets is the control-packet cost of topology
+	// reconfigurations: Leave cascades of force-departed incarnations plus
+	// Join cascades of topology-driven rejoins.
+	ReconfigPackets uint64
 }
 
 // RunSim executes the script on the deterministic discrete-event simulator,
@@ -54,7 +61,9 @@ func RunSim(sc *Script) (*Result, error) {
 		return nil, err
 	}
 	eng := sim.New()
-	net := network.New(w.g, eng, network.DefaultConfig())
+	cfg := network.DefaultConfig()
+	cfg.PathPolicy = sc.Policy
+	net := network.New(w.g, eng, cfg)
 	res := graph.NewResolver(w.g, 256)
 	sessions := make([]*network.Session, len(sc.Sessions))
 	for i, d := range sc.Sessions {
@@ -96,7 +105,7 @@ func RunSim(sc *Script) (*Result, error) {
 		if err := net.Validate(); err != nil {
 			return nil, fmt.Errorf("scenario: epoch %v: %w", ep.at, err)
 		}
-		if err := checkExpectations(w, sc, sessions, ep, uint64(net.Migrations()), countStranded(sessions)); err != nil {
+		if err := checkExpectations(w, sc, sessions, ep, counters{net.Migrations(), net.Reoptimizations(), countStranded(sessions)}); err != nil {
 			return nil, err
 		}
 		er := EpochResult{
@@ -116,6 +125,8 @@ func RunSim(sc *Script) (*Result, error) {
 	}
 	out.TotalPackets = net.Stats().Total()
 	out.Migrations = net.Migrations()
+	out.Reoptimizations = net.Reoptimizations()
+	out.ReconfigPackets = net.ReconfigPackets()
 	return out, nil
 }
 
@@ -130,6 +141,7 @@ func RunLive(sc *Script) (*Result, error) {
 	}
 	rt := live.New(w.g)
 	defer rt.Close()
+	rt.SetPathPolicy(sc.Policy)
 	res := graph.NewResolver(w.g, 256)
 	sessions := make([]*live.Session, len(sc.Sessions))
 	for i, d := range sc.Sessions {
@@ -166,7 +178,7 @@ func RunLive(sc *Script) (*Result, error) {
 		if err := rt.Validate(); err != nil {
 			return nil, fmt.Errorf("scenario: epoch %v: %w", ep.at, err)
 		}
-		if err := checkExpectations(w, sc, sessions, ep, rt.Migrations(), countStranded(sessions)); err != nil {
+		if err := checkExpectations(w, sc, sessions, ep, counters{rt.Migrations(), rt.Reoptimizations(), countStranded(sessions)}); err != nil {
 			return nil, err
 		}
 		er := EpochResult{At: ep.at, Applied: ep.at, Events: describe(ep.events)}
@@ -174,6 +186,8 @@ func RunLive(sc *Script) (*Result, error) {
 		out.Epochs = append(out.Epochs, er)
 	}
 	out.Migrations = rt.Migrations()
+	out.Reoptimizations = rt.Reoptimizations()
+	out.ReconfigPackets = rt.ReconfigPackets()
 	return out, nil
 }
 
@@ -184,10 +198,19 @@ type ratedSession interface {
 	Rate() (rate.Rate, bool)
 }
 
+// counters are the runtime counters expect assertions read, sampled after
+// an epoch quiesced and validated.
+type counters struct {
+	migrated    uint64
+	reoptimized uint64
+	stranded    int
+}
+
 // checkExpectations evaluates an epoch's expect events after it quiesced and
-// validated: golden rates, the cumulative migration count, and the current
-// stranded-session count — identically on both transports.
-func checkExpectations[S ratedSession](w *world, sc *Script, sessions []S, ep epoch, migrated uint64, stranded int) error {
+// validated: golden rates, the cumulative migration and re-optimization
+// counts, and the current stranded-session count — identically on both
+// transports.
+func checkExpectations[S ratedSession](w *world, sc *Script, sessions []S, ep epoch, c counters) error {
 	for _, ev := range ep.events {
 		switch ev.Op {
 		case OpExpectRate:
@@ -197,14 +220,19 @@ func checkExpectations[S ratedSession](w *world, sc *Script, sessions []S, ep ep
 					ev.Line, ev.Session, ev.Demand, got, ep.at)
 			}
 		case OpExpectMigrated:
-			if migrated != uint64(ev.Count) {
+			if c.migrated != uint64(ev.Count) {
 				return fmt.Errorf("scenario: line %d: expect migrated %d: got %d after epoch %v",
-					ev.Line, ev.Count, migrated, ep.at)
+					ev.Line, ev.Count, c.migrated, ep.at)
 			}
 		case OpExpectStranded:
-			if stranded != ev.Count {
+			if c.stranded != ev.Count {
 				return fmt.Errorf("scenario: line %d: expect stranded %d: got %d after epoch %v",
-					ev.Line, ev.Count, stranded, ep.at)
+					ev.Line, ev.Count, c.stranded, ep.at)
+			}
+		case OpExpectReoptimized:
+			if c.reoptimized != uint64(ev.Count) {
+				return fmt.Errorf("scenario: line %d: expect reoptimized %d: got %d after epoch %v",
+					ev.Line, ev.Count, c.reoptimized, ep.at)
 			}
 		}
 	}
@@ -275,7 +303,7 @@ func describe(events []resolvedEvent) []string {
 			out[i] = fmt.Sprintf("%s %s", ev.Op, ev.Session)
 		case OpExpectRate:
 			out[i] = fmt.Sprintf("%s %s %v", ev.Op, ev.Session, ev.Demand)
-		case OpExpectMigrated, OpExpectStranded:
+		case OpExpectMigrated, OpExpectStranded, OpExpectReoptimized:
 			out[i] = fmt.Sprintf("%s %d", ev.Op, ev.Count)
 		case OpSetCapacity:
 			out[i] = fmt.Sprintf("%s %s-%s %v", ev.Op, ev.A, ev.B, ev.Capacity)
@@ -299,6 +327,6 @@ func Format(w io.Writer, res *Result) {
 		fmt.Fprintf(w, "%-10v %-12s %-14s %10d %8d %8d  %s\n",
 			ep.At, q, rq, ep.Packets, ep.Active, ep.Stranded, strings.Join(ep.Events, ", "))
 	}
-	fmt.Fprintf(w, "total packets: %d, migrations: %d (every epoch validated against the oracle)\n",
-		res.TotalPackets, res.Migrations)
+	fmt.Fprintf(w, "total packets: %d, migrations: %d, reoptimizations: %d, reconfig packets: %d (every epoch validated against the oracle)\n",
+		res.TotalPackets, res.Migrations, res.Reoptimizations, res.ReconfigPackets)
 }

@@ -7,6 +7,10 @@
 //
 // Script grammar (line-oriented, '#' starts a comment):
 //
+//	# optional path policy (default pinned); reoptimize migrates sessions
+//	# back onto shorter paths after restores — see internal/policy
+//	policy reoptimize stretch=1.5 min-gain=2 capacity-gain=2
+//
 //	# topology: either one generated...
 //	topology transit-stub small lan seed=42 hosts=24
 //	# ...or hand-built from declarations:
@@ -27,8 +31,9 @@
 //	at 6ms   restore r1 r2
 //	at 7ms   expect rate s1 25mbps       # golden assertion after the epoch
 //	at 7ms   expect rate h1 25mbps       # ...or the host's total source rate
-//	at 7ms   expect migrated 2           # total reroutes so far
+//	at 7ms   expect migrated 2           # failure-forced reroutes so far
 //	at 7ms   expect stranded 0           # sessions currently parked
+//	at 7ms   expect reoptimized 1        # policy-driven reroutes so far
 //
 //	repeat 50 {                          # long-soak loop: the block repeats,
 //	  at 1ms  fail r1 r2                 # each iteration shifted by the
@@ -63,6 +68,7 @@ import (
 	"strings"
 	"time"
 
+	"bneck/internal/policy"
 	"bneck/internal/rate"
 	"bneck/internal/topology"
 )
@@ -80,6 +86,7 @@ const (
 	OpExpectRate
 	OpExpectMigrated
 	OpExpectStranded
+	OpExpectReoptimized
 )
 
 func (o Op) String() string {
@@ -102,6 +109,8 @@ func (o Op) String() string {
 		return "expect migrated"
 	case OpExpectStranded:
 		return "expect stranded"
+	case OpExpectReoptimized:
+		return "expect reoptimized"
 	default:
 		return "unknown"
 	}
@@ -110,8 +119,9 @@ func (o Op) String() string {
 // Event is one timeline entry. Session ops use Session (+Demand for
 // join/change); topology ops use the A–B endpoint names (+Capacity for
 // set-capacity). An expect-rate assertion names a session or a host in
-// Session and carries the expected rate in Demand; expect-migrated and
-// expect-stranded assertions carry their expected count in Count.
+// Session and carries the expected rate in Demand; expect-migrated,
+// expect-stranded and expect-reoptimized assertions carry their expected
+// count in Count.
 type Event struct {
 	At       time.Duration
 	Op       Op
@@ -175,6 +185,9 @@ type Script struct {
 	Hosts    []HostDecl
 	Links    []LinkDecl
 	Sessions []SessionDecl
+	// Policy is the path re-optimization policy the runners install on the
+	// transport (the `policy` directive; zero value = pinned).
+	Policy policy.Config
 	// Events are sorted by time; ties keep script order.
 	Events []Event
 }
@@ -203,6 +216,7 @@ func Parse(src string) (*Script, error) {
 	routers := make(map[string]int)
 	hosts := make(map[string]int)
 	sawTopology := false
+	sawPolicy := false
 	var rep *repeatBlock
 
 	lineNo := 0
@@ -263,6 +277,14 @@ func Parse(src string) (*Script, error) {
 			}
 			sawTopology = true
 			if err := parseTopology(sc, f[1:]); err != nil {
+				return nil, fail("%v", err)
+			}
+		case "policy":
+			if sawPolicy {
+				return nil, fail("duplicate policy line")
+			}
+			sawPolicy = true
+			if err := parsePolicy(sc, f[1:]); err != nil {
 				return nil, fail("%v", err)
 			}
 		case "router":
@@ -381,7 +403,7 @@ func Parse(src string) (*Script, error) {
 		}
 		for _, ev := range sc.Events {
 			switch ev.Op {
-			case OpJoin, OpLeave, OpChange, OpExpectRate, OpExpectMigrated, OpExpectStranded:
+			case OpJoin, OpLeave, OpChange, OpExpectRate, OpExpectMigrated, OpExpectStranded, OpExpectReoptimized:
 				continue
 			}
 			for _, n := range []string{ev.A, ev.B} {
@@ -580,6 +602,50 @@ func parseTopology(sc *Script, f []string) error {
 	}
 }
 
+// parsePolicy reads a `policy <pinned|reoptimize> [stretch=F] [min-gain=N]
+// [capacity-gain=F]` directive.
+func parsePolicy(sc *Script, f []string) error {
+	if len(f) < 1 {
+		return fmt.Errorf("usage: policy <pinned|reoptimize> [stretch=F] [min-gain=N] [capacity-gain=F]")
+	}
+	kind, ok := policy.Parse(f[0])
+	if !ok {
+		return fmt.Errorf("unknown policy %q (pinned, reoptimize)", f[0])
+	}
+	cfg := policy.Config{Kind: kind}
+	for _, opt := range f[1:] {
+		k, v, ok := strings.Cut(opt, "=")
+		if !ok {
+			return fmt.Errorf("malformed option %q (want key=value)", opt)
+		}
+		switch k {
+		case "stretch", "capacity-gain":
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil || x < 1 {
+				return fmt.Errorf("option %s=%q must be a number ≥ 1", k, v)
+			}
+			if k == "stretch" {
+				cfg.Stretch = x
+			} else {
+				cfg.CapacityGain = x
+			}
+		case "min-gain":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return fmt.Errorf("option min-gain=%q must be a positive integer", v)
+			}
+			cfg.MinGain = n
+		default:
+			return fmt.Errorf("unknown option %q", k)
+		}
+	}
+	if kind == policy.Pinned && (cfg.Stretch != 0 || cfg.MinGain != 0 || cfg.CapacityGain != 0) {
+		return fmt.Errorf("policy pinned takes no options")
+	}
+	sc.Policy = cfg
+	return nil
+}
+
 func parseEvent(f []string, line int) (Event, error) {
 	if len(f) < 2 {
 		return Event{}, fmt.Errorf("usage: at <time> <op> ...")
@@ -645,11 +711,14 @@ func parseEvent(f []string, line int) (Event, error) {
 				return Event{}, err
 			}
 			ev.Demand = r
-		case len(args) == 2 && (args[0] == "migrated" || args[0] == "stranded"):
-			if args[0] == "migrated" {
+		case len(args) == 2 && (args[0] == "migrated" || args[0] == "stranded" || args[0] == "reoptimized"):
+			switch args[0] {
+			case "migrated":
 				ev.Op = OpExpectMigrated
-			} else {
+			case "stranded":
 				ev.Op = OpExpectStranded
+			case "reoptimized":
+				ev.Op = OpExpectReoptimized
 			}
 			n, err := strconv.Atoi(args[1])
 			if err != nil || n < 0 {
@@ -657,7 +726,7 @@ func parseEvent(f []string, line int) (Event, error) {
 			}
 			ev.Count = n
 		default:
-			return Event{}, fmt.Errorf("usage: at <time> expect rate <session|host> <rate> | expect migrated <n> | expect stranded <n>")
+			return Event{}, fmt.Errorf("usage: at <time> expect rate <session|host> <rate> | expect migrated <n> | expect stranded <n> | expect reoptimized <n>")
 		}
 	case "set-capacity":
 		ev.Op = OpSetCapacity

@@ -33,6 +33,7 @@ func newSimulation(g *graph.Graph, topo *topology.Network, opts ...Option) (*Sim
 	cfg := network.Config{
 		ControlPacketBits: o.controlPacketBits,
 		BinSize:           o.binSize,
+		PathPolicy:        o.pathPolicy,
 	}
 	if o.onRate != nil {
 		cb := o.onRate
@@ -269,8 +270,23 @@ func (s *Simulation) LinkBetween(x, y Node) (*Link, bool) {
 // link failures (they rejoin automatically on restore).
 func (s *Simulation) StrandedSessions() int { return s.net.StrandedSessions() }
 
-// Migrations returns how many session reroutes topology events have caused.
+// Migrations returns how many session reroutes link failures have forced.
+// Policy-driven reroutes are counted separately by Reoptimizations.
 func (s *Simulation) Migrations() uint64 { return s.net.Migrations() }
+
+// Reoptimizations returns how many sessions the path policy
+// (WithPathPolicy) migrated back onto shorter paths. Always zero under the
+// default Pinned policy.
+func (s *Simulation) Reoptimizations() uint64 { return s.net.Reoptimizations() }
+
+// ReconfigPackets returns the cumulative control-packet cost of topology
+// reconfigurations: the Leave-cascade packets of every force-departed
+// session plus the Join-cascade packets of every topology-driven rejoin —
+// failure migrations, policy re-optimizations and strand rejoins — each
+// measured until the quiescence that follows it. The counter is updated by
+// RunToQuiescence; packets from scheduled user churn are never counted.
+// Together with Packets it quantifies what a reconfiguration costs.
+func (s *Simulation) ReconfigPackets() uint64 { return s.net.ReconfigPackets() }
 
 // Session is a handle to one session.
 type Session struct {
