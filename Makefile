@@ -11,12 +11,22 @@ GO ?= go
 # accumulate instead of overwriting the previous PR's committed artifact.
 BENCH_OUT ?= BENCH_PR4.json
 
-.PHONY: check vet build test test-full bench bench-full bench-json fmt docs-check
+.PHONY: check vet lint build test test-full bench bench-full bench-json fmt docs-check
 
-check: vet build test bench
+check: vet lint build test bench
 
 vet:
 	$(GO) vet ./...
+
+# The invariant gate: bnecklint (the repo's own analyzer suite — see
+# DESIGN.md §12) always runs; staticcheck and govulncheck join in when
+# installed (CI installs them; local runs without them just skip).
+lint:
+	$(GO) run ./cmd/bnecklint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "lint: staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "lint: govulncheck not installed; skipping"; fi
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,127 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want "regexp" comments — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, rebuilt on the repo's
+// dependency-free analysis framework.
+//
+// Fixture packages live under testdata/src/<name>. Every line that should
+// produce a diagnostic carries a trailing comment
+//
+//	// want "regexp"
+//
+// and the harness fails the test on any unmatched diagnostic or unmet
+// expectation. Fixtures may import real module packages (fixtures model the
+// simulator's own shapes, e.g. bneck/internal/sim for eventkey).
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bneck/internal/analysis"
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(".*")\s*$`)
+
+// Run analyzes each fixture package under testdata/src and compares
+// diagnostics with the fixtures' want comments. The analyzer's Match
+// function is intentionally bypassed: fixtures stand in for the real
+// packages.
+func Run(t *testing.T, testdata string, az *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, fixture := range fixtures {
+		t.Run(az.Name+"/"+fixture, func(t *testing.T) {
+			runOne(t, testdata, az, fixture)
+		})
+	}
+}
+
+func runOne(t *testing.T, testdata string, az *analysis.Analyzer, fixture string) {
+	t.Helper()
+	modRoot, err := analysis.FindModRoot(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(modRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := testdata + "/src/" + fixture
+	pkg, err := loader.LoadDir(dir, fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+
+	wants := collectWants(t, pkg)
+	pass := pkg.NewPass(az)
+	az.Run(pass)
+
+	for _, d := range pass.Diagnostics() {
+		pos := pkg.Fset.Position(d.Pos)
+		if w := matchWant(wants, pos, d.Message); w == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants extracts the want expectations of every fixture file.
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pattern, err := strconv.Unquote(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want comment %s: %v", pkg.Fset.Position(c.Pos()), c.Text, err)
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp: %v", pkg.Fset.Position(c.Pos()), err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+func matchWant(wants []*want, pos token.Position, msg string) *want {
+	for _, w := range wants {
+		if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.hit = true
+			return w
+		}
+	}
+	return nil
+}
+
+// Format renders a diagnostic list for debugging fixture failures.
+func Format(pkg *analysis.Package, diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s: %s\n", pkg.Fset.Position(d.Pos), d.Message)
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floatrate forbids floating-point arithmetic and comparison in the exact
+// rate pipeline (internal/rate and the waterfill oracle). Max-min fairness
+// is decided by exact comparisons of b/g rationals held as 128-bit
+// numerator/denominator pairs; one float64 round-trip in a comparison path
+// can flip a bottleneck decision by an ulp and desynchronize the
+// distributed protocol from the centralized oracle. Conversions to float64
+// for reporting are fine — arithmetic and ordering on floats are not,
+// unless the function carries //bneck:float declaring the result
+// display-only.
+var Floatrate = &Analyzer{
+	Name:  "floatrate",
+	Doc:   "forbid float arithmetic/comparison in exact-rate packages",
+	Match: inPackages("bneck/internal/rate", "bneck/internal/waterfill"),
+	Run:   runFloatrate,
+}
+
+var floatOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true, token.QUO_ASSIGN: true,
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func runFloatrate(pass *Pass) {
+	pass.forEachFunc(func(fn *ast.FuncDecl) {
+		if _, ok := funcAnnotated(fn, "float"); ok {
+			return
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			var op token.Token
+			var pos token.Pos
+			var operands []ast.Expr
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				op, pos, operands = e.Op, e.OpPos, []ast.Expr{e.X, e.Y}
+			case *ast.AssignStmt:
+				op, pos, operands = e.Tok, e.TokPos, e.Lhs
+			default:
+				return true
+			}
+			if !floatOps[op] {
+				return true
+			}
+			for _, x := range operands {
+				if isFloat(pass.Info, x) {
+					if pass.lineAnnotated(pos, "float") {
+						return true
+					}
+					pass.Reportf(pos, "float %s in an exact-rate package: rate decisions must use 128-bit rational arithmetic (rate.Rate); annotate //bneck:float only for display-only paths", op)
+					return true
+				}
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Shardowner guards the transport's merge-on-demand sharded state
+// (DESIGN.md §9): structs annotated //bneck:sharded (the per-shard domain —
+// packet stats, delivery free list, per-session counters) are owned by one
+// shard goroutine and must never be touched cross-shard during window
+// execution — that is a data race the race detector only catches when a
+// stress test happens to schedule it.
+//
+// A field access on a sharded struct is legal when the value provably
+// belongs to the executing shard or the access is in serial context:
+//
+//   - inside a method of the sharded struct itself (owning-shard methods);
+//   - when the value is a function parameter (the caller was checked where
+//     it produced the value);
+//   - when the value came, in the same function, from a call to a function
+//     annotated //bneck:owner (e.g. domainFor, which returns the executing
+//     node's own domain);
+//   - anywhere in a function annotated //bneck:merge, declaring it runs in
+//     serial context — setup, a global (barrier) event, or between runs —
+//     where sweeping all domains to merge on demand is the designed pattern.
+//
+// Everything else is flagged.
+var Shardowner = &Analyzer{
+	Name:  "shardowner",
+	Doc:   "restrict per-shard domain state to owner shards and //bneck:merge readers",
+	Match: inPackages("bneck/internal/network"),
+	Run:   runShardowner,
+}
+
+// shardedTypes collects the type names annotated //bneck:sharded and the
+// functions annotated //bneck:owner.
+func shardedTypes(pass *Pass) (types_ map[*types.TypeName]bool, owners map[*types.Func]bool) {
+	types_ = make(map[*types.TypeName]bool)
+	owners = make(map[*types.Func]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					_, ok = commentGroupDirective(ts.Doc, "sharded")
+					if !ok {
+						_, ok = commentGroupDirective(d.Doc, "sharded")
+					}
+					if !ok {
+						continue
+					}
+					if tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+						types_[tn] = true
+					}
+				}
+			case *ast.FuncDecl:
+				if _, ok := funcAnnotated(d, "owner"); ok {
+					if fn, ok := pass.Info.Defs[d.Name].(*types.Func); ok {
+						owners[fn] = true
+					}
+				}
+			}
+		}
+	}
+	return types_, owners
+}
+
+func runShardowner(pass *Pass) {
+	sharded, owners := shardedTypes(pass)
+	if len(sharded) == 0 {
+		return
+	}
+	isSharded := func(t types.Type) bool {
+		n, ok := namedType(t)
+		return ok && sharded[n.Obj()]
+	}
+
+	pass.forEachFunc(func(fn *ast.FuncDecl) {
+		if _, merge := funcAnnotated(fn, "merge"); merge {
+			return
+		}
+		// Methods of a sharded struct are the owning shard's own code.
+		if fn.Recv != nil && len(fn.Recv.List) == 1 {
+			if tv, ok := pass.Info.Types[fn.Recv.List[0].Type]; ok && isSharded(tv.Type) {
+				return
+			}
+		}
+
+		// owned tracks objects that provably hold the executing shard's own
+		// domain within one function scope: parameters of a sharded type
+		// (checked at the caller) and locals assigned from //bneck:owner
+		// calls. Scopes are per function literal, innermost wins.
+		type scope struct {
+			node  ast.Node
+			owned map[types.Object]bool
+		}
+		var scopes []scope
+		push := func(n ast.Node) { scopes = append(scopes, scope{node: n, owned: map[types.Object]bool{}}) }
+		push(fn)
+		if fn.Type.Params != nil {
+			for _, p := range fn.Type.Params.List {
+				if tv, ok := pass.Info.Types[p.Type]; ok && isSharded(tv.Type) {
+					for _, name := range p.Names {
+						scopes[0].owned[pass.Info.Defs[name]] = true
+					}
+				}
+			}
+		}
+		ownedObj := func(obj types.Object) bool {
+			for i := len(scopes) - 1; i >= 0; i-- {
+				if scopes[i].owned[obj] {
+					return true
+				}
+			}
+			return false
+		}
+		isOwnerCall := func(e ast.Expr) bool {
+			call, ok := ast.Unparen(e).(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			f := calleeFunc(pass.Info, call)
+			return f != nil && owners[f]
+		}
+
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.FuncLit:
+				push(e)
+				// Closure parameters of a sharded type count as owned.
+				if e.Type.Params != nil {
+					for _, p := range e.Type.Params.List {
+						if tv, ok := pass.Info.Types[p.Type]; ok && isSharded(tv.Type) {
+							for _, name := range p.Names {
+								scopes[len(scopes)-1].owned[pass.Info.Defs[name]] = true
+							}
+						}
+					}
+				}
+				ast.Inspect(e.Body, visit)
+				scopes = scopes[:len(scopes)-1]
+				return false
+			case *ast.AssignStmt:
+				for i, lhs := range e.Lhs {
+					if i >= len(e.Rhs) {
+						break
+					}
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.Info.Defs[id]
+					if obj == nil {
+						obj = pass.Info.Uses[id]
+					}
+					if obj == nil {
+						continue
+					}
+					if tv, ok := pass.Info.Types[e.Rhs[i]]; !ok || !isSharded(tv.Type) {
+						continue
+					}
+					if isOwnerCall(e.Rhs[i]) {
+						scopes[len(scopes)-1].owned[obj] = true
+					} else {
+						delete(scopes[len(scopes)-1].owned, obj)
+					}
+				}
+				return true
+			case *ast.SelectorExpr:
+				s, ok := pass.Info.Selections[e]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				tv, ok := pass.Info.Types[e.X]
+				if !ok || !isSharded(tv.Type) {
+					return true
+				}
+				base := ast.Unparen(e.X)
+				if id, ok := base.(*ast.Ident); ok && ownedObj(pass.Info.Uses[id]) {
+					return true
+				}
+				if isOwnerCall(base) {
+					return true
+				}
+				pass.Reportf(e.Sel.Pos(), "touches per-shard field %s of %s outside its owning shard: fetch the executing shard's domain via a //bneck:owner accessor, or annotate the function //bneck:merge if it runs in serial context", s.Obj().Name(), tv.Type.String())
+				return true
+			}
+			return true
+		}
+		ast.Inspect(fn.Body, visit)
+	})
+}

@@ -1,0 +1,66 @@
+// Package detrange exercises the unsorted-map-iteration analyzer: flagged
+// loops, the key-collection idiom, the orderfree escape, and empty bodies.
+package detrange
+
+import "sort"
+
+// orderLeaks appends in map order — the exact shape of the exp3 oracle bug
+// (bottleneck links collected in map order, ordering the error columns).
+func orderLeaks(m map[string]int) []string {
+	var out []string
+	for k, v := range m { // want "map iteration order is randomized"
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// collectUnsorted collects keys but never sorts them, so the idiom does not
+// apply.
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order is randomized"
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedKeys is the blessed fix: collect, sort, then range the slice.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedLater also qualifies with sort.Slice on the collected keys.
+func sortedLater(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// annotated sums values: addition over uint64 commutes, so order cannot
+// leak.
+func annotated(m map[int]uint64) uint64 {
+	var sum uint64
+	//bneck:orderfree integer summation commutes.
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// emptyBody cannot observe order.
+func emptyBody(m map[int]int) int {
+	n := 0
+	for range m {
+	}
+	return n + len(m)
+}

@@ -1,0 +1,43 @@
+// Package floatrate exercises the exact-arithmetic analyzer: float
+// arithmetic and comparisons are flagged, integer/rational arithmetic and
+// the display-only escapes are not.
+package floatrate
+
+type num struct{ n, d int64 }
+
+// exactLess compares rationals with integer cross-multiplication — the
+// shape rate.Rate uses.
+func exactLess(a, b num) bool {
+	return a.n*b.d < b.n*a.d
+}
+
+// floatCompare decides an ordering with floats: one ulp can flip a
+// bottleneck decision.
+func floatCompare(a, b float64) bool {
+	return a < b // want "float <"
+}
+
+// floatAccumulate sums floats.
+func floatAccumulate(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x // want "float \\+="
+	}
+	return s
+}
+
+func floatDivide(a, b float64) float64 {
+	return a / b // want "float /"
+}
+
+// display is a reporting helper: the whole function is display-only.
+//
+//bneck:float display-only percentage; never feeds a rate decision.
+func display(part, whole float64) float64 {
+	return 100 * part / whole
+}
+
+// lineEscape escapes a single expression.
+func lineEscape(a, b float64) float64 {
+	return a * b //bneck:float display only.
+}

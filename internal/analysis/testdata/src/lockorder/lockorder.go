@@ -1,0 +1,105 @@
+// Package lockorder models the live runtime's two-tier locking: a runtime
+// mutex, peer stripe locks, and actor mailboxes, with the documented order
+// mu → stripe → mailbox.
+package lockorder
+
+import "sync"
+
+type message struct{ v int }
+
+type actor struct {
+	mu    sync.Mutex //bneck:lock mailbox
+	queue []message
+}
+
+// enqueue is the non-blocking mailbox append: legal under mu or a stripe.
+//
+//bneck:locks mailbox
+func (a *actor) enqueue(m message) {
+	a.mu.Lock()
+	a.queue = append(a.queue, m)
+	a.mu.Unlock()
+}
+
+type stripe struct {
+	mu sync.Mutex //bneck:lock stripe
+	m  map[int]*actor
+}
+
+type runtime struct {
+	mu      sync.Mutex //bneck:lock mu
+	stripes [4]stripe
+	ch      chan message
+}
+
+// inOrder follows the documented order exactly: mu, then one stripe, then a
+// mailbox via the non-blocking enqueue.
+func (rt *runtime) inOrder(k int, m message) {
+	rt.mu.Lock()
+	s := &rt.stripes[k%4]
+	s.mu.Lock()
+	s.m[k].enqueue(m)
+	s.mu.Unlock()
+	rt.mu.Unlock()
+}
+
+// muUnderStripe is the deadlock shape the order exists to exclude.
+func (rt *runtime) muUnderStripe(k int) {
+	s := &rt.stripes[k%4]
+	s.mu.Lock()
+	rt.mu.Lock() // want "acquires mu while holding a domain stripe"
+	rt.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// twoStripes nests peer stripes, which never happens in the Emit path.
+func (rt *runtime) twoStripes(i, j int) {
+	rt.stripes[i%4].mu.Lock()
+	rt.stripes[j%4].mu.Lock() // want "another stripe is held"
+	rt.stripes[j%4].mu.Unlock()
+	rt.stripes[i%4].mu.Unlock()
+}
+
+// rawSend blocks on a channel while holding mu: mailbox traffic under a
+// lock must use the non-blocking enqueue.
+func (rt *runtime) rawSend(m message) {
+	rt.mu.Lock()
+	rt.ch <- m // want "channel send while holding mu"
+	rt.mu.Unlock()
+}
+
+// reacquire self-deadlocks.
+func (rt *runtime) reacquire() {
+	rt.mu.Lock()
+	rt.mu.Lock() // want "re-acquires mu"
+	rt.mu.Unlock()
+	rt.mu.Unlock()
+}
+
+// stripeThenRelease re-locks in order after releasing: the
+// stripe → release → mu → stripe pattern linkActorFor uses.
+func (rt *runtime) stripeThenRelease(k int) *actor {
+	s := &rt.stripes[k%4]
+	s.mu.Lock()
+	a := s.m[k]
+	s.mu.Unlock()
+	if a != nil {
+		return a
+	}
+	rt.mu.Lock()
+	s.mu.Lock()
+	a = s.m[k]
+	s.mu.Unlock()
+	rt.mu.Unlock()
+	return a
+}
+
+// deferred unlocks pin locks to function end; inner tiers stay legal.
+func (rt *runtime) deferred(k int, m message) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	s := &rt.stripes[k%4]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[k].enqueue(m)
+}

@@ -1,0 +1,67 @@
+// Package shardowner models the transport's merge-on-demand sharded
+// domains. The flagged shapes reproduce the hazard behind the PR 4
+// incarnation accounting: per-shard counters swept mid-window from a
+// goroutine that does not own them — a data race the race detector only
+// catches when a stress run happens to schedule it.
+package shardowner
+
+// domain is the per-shard execution state.
+//
+//bneck:sharded
+type domain struct {
+	pkts uint64
+	free []int
+}
+
+type network struct {
+	domains []*domain
+}
+
+// domainFor returns the executing shard's own domain.
+//
+//bneck:owner
+func (n *network) domainFor(node int32) *domain {
+	return n.domains[int(node)%len(n.domains)]
+}
+
+// emit is the hot path: fetch through the owner accessor, then touch fields.
+func (n *network) emit(node int32) {
+	dom := n.domainFor(node)
+	dom.pkts++
+	dom.free = append(dom.free, int(node))
+}
+
+// record is a method of the sharded struct: owning-shard code by definition.
+func (d *domain) record() { d.pkts++ }
+
+// take receives the domain as a parameter: the caller was checked where it
+// produced the value.
+func take(dom *domain, v int) {
+	dom.free = append(dom.free, v)
+}
+
+// crossShard reaches into an arbitrary shard's domain.
+func (n *network) crossShard(i int) uint64 {
+	return n.domains[i].pkts // want "outside its owning shard"
+}
+
+// sweepStale is the historical bug shape: merging every shard's counters
+// without declaring serial context.
+func (n *network) sweepStale() uint64 {
+	var total uint64
+	for _, d := range n.domains {
+		total += d.pkts // want "outside its owning shard"
+	}
+	return total
+}
+
+// sweep is the sanctioned merge-on-demand reader.
+//
+//bneck:merge runs at a barrier or between runs; sweeping all domains is the design.
+func (n *network) sweep() uint64 {
+	var total uint64
+	for _, d := range n.domains {
+		total += d.pkts
+	}
+	return total
+}

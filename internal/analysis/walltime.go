@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Walltime forbids ambient-environment reads in deterministic packages:
+// wall-clock time (time.Now and friends — the simulator owns its virtual
+// clock), process environment (os.Getenv), and the globally-seeded
+// top-level math/rand functions (Go seeds the global source randomly, so
+// rand.Intn differs run to run; every random stream must come from an
+// explicitly seeded rand.New(rand.NewSource(seed))).
+//
+// The examples that promise reproducible output (examples/wan,
+// examples/dynamic, examples/quickstart) opt in alongside the deterministic
+// packages. A sanctioned read — e.g. wall-clock duration reporting that
+// never feeds results — takes a //bneck:wallclock directive on the call or
+// the enclosing function with a one-line justification.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now, os.Getenv and unseeded math/rand in deterministic packages",
+	Match: inPackages(append([]string{
+		"bneck/examples/wan",
+		"bneck/examples/dynamic",
+		"bneck/examples/quickstart",
+	}, DeterministicPackages...)...),
+	Run: runWalltime,
+}
+
+// walltimeBanned lists the banned package-level functions per package. For
+// math/rand and math/rand/v2 every package-level draw from the global source
+// is banned (constructors taking explicit seeds remain fine); they are
+// handled separately in bannedCall.
+var walltimeBanned = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read",
+		"Since": "wall-clock read",
+		"Until": "wall-clock read",
+	},
+	"os": {
+		"Getenv":    "environment read",
+		"LookupEnv": "environment read",
+		"Environ":   "environment read",
+	},
+}
+
+// randConstructors are the math/rand functions that do not draw from the
+// global source: they build explicitly-seeded generators, which is exactly
+// what deterministic code should use.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func bannedCall(fun *types.Func) (kind string, ok bool) {
+	if fun.Pkg() == nil {
+		return "", false
+	}
+	if sig, ok := fun.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", false // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	path := fun.Pkg().Path()
+	if path == "math/rand" || path == "math/rand/v2" {
+		if randConstructors[fun.Name()] {
+			return "", false
+		}
+		return "globally-seeded randomness", true
+	}
+	if kind, ok := walltimeBanned[path][fun.Name()]; ok {
+		return kind, true
+	}
+	return "", false
+}
+
+func runWalltime(pass *Pass) {
+	pass.forEachFunc(func(fn *ast.FuncDecl) {
+		_, fnSanctioned := funcAnnotated(fn, "wallclock")
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fun := calleeFunc(pass.Info, call)
+			if fun == nil {
+				return true
+			}
+			kind, banned := bannedCall(fun)
+			if !banned || fnSanctioned || pass.lineAnnotated(call.Pos(), "wallclock") {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s.%s (%s) in a deterministic package: results must be a pure function of inputs — use the virtual clock or an explicitly seeded source, or annotate //bneck:wallclock with why output cannot depend on it", fun.Pkg().Name(), fun.Name(), kind)
+			return true
+		})
+	})
+}

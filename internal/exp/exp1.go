@@ -146,7 +146,7 @@ func RunExperiment1(cfg Exp1Config) ([]Exp1Row, error) {
 }
 
 func runExp1Cell(cfg Exp1Config, size topology.Params, scen topology.Scenario, count int) (Exp1Row, error) {
-	start := time.Now()
+	start := time.Now() //bneck:wallclock Wall is operator-facing throughput info; never written to CSVs, zeroed by the determinism test.
 	topo, err := topology.Generate(size, scen, cfg.Seed)
 	if err != nil {
 		return Exp1Row{}, err
@@ -181,7 +181,7 @@ func runExp1Cell(cfg Exp1Config, size topology.Params, scen topology.Scenario, c
 		Packets:           net.Stats().Total(),
 		PacketsPerSession: float64(net.Stats().Total()) / float64(count),
 		Events:            eng.Events(),
-		Wall:              time.Since(start),
+		Wall:              time.Since(start), //bneck:wallclock see start above: reporting only, excluded from deterministic outputs.
 		SettleP50:         time.Duration(sum.Median),
 		SettleP90:         time.Duration(sum.P90),
 		SettleMax:         time.Duration(sum.Max),

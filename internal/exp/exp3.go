@@ -345,10 +345,17 @@ func (w *exp3Workload) solveOracle(active []int) (*exp3Oracle, error) {
 			o.crossers[l] = append(o.crossers[l], i)
 		}
 	}
-	for l, ld := range load {
-		if ld.Equal(g.Link(l).Capacity) {
+	// bnLinks orders linkErrs in sampleErrors, so iterate in sorted link
+	// order rather than map order.
+	links := make([]graph.LinkID, 0, len(load))
+	for l := range load {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	for _, l := range links {
+		if load[l].Equal(g.Link(l).Capacity) {
 			o.bnLinks = append(o.bnLinks, l)
-			o.fairLoad[l] = ld.Float64()
+			o.fairLoad[l] = load[l].Float64()
 		}
 	}
 	return o, nil
@@ -392,14 +399,21 @@ func (w *exp3Workload) sampleErrors(t time.Duration, assigned func(idx int) (flo
 	if err != nil {
 		return nil, nil, err
 	}
+	// Iterate sessions in index order: srcErrs carries the append order into
+	// the per-source error distribution.
+	idxs := make([]int, 0, len(o.fair))
+	for i := range o.fair {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
 	cur := make(map[int]float64, len(o.fair))
-	for i, fair := range o.fair {
+	for _, i := range idxs {
 		a, ok := assigned(i)
 		if !ok {
 			continue
 		}
 		cur[i] = a
-		srcErrs = append(srcErrs, metrics.RelativeErrorPct(a, fair))
+		srcErrs = append(srcErrs, metrics.RelativeErrorPct(a, o.fair[i]))
 	}
 	linkErrs = make([]float64, 0, len(o.bnLinks))
 	for _, l := range o.bnLinks {

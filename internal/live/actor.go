@@ -6,7 +6,7 @@ import "sync"
 // sequentially, giving the per-task atomicity the protocol's when-blocks
 // require.
 type actor struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //bneck:lock mailbox
 	cond    *sync.Cond
 	queue   []message
 	stopped bool
@@ -45,7 +45,11 @@ func (a *actor) start(handle func(message)) {
 	}()
 }
 
-// enqueue appends a message (counts as activity until processed).
+// enqueue appends a message (counts as activity until processed). It never
+// blocks — the queue is unbounded — which is why enqueueing under rt.mu or a
+// stripe is legal (lock order mu → stripe → mailbox).
+//
+//bneck:locks mailbox
 func (a *actor) enqueue(m message) {
 	a.acts.inc()
 	a.mu.Lock()
@@ -61,6 +65,8 @@ func (a *actor) enqueue(m message) {
 
 // stop terminates the actor loop; queued messages are dropped (and
 // un-counted) so Close never hangs the activity counter.
+//
+//bneck:locks mailbox
 func (a *actor) stop() {
 	a.mu.Lock()
 	dropped := len(a.queue)

@@ -59,11 +59,14 @@ import (
 // Validate) gather the stripes under mu.
 //
 // Lock order: mu → domain stripe → actor mailbox. Emit never holds two
-// locks at once, and nothing acquires mu while holding a stripe.
+// locks at once, and nothing acquires mu while holding a stripe. The order
+// is machine-checked by bnecklint's lockorder analyzer through the
+// //bneck:lock tier annotations below (DESIGN.md §12, "Machine-enforced
+// invariants").
 type Runtime struct {
 	g *graph.Graph
 
-	mu       sync.Mutex
+	mu       sync.Mutex //bneck:lock mu
 	resolver *graph.Resolver
 	order    []*Session // logical sessions, in creation order
 	nextID   core.SessionID
@@ -101,12 +104,12 @@ type Runtime struct {
 const emitDomains = 32
 
 type incDomain struct {
-	mu sync.Mutex
+	mu sync.Mutex //bneck:lock stripe
 	m  map[core.SessionID]*incarnation
 }
 
 type linkDomain struct {
-	mu     sync.Mutex
+	mu     sync.Mutex //bneck:lock stripe
 	actors map[graph.LinkID]*linkActor
 	pkts   map[graph.LinkID]uint64
 }

@@ -192,7 +192,11 @@ type oracleScratch struct {
 // domain is the per-shard execution state: the shard's packet statistics,
 // its per-session packet counters, and its free list of recycled packet
 // deliveries. Each domain is touched only by its shard's goroutine (or by
-// the coordinator at a barrier), so the hot path stays lock-free.
+// the coordinator at a barrier), so the hot path stays lock-free. The
+// shardowner analyzer enforces that ownership: fields may only be reached
+// through a //bneck:owner accessor or inside a //bneck:merge function.
+//
+//bneck:sharded
 type domain struct {
 	stats *metrics.PacketStats
 	free  []*deliverEvent
@@ -300,6 +304,8 @@ func (n *Network) Sharded() *sim.ShardedEngine { return n.she }
 // and keeps the delivery free list at the classic engine's hit rate instead
 // of leaking events across cut-traffic pools (stats merge by summation, so
 // the collapse is invisible in results).
+//
+//bneck:owner returns the executing shard's own domain (ShardOf of the executing node).
 func (n *Network) domainFor(node graph.NodeID) *domain {
 	if n.she == nil || !n.she.Parallel() {
 		return n.domains[0]
@@ -325,18 +331,25 @@ func (n *Network) globalNow() sim.Time {
 
 // globalAt schedules fn as a serial event: a plain event on the classic
 // engine, a barrier (global) event on the sharded one. All session churn and
-// topology dynamics go through here, because they touch cross-shard state.
+// topology dynamics go through here, because they touch cross-shard state —
+// it is the transport's single sanctioned funnel for un-keyed (ExtCreator)
+// scheduling, so churn, dynamics and sampling share one partition-independent
+// order (the eventkey analyzer flags any other At/After/DaemonAt call).
+//
+//bneck:global the one blessed ExtCreator funnel; everything serial flows through here.
 func (n *Network) globalAt(at sim.Time, fn func()) {
 	if n.she == nil {
-		n.eng.At(at, fn)
+		n.eng.At(at, fn) //bneck:global see funnel comment above.
 		return
 	}
-	n.she.At(at, fn)
+	n.she.At(at, fn) //bneck:global see funnel comment above.
 }
 
 // Stats returns the packet statistics. In sharded mode the per-shard
 // collectors are merged into a fresh snapshot; totals and bins are sums, so
 // the result is identical for every shard count.
+//
+//bneck:merge called between runs or at a barrier; sweeps all domains by design.
 func (n *Network) Stats() *metrics.PacketStats {
 	if len(n.domains) == 1 {
 		return n.domains[0].stats
@@ -377,6 +390,8 @@ func (n *Network) SessionPackets() []metrics.SessionCount {
 
 // sessionPacketCount sums one session's packet counters across domains.
 // Call from serial context (setup, a barrier event, or between runs).
+//
+//bneck:merge serial-context sweep; see the call contract above.
 func (n *Network) sessionPacketCount(id core.SessionID) uint64 {
 	var pk uint64
 	for _, d := range n.domains {
@@ -448,6 +463,8 @@ func (n *Network) Sessions() []*Session {
 // NewSession creates a session between two hosts along path, without joining
 // it (schedule the join separately). The path must come from the graph
 // (e.g., graph.Resolver.HostPath).
+//
+//bneck:merge sessions are created at setup or inside barrier events; sizing every domain's counter table here is the serial-context contract.
 func (n *Network) NewSession(srcHost, dstHost graph.NodeID, path graph.Path) (*Session, error) {
 	if err := graph.ValidatePath(n.g, path); err != nil {
 		return nil, fmt.Errorf("network: %w", err)

@@ -363,6 +363,8 @@ func Max(r, o Rate) Rate {
 
 // Float64 returns the value as a float64 (for metrics and reporting only;
 // never used in protocol decisions). +∞ maps to math.Inf(1).
+//
+//bneck:float the one sanctioned exit from exact arithmetic: a display conversion whose result never feeds back into rates.
 func (r Rate) Float64() float64 {
 	if r.inf {
 		return math.Inf(1)

@@ -79,6 +79,10 @@ func (e *Engine) DaemonAt(t Time, fn func()) {
 	e.schedule(t, fn, true)
 }
 
+// schedule assigns the ExtCreator key: external events order by a single
+// engine-wide sequence, matching the sharded engine's global bucket.
+//
+//bneck:keyed
 func (e *Engine) schedule(t Time, fn func(), daemon bool) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
@@ -97,6 +101,8 @@ func (e *Engine) schedule(t Time, fn func(), daemon bool) {
 // in the same total order on this engine and on a sharded engine at any
 // shard count — the bridge that makes classic runs byte-identical to
 // sharded ones.
+//
+//bneck:keyed assigns the (time, creator, creator-seq) key.
 func (e *Engine) SendFrom(creator int32, t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))

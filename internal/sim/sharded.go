@@ -220,6 +220,8 @@ func (se *ShardedEngine) ShardOf(node int32) int { return int(se.part[node]) }
 // shard parked); queued shard events are re-homed to their owners' new
 // shards and creator counters move with their nodes, so a repartition never
 // disturbs the deterministic event order.
+//
+//bneck:keyed re-homes already-keyed events; keys are preserved verbatim.
 func (se *ShardedEngine) SetTopology(numNodes int, part []int32, lookahead Time) {
 	if len(part) != numNodes {
 		panic(fmt.Sprintf("sim: partition of %d nodes for %d-node topology", len(part), numNodes))
@@ -313,6 +315,9 @@ func (se *ShardedEngine) After(d time.Duration, fn func()) {
 // does not keep Run alive.
 func (se *ShardedEngine) DaemonAt(t Time, fn func()) { se.scheduleGlobal(t, fn, true) }
 
+// scheduleGlobal assigns the ExtCreator key to a global (barrier) event.
+//
+//bneck:keyed
 func (se *ShardedEngine) scheduleGlobal(t Time, fn func(), daemon bool) {
 	if se.inWindow {
 		panic("sim: global scheduling during a shard window (schedule from setup or a global event)")
@@ -334,6 +339,8 @@ func (se *ShardedEngine) scheduleGlobal(t Time, fn func(), daemon bool) {
 // window batch, cross-shard sends are binned by the window their arrival
 // falls in; arrivals beyond the batch land in the tail slot, drained by the
 // coordinator at the join.
+//
+//bneck:keyed assigns the (time, creator, creator-seq) key.
 func (se *ShardedEngine) SendAt(from, to int32, t Time, fn func()) {
 	sf := se.shards[se.part[from]]
 	sf.ctr[from]++
@@ -453,6 +460,8 @@ func (se *ShardedEngine) RunUntil(t Time) {
 // actually wrote are visited (in-batch ingestion may have emptied some of
 // them already — the length check skips those). Insertion order is
 // irrelevant: keys are unique, and heaps pop the exact minimum.
+//
+//bneck:keyed moves already-keyed events between heaps.
 func (se *ShardedEngine) drain() {
 	for _, s := range se.shards {
 		if len(s.dirty) == 0 {
@@ -655,6 +664,8 @@ func (s *seShard) begin(plan seBatch, endI Time) {
 
 // ingest moves every shard's bin for window j of the current batch into this
 // shard's heap.
+//
+//bneck:keyed moves already-keyed events between heaps.
 func (s *seShard) ingest(se *ShardedEngine, j int) {
 	idx := int(s.id)*se.stride + j
 	for _, src := range se.shards {

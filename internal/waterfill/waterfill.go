@@ -7,6 +7,7 @@ package waterfill
 
 import (
 	"fmt"
+	"sort"
 
 	"bneck/internal/rate"
 )
@@ -281,8 +282,16 @@ func WaterFilling(in Instance) ([]rate.Rate, error) {
 		if bestLink == -1 {
 			return nil, fmt.Errorf("waterfill: %d sessions unconstrained by any link", remaining)
 		}
-		// Fix the sessions crossing it at the fair share.
+		// Fix the sessions crossing it at the fair share, in session order:
+		// every crosser receives the same share, but iterating the map
+		// directly would mutate it mid-range and make the update order
+		// schedule-dependent.
+		crossers := make([]int, 0, len(active[bestLink]))
 		for s := range active[bestLink] {
+			crossers = append(crossers, s)
+		}
+		sort.Ints(crossers)
+		for _, s := range crossers {
 			lambda[s] = bestShare
 			fixed[s] = true
 			remaining--
