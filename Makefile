@@ -9,7 +9,7 @@
 GO ?= go
 # Bump per PR (BENCH_PR5.json, …) — or pass BENCH_OUT=… — so snapshots
 # accumulate instead of overwriting the previous PR's committed artifact.
-BENCH_OUT ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR7.json
 
 .PHONY: check vet lint build test test-full bench bench-full bench-json fmt docs-check
 

@@ -15,9 +15,11 @@ import (
 	"bneck/internal/exp"
 	"bneck/internal/graph"
 	"bneck/internal/live"
+	"bneck/internal/network"
 	"bneck/internal/rate"
 	"bneck/internal/sim"
 	"bneck/internal/topology"
+	"bneck/internal/trace"
 )
 
 // ---------------------------------------------------------------------------
@@ -297,35 +299,125 @@ func BenchmarkReconfiguration(b *testing.B) {
 // baseline; outputs are byte-identical at every setting, so the pkts/sec
 // ratios are pure engine overhead/speedup (on a single-core machine the
 // engine executes windows inline, so shards=4 measures sharding overhead
-// with zero goroutine parallelism).
+// with zero goroutine parallelism). Multi-shard cells run twice, spec=off
+// and spec=on, measuring optimistic window execution (DESIGN.md §13) on
+// the churn workload; the Quiesce cells isolate its target regime — a join
+// storm followed by one long convergence tail, no churn at all — and also
+// report the attempt/commit/replay counters.
 func BenchmarkShardedEngine(b *testing.B) {
 	for _, scen := range []topology.Scenario{topology.WAN, topology.LAN} {
 		for _, shards := range []int{0, 1, 2, 4} {
-			b.Run("Exp4/Medium/"+scen.String()+"/shards="+itoa(shards), func(b *testing.B) {
-				cfg := exp.DefaultExp4()
-				cfg.Sizes = []topology.Params{topology.Medium}
-				cfg.Scenarios = []topology.Scenario{scen}
-				cfg.Sessions = 2000
-				cfg.Epochs = 6
-				cfg.Churn = 100
-				cfg.Validate = false
-				cfg.Shards = shards
-				var packets uint64
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					cfg.Seeds = []int64{int64(i + 1)}
-					rows, err := exp.RunExperiment4(cfg)
-					if err != nil {
-						b.Fatal(err)
-					}
-					for _, r := range rows {
-						packets += r.Packets
-					}
+			specs := []bool{false}
+			if shards >= 2 {
+				specs = append(specs, true)
+			}
+			for _, spec := range specs {
+				name := "Exp4/Medium/" + scen.String() + "/shards=" + itoa(shards)
+				if shards >= 2 {
+					name += "/spec=" + onOff(spec)
 				}
-				b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "pkts/sec")
+				b.Run(name, func(b *testing.B) {
+					cfg := exp.DefaultExp4()
+					cfg.Sizes = []topology.Params{topology.Medium}
+					cfg.Scenarios = []topology.Scenario{scen}
+					cfg.Sessions = 2000
+					cfg.Epochs = 6
+					cfg.Churn = 100
+					cfg.Validate = false
+					cfg.Shards = shards
+					cfg.Speculate = spec
+					var packets uint64
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						cfg.Seeds = []int64{int64(i + 1)}
+						rows, err := exp.RunExperiment4(cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						for _, r := range rows {
+							packets += r.Packets
+						}
+					}
+					b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "pkts/sec")
+				})
+			}
+		}
+	}
+	for _, shards := range []int{0, 4} {
+		specs := []bool{false}
+		if shards >= 2 {
+			specs = append(specs, true)
+		}
+		for _, spec := range specs {
+			name := "Quiesce/Medium/WAN/shards=" + itoa(shards)
+			if shards >= 2 {
+				name += "/spec=" + onOff(spec)
+			}
+			b.Run(name, func(b *testing.B) {
+				benchQuiesce(b, shards, spec)
 			})
 		}
 	}
+}
+
+// benchQuiesce drives the speculation target workload directly through the
+// transport: 2000 sessions join a Medium/WAN network within a millisecond
+// and the run is a single convergence to quiescence — sparse cascades whose
+// every conservative lookahead window costs a coordinator round the
+// optimistic engine can cover many of at once.
+func benchQuiesce(b *testing.B, shards int, spec bool) {
+	var packets uint64
+	var stats sim.SpeculationStats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		topo, err := topology.Generate(topology.Medium, topology.WAN, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := network.DefaultConfig()
+		cfg.Speculate = spec
+		var net *network.Network
+		if shards >= 1 {
+			net = network.NewSharded(topo.Graph, sim.NewSharded(shards), cfg)
+		} else {
+			net = network.New(topo.Graph, sim.New(), cfg)
+		}
+		const sessions = 2000
+		ss, err := exp.PlaceSessions(topo, net, sessions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(i + 8)))
+		demand := trace.MixedDemands(0.25, 1, 100)
+		for _, ev := range trace.Joins(0, sessions, 0, time.Millisecond, demand, rng) {
+			net.ScheduleJoin(ss[ev.Session], ev.At, ev.Demand)
+		}
+		b.StartTimer()
+		net.Run()
+		b.StopTimer()
+		packets += net.Stats().Total()
+		st := net.SpeculationStats()
+		stats.Attempts += st.Attempts
+		stats.Commits += st.Commits
+		stats.Replays += st.Replays
+		stats.Events += st.Events
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "pkts/sec")
+	if spec {
+		n := float64(b.N)
+		b.ReportMetric(float64(stats.Attempts)/n, "spec_attempts/run")
+		b.ReportMetric(float64(stats.Commits)/n, "spec_commits/run")
+		b.ReportMetric(float64(stats.Replays)/n, "spec_replays/run")
+		b.ReportMetric(float64(stats.Events)/n, "spec_events/run")
+	}
+}
+
+func onOff(on bool) string {
+	if on {
+		return "on"
+	}
+	return "off"
 }
 
 // BenchmarkLiveEmitContention measures the live actor runtime's packet

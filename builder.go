@@ -138,7 +138,9 @@ type options struct {
 	binSize           time.Duration
 	onRate            func(SessionID, Rate, time.Duration)
 	shards            int
+	shardsSet         bool
 	windowBatch       int
+	speculate         bool
 	pathPolicy        policy.Config
 }
 
@@ -233,9 +235,24 @@ func WithRateCallback(fn func(s SessionID, r Rate, at time.Duration)) Option {
 // highest-latency links) and a single run advances across n cores under
 // conservative lookahead windows. Results are byte-identical for every n,
 // including 1 — the sharded-serial reference — and identical to the classic
-// serial engine's. n ≤ 0 selects the classic serial engine.
+// serial engine's. n == 0 auto-tunes the shard count and window batch from
+// the process's GOMAXPROCS (one shard per usable CPU, clamped to eight);
+// n < 0 — like omitting the option — selects the classic serial engine.
 func WithShards(n int) Option {
-	return func(o *options) { o.shards = n }
+	return func(o *options) { o.shards, o.shardsSet = n, true }
+}
+
+// WithSpeculation enables optimistic window execution on the sharded engine
+// (it has no effect without WithShards): at synchronization barriers where
+// every cut-link wire is idle, shards speculatively run windows several
+// lookaheads long, journaling cross-shard sends and externalizing them only
+// at commit; a window that would overtake a journaled arrival parks and its
+// suffix replays under the conservative bound — no work is ever rolled
+// back. Results are byte-identical with speculation on or off at every
+// shard count and batch setting; only wall-clock changes. See
+// Simulation.SpeculationStats for outcome counters.
+func WithSpeculation(on bool) Option {
+	return func(o *options) { o.speculate = on }
 }
 
 // WithWindowBatch bounds how many consecutive conservative windows the

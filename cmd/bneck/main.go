@@ -6,9 +6,10 @@
 // Usage:
 //
 //	bneck [-size small|medium|big] [-scenario lan|wan] [-sessions N]
-//	      [-demand-cap P] [-seed S] [-shards N] [-window-batch K]
+//	      [-demand-cap P] [-seed S] [-shards N] [-window-batch K] [-speculate]
 //	      [-path-policy pinned|reoptimize] [-validate] [-v] [-live]
-//	bneck -run-scenario <script> [-live] [-path-policy pinned|reoptimize]
+//	bneck -run-scenario <script> [-live] [-shards N] [-speculate]
+//	      [-path-policy pinned|reoptimize]
 //
 // With -live the protocol runs on the concurrent actor runtime (one
 // goroutine per task, no simulator): quiescence becomes wall-clock
@@ -19,6 +20,11 @@
 // capacity changes — validating the allocation against the water-filling
 // oracle after every epoch. See docs/SCENARIOS.md for the complete script
 // reference and examples/scenarios/ for ready-made scripts.
+//
+// -shards selects the engine (0 classic serial, N sharded, -1 auto-tuned
+// from GOMAXPROCS) and -speculate enables optimistic window execution on
+// the sharded engine; both apply to plain runs and -run-scenario alike, and
+// every combination prints byte-identical results.
 //
 // -path-policy selects the path re-optimization policy (pinned, the
 // default, or reoptimize — migrate sessions back onto shorter paths after
@@ -62,8 +68,9 @@ func main() {
 		validate     = flag.Bool("validate", true, "cross-check against the centralized oracle")
 		verbose      = flag.Bool("v", false, "print every session's rate")
 		liveMode     = flag.Bool("live", false, "run on the concurrent actor runtime instead of the simulator")
-		shards       = flag.Int("shards", 0, "shards for the simulator run: 0 = classic serial engine, >0 = sharded engine (byte-identical at any count)")
+		shards       = flag.Int("shards", 0, "shards for the simulator run: 0 = classic serial engine, >0 = sharded engine, -1 = auto-tune from GOMAXPROCS (byte-identical at any count)")
 		windowBatch  = flag.Int("window-batch", 0, "conservative windows per sharded fork/join: 0 = engine default, 1 = no batching (byte-identical at any setting)")
+		speculate    = flag.Bool("speculate", false, "optimistic window execution on the sharded engine: journaled lookahead past the conservative bound, committed rollback-free (byte-identical on or off; needs -shards)")
 		scenFile     = flag.String("run-scenario", "", "execute a declarative scenario script (full DSL reference: docs/SCENARIOS.md)")
 		pathPolicy   = flag.String("path-policy", "", "path re-optimization policy: pinned or reoptimize (migrate sessions back onto shorter paths after restores); overrides a scenario script's `policy` directive, keeping the script's hysteresis knobs")
 		reoptStretch = flag.Float64("reopt-stretch", 0, "reoptimize hysteresis: migrate only when the current path exceeds stretch × the best path (0 keeps the script/default setting)")
@@ -94,8 +101,13 @@ func main() {
 		return base
 	}
 
+	simOpts := scenario.SimOptions{
+		Shards:      *shards,
+		WindowBatch: *windowBatch,
+		Speculate:   *speculate,
+	}
 	if *scenFile != "" {
-		runScenario(*scenFile, *liveMode, overlayPolicy)
+		runScenario(*scenFile, *liveMode, simOpts, overlayPolicy)
 		return
 	}
 
@@ -119,11 +131,19 @@ func main() {
 	}
 	cfg := network.DefaultConfig()
 	cfg.PathPolicy = overlayPolicy(cfg.PathPolicy)
+	cfg.Speculate = *speculate
+	nShards, nBatch := *shards, *windowBatch
+	if nShards < 0 {
+		nShards = sim.AutoShards()
+		if nBatch <= 0 {
+			nBatch = sim.AutoWindowBatch()
+		}
+	}
 	var net *network.Network
-	if *shards >= 1 {
-		she := sim.NewSharded(*shards)
-		if *windowBatch > 0 {
-			she.SetWindowBatch(*windowBatch)
+	if nShards >= 1 {
+		she := sim.NewSharded(nShards)
+		if nBatch > 0 {
+			she.SetWindowBatch(nBatch)
 		}
 		net = network.NewSharded(topo.Graph, she, cfg)
 	} else {
@@ -150,12 +170,16 @@ func main() {
 	}
 
 	fmt.Printf("topology   : %s (%d routers), %s scenario\n", size.Name, size.Routers(), scen)
-	if *shards >= 1 {
+	if nShards >= 1 {
 		look := "unbounded (single shard)"
 		if l := net.Sharded().Lookahead(); l > 0 {
 			look = l.String()
 		}
 		fmt.Printf("engine     : sharded, %d shard(s), lookahead %s\n", net.Sharded().Shards(), look)
+		if st := net.SpeculationStats(); st.Attempts > 0 {
+			fmt.Printf("speculation: %d attempts, %d commits, %d replays, %d speculative events\n",
+				st.Attempts, st.Commits, st.Replays, st.Events)
+		}
 	}
 	fmt.Printf("sessions   : %d joined within 1ms (demand-capped fraction %.2f)\n", *sessions, *demandCap)
 	fmt.Printf("quiescence : %v (virtual), %v (wall)\n", q, wallDur.Round(time.Millisecond))
@@ -184,8 +208,9 @@ func main() {
 // runScenario parses and executes a scenario script, printing the per-epoch
 // re-quiescence table. Every epoch is validated against the oracle.
 // overlay applies the command-line policy flags on top of the script's
-// `policy` directive.
-func runScenario(path string, liveMode bool, overlay func(policy.Config) policy.Config) {
+// `policy` directive; opts carries the -shards/-window-batch/-speculate
+// engine selection (simulator transport only — -live ignores it).
+func runScenario(path string, liveMode bool, opts scenario.SimOptions, overlay func(policy.Config) policy.Config) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		log.Fatal(err)
@@ -200,7 +225,7 @@ func runScenario(path string, liveMode bool, overlay func(policy.Config) policy.
 	if liveMode {
 		res, err = scenario.RunLive(sc)
 	} else {
-		res, err = scenario.RunSim(sc)
+		res, err = scenario.RunSimOpts(sc, opts)
 	}
 	if err != nil {
 		log.Fatal(err)

@@ -18,7 +18,10 @@
 // -shards N runs every simulation on the sharded engine, splitting a single
 // run across N cores under conservative lookahead windows; output is
 // byte-identical at any shard count (and -exp4-paper makes the paper-sized
-// Medium/Big churn sweep affordable with it).
+// Medium/Big churn sweep affordable with it). -shards -1 auto-tunes the
+// shard count and window batch from GOMAXPROCS, and -speculate adds
+// optimistic window execution — journaled lookahead past the conservative
+// bound, committed rollback-free — again with byte-identical output.
 //
 // -workers N fans the sweeps across goroutines at each level: the selected
 // experiments run concurrently, and within them experiment 1's
@@ -42,6 +45,7 @@ import (
 
 	"bneck/internal/exp"
 	"bneck/internal/policy"
+	"bneck/internal/sim"
 	"bneck/internal/topology"
 )
 
@@ -60,8 +64,9 @@ func main() {
 		quiet        = flag.Bool("q", false, "suppress progress lines")
 		csvDir       = flag.String("csv", "", "also write figure data as CSV files into this directory")
 		workers      = flag.Int("workers", 1, "parallel sweep workers per fan-out level (1 = serial, negative = GOMAXPROCS); output is identical at any setting")
-		shards       = flag.Int("shards", 0, "shards per simulation run: 0 = classic serial engine, 1 = sharded engine serial reference, >1 parallelizes each run across cores; sharded output is identical at any shard count")
+		shards       = flag.Int("shards", 0, "shards per simulation run: 0 = classic serial engine, 1 = sharded engine serial reference, >1 parallelizes each run across cores, -1 = auto-tune from GOMAXPROCS; sharded output is identical at any shard count")
 		windowBatch  = flag.Int("window-batch", 0, "conservative windows per sharded-engine fork/join: 0 = engine default, 1 = no batching, higher amortizes synchronization on low-delay (LAN) topologies; output is identical at any setting")
+		speculate    = flag.Bool("speculate", false, "optimistic window execution on the sharded engine (no effect with -shards 0): journaled lookahead past the conservative bound, committed rollback-free; output is identical on or off")
 		exp4Paper    = flag.Bool("exp4-paper", false, "run experiment 4 at paper size (Medium+Big topologies, WAN failure sweep); combine with -shards and -workers")
 		pathPolicy   = flag.String("path-policy", "pinned", "path re-optimization policy for experiment 4: pinned (historical behavior) or reoptimize (restores migrate sessions back onto shorter paths); experiment 5 always sweeps both")
 		reoptStretch = flag.Float64("reopt-stretch", 0, "re-optimization stretch hysteresis for experiments 4 and 5 (≤ 1 = any strict improvement)")
@@ -70,6 +75,12 @@ func main() {
 	flag.Parse()
 	if *workers == 0 {
 		*workers = 1 // align with the config semantics: 0 and 1 are serial
+	}
+	if *shards < 0 {
+		*shards = sim.AutoShards()
+		if *windowBatch <= 0 {
+			*windowBatch = sim.AutoWindowBatch()
+		}
 	}
 
 	if *csvDir != "" {
@@ -116,6 +127,7 @@ func main() {
 			cfg.Workers = *workers
 			cfg.Shards = *shards
 			cfg.WindowBatch = *windowBatch
+			cfg.Speculate = *speculate
 			if *big {
 				cfg.Sizes = append(cfg.Sizes, topology.Big)
 			}
@@ -162,6 +174,7 @@ func main() {
 			cfg.Validate = *validate
 			cfg.Shards = *shards
 			cfg.WindowBatch = *windowBatch
+			cfg.Speculate = *speculate
 			cfg.Base = int(float64(cfg.Base) * *scale)
 			cfg.Dyn = int(float64(cfg.Dyn) * *scale)
 			cfg.Progress = progress
@@ -193,6 +206,7 @@ func main() {
 			cfg.Seed = *seed
 			cfg.Shards = *shards
 			cfg.WindowBatch = *windowBatch
+			cfg.Speculate = *speculate
 			cfg.Sessions = int(float64(cfg.Sessions) * *scale)
 			cfg.Leavers = int(float64(cfg.Leavers) * *scale)
 			cfg.Protocols = strings.Split(*protocols, ",")
@@ -228,6 +242,7 @@ func main() {
 			cfg.Workers = *workers
 			cfg.Shards = *shards
 			cfg.WindowBatch = *windowBatch
+			cfg.Speculate = *speculate
 			cfg.Policy = polCfg
 			start := time.Now()
 			rows, err := exp.RunExperiment4(cfg)
@@ -266,6 +281,7 @@ func main() {
 			cfg.Workers = *workers
 			cfg.Shards = *shards
 			cfg.WindowBatch = *windowBatch
+			cfg.Speculate = *speculate
 			start := time.Now()
 			rows, err := exp.RunExperiment5(cfg)
 			if err != nil {

@@ -1,12 +1,13 @@
-// Package analysis is bnecklint's analyzer suite: six repo-specific static
+// Package analysis is bnecklint's analyzer suite: seven repo-specific static
 // checks that machine-enforce the determinism and lock-discipline invariants
 // the simulator's correctness claims rest on (DESIGN.md §12). The paper's
 // quiescence/validation methodology only means something if every run is
 // reproducible: byte-identical creator-keyed event order at every shard
 // count, no wall-clock or unseeded randomness in deterministic packages,
 // the live runtime's documented lock order, per-shard domains touched only
-// by their owners, and exact 128-bit rate arithmetic. Each analyzer makes
-// one of those invariant classes unwritable instead of merely documented.
+// by their owners, speculative journals externalized only at their commit
+// point, and exact 128-bit rate arithmetic. Each analyzer makes one of
+// those invariant classes unwritable instead of merely documented.
 //
 // The framework mirrors golang.org/x/tools/go/analysis — Analyzer, Pass,
 // Diagnostic, an analysistest-style fixture harness — but is built on the
@@ -24,6 +25,8 @@
 //	//bneck:sharded          struct whose fields are per-shard owned state
 //	//bneck:owner            returns the executing shard's own domain
 //	//bneck:merge            serial-context merge-on-demand reader/writer
+//	//bneck:journal          field withholding speculative cross-shard sends
+//	//bneck:commit           sanctioned externalization point of journals
 //	//bneck:lock <tier>      lock field; tier is mu, stripe or mailbox
 //	//bneck:locks <tier...>  calling this function acquires these tiers
 //

@@ -27,6 +27,10 @@ func TestShardowner(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Shardowner, "shardowner")
 }
 
+func TestSpecjournal(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Specjournal, "specjournal")
+}
+
 func TestFloatrate(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Floatrate, "floatrate")
 }
@@ -42,8 +46,8 @@ func TestSuiteNamesUnique(t *testing.T) {
 		}
 		seen[az.Name] = true
 	}
-	if len(seen) != 6 {
-		t.Errorf("suite has %d analyzers, want 6", len(seen))
+	if len(seen) != 7 {
+		t.Errorf("suite has %d analyzers, want 7", len(seen))
 	}
 }
 

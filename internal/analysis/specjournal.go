@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Specjournal guards the optimistic engine's rollback-free commit protocol
+// (DESIGN.md §13): during a speculative attempt every cross-shard send is
+// withheld in a journal field annotated //bneck:journal, and the journal may
+// be externalized — read, drained, truncated, handed to anything — only
+// inside a function annotated //bneck:commit, the attempt's single join
+// point. A journal entry that escapes before the join is a speculative
+// delivery leaking into a window that may yet park: the receiving shard
+// would execute an event the replay is obliged to re-derive, and the
+// byte-identical-results guarantee (and the no-rollback design itself)
+// silently breaks — only on misspeculating schedules, which is exactly when
+// nobody is looking.
+//
+// The one operation allowed outside the commit path is the withhold itself:
+//
+//	x.journal = append(x.journal, ev)
+//
+// Every other touch of a journal field outside a //bneck:commit function is
+// flagged.
+var Specjournal = &Analyzer{
+	Name:  "specjournal",
+	Doc:   "confine speculative journal externalization to //bneck:commit functions",
+	Match: inPackages("bneck/internal/sim"),
+	Run:   runSpecjournal,
+}
+
+// journalFields collects the struct fields annotated //bneck:journal.
+func journalFields(pass *Pass) map[types.Object]bool {
+	fields := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				_, ok := commentGroupDirective(field.Doc, "journal")
+				if !ok {
+					_, ok = commentGroupDirective(field.Comment, "journal")
+				}
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						fields[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+func runSpecjournal(pass *Pass) {
+	journals := journalFields(pass)
+	if len(journals) == 0 {
+		return
+	}
+	// isJournalSel reports whether e selects a //bneck:journal field.
+	isJournalSel := func(e ast.Expr) (*ast.SelectorExpr, bool) {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return nil, false
+		}
+		s, ok := pass.Info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return nil, false
+		}
+		return sel, journals[s.Obj()]
+	}
+
+	// One finding per source line: shapes like x.j = x.j[:0] touch the
+	// journal twice but are a single leak.
+	reported := map[string]bool{}
+	pass.forEachFunc(func(fn *ast.FuncDecl) {
+		if _, commit := funcAnnotated(fn, "commit"); commit {
+			return
+		}
+		// allowed marks the selector nodes of the one sanctioned shape,
+		// x.journal = append(x.journal, ...): the withhold itself.
+		allowed := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			lhs, ok := isJournalSel(as.Lhs[0])
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" ||
+				pass.Info.Uses[id] != types.Universe.Lookup("append") {
+				return true
+			}
+			arg, ok := isJournalSel(call.Args[0])
+			if !ok {
+				return true
+			}
+			// Both selectors must name the same journal through the same base
+			// object (x.j = append(x.j, …), not x.j = append(y.j, …)).
+			lb, okL := ast.Unparen(lhs.X).(*ast.Ident)
+			ab, okA := ast.Unparen(arg.X).(*ast.Ident)
+			if okL && okA && pass.Info.Uses[lb] == pass.Info.Uses[ab] &&
+				lhs.Sel.Name == arg.Sel.Name {
+				allowed[lhs] = true
+				allowed[arg] = true
+			}
+			return true
+		})
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if _, journal := isJournalSel(sel); !journal || allowed[sel] {
+				return true
+			}
+			p := pass.Fset.Position(sel.Sel.Pos())
+			key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+			if reported[key] {
+				return true
+			}
+			reported[key] = true
+			pass.Reportf(sel.Sel.Pos(), "journal field %s externalized outside the //bneck:commit join: speculative cross-shard sends may only be appended until the attempt commits, or a misspeculating schedule leaks an uncommitted delivery and results diverge", sel.Sel.Name)
+			return true
+		})
+	})
+}

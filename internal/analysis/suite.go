@@ -10,6 +10,7 @@ func All() []*Analyzer {
 		Lockorder,
 		Eventkey,
 		Shardowner,
+		Specjournal,
 		Floatrate,
 	}
 }

@@ -1,0 +1,75 @@
+// Package specjournal models the optimistic engine's journaling discipline.
+// The flagged shapes are leaks-before-commit: a speculative cross-shard
+// send escaping its journal while the attempt can still park, which hands
+// the destination an event the rollback-free replay is obliged to
+// re-derive — results then diverge only on misspeculating schedules.
+package specjournal
+
+type event struct {
+	at    int64
+	owner int32
+}
+
+type shard struct {
+	id int
+	//bneck:journal withheld cross-shard sends; externalized only at commit.
+	out []event
+	q   []event
+}
+
+type engine struct {
+	shards []*shard
+}
+
+// withhold is the hot-path shape SendAt uses: append-only, legal anywhere.
+func (s *shard) withhold(ev event) {
+	s.out = append(s.out, ev)
+}
+
+// withholdVia appends through a local alias of the shard; still append-only.
+func (e *engine) withholdVia(i int, ev event) {
+	sf := e.shards[i]
+	sf.out = append(sf.out, ev)
+}
+
+// join is the sanctioned externalization point.
+//
+//bneck:commit drains every journal after the attempt ends.
+func (e *engine) join() {
+	for _, s := range e.shards {
+		for i := range s.out {
+			ev := s.out[i]
+			d := e.shards[int(ev.owner)%len(e.shards)]
+			d.q = append(d.q, ev)
+			s.out[i] = event{}
+		}
+		s.out = s.out[:0]
+	}
+}
+
+// leakEarly is the bug shape: draining a journal mid-attempt, before the
+// commit point, delivering a speculative send the attempt might yet revoke.
+func (e *engine) leakEarly(s *shard) {
+	for _, ev := range s.out { // want "outside the //bneck:commit join"
+		d := e.shards[int(ev.owner)%len(e.shards)]
+		d.q = append(d.q, ev)
+	}
+	s.out = s.out[:0] // want "outside the //bneck:commit join"
+}
+
+// peek reads a journal entry outside the commit path.
+func (s *shard) peek() event {
+	return s.out[0] // want "outside the //bneck:commit join"
+}
+
+// steal reads another shard's journal mid-attempt: the append escape hatch
+// only covers x.out = append(x.out, …) on the shard's own journal.
+func (s *shard) steal(o *shard) {
+	tmp := o.out // want "outside the //bneck:commit join"
+	s.out = append(s.out, tmp...)
+}
+
+// truncateEarly resets a journal before the join, dropping withheld sends.
+func (s *shard) truncateEarly() {
+	s.out = nil // want "outside the //bneck:commit join"
+}

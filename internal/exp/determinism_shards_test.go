@@ -19,7 +19,7 @@ import (
 // exercise the batched short-window path, the WAN cells the wide windows.
 
 // exp1ShardCSV runs exp1 with shards = -1 meaning the classic serial engine.
-func exp1ShardCSV(t *testing.T, shards, windowBatch int) []byte {
+func exp1ShardCSV(t *testing.T, shards, windowBatch int, speculate bool) []byte {
 	t.Helper()
 	cfg := DefaultExp1()
 	cfg.Sizes = []topology.Params{topology.Small}
@@ -29,6 +29,7 @@ func exp1ShardCSV(t *testing.T, shards, windowBatch int) []byte {
 		cfg.Shards = shards
 	}
 	cfg.WindowBatch = windowBatch
+	cfg.Speculate = speculate
 	rows, err := RunExperiment1(cfg)
 	if err != nil {
 		t.Fatalf("shards=%d batch=%d: %v", shards, windowBatch, err)
@@ -41,10 +42,10 @@ func exp1ShardCSV(t *testing.T, shards, windowBatch int) []byte {
 }
 
 func TestExp1ShardedCSVByteIdentical(t *testing.T) {
-	classic := exp1ShardCSV(t, -1, 0)
+	classic := exp1ShardCSV(t, -1, 0, false)
 	for _, batch := range []int{1, 8} {
 		for _, shards := range []int{1, 2, 4, 8} {
-			got := exp1ShardCSV(t, shards, batch)
+			got := exp1ShardCSV(t, shards, batch, false)
 			if !bytes.Equal(classic, got) {
 				t.Errorf("exp1 CSV differs from classic at %d shards, batch %d:\nclassic:\n%s\nsharded:\n%s",
 					shards, batch, classic, got)
@@ -53,7 +54,7 @@ func TestExp1ShardedCSVByteIdentical(t *testing.T) {
 	}
 }
 
-func exp4ShardCSV(t *testing.T, shards, windowBatch int) []byte {
+func exp4ShardCSV(t *testing.T, shards, windowBatch int, speculate bool) []byte {
 	t.Helper()
 	cfg := DefaultExp4()
 	cfg.Sizes = []topology.Params{topology.Small}
@@ -67,6 +68,7 @@ func exp4ShardCSV(t *testing.T, shards, windowBatch int) []byte {
 		cfg.Shards = shards
 	}
 	cfg.WindowBatch = windowBatch
+	cfg.Speculate = speculate
 	rows, err := RunExperiment4(cfg)
 	if err != nil {
 		t.Fatalf("shards=%d batch=%d: %v", shards, windowBatch, err)
@@ -79,10 +81,10 @@ func exp4ShardCSV(t *testing.T, shards, windowBatch int) []byte {
 }
 
 func TestExp4ShardedCSVByteIdentical(t *testing.T) {
-	classic := exp4ShardCSV(t, -1, 0)
+	classic := exp4ShardCSV(t, -1, 0, false)
 	for _, batch := range []int{1, 8} {
 		for _, shards := range []int{1, 2, 4, 8} {
-			got := exp4ShardCSV(t, shards, batch)
+			got := exp4ShardCSV(t, shards, batch, false)
 			if !bytes.Equal(classic, got) {
 				t.Errorf("exp4 CSV differs from classic at %d shards, batch %d:\nclassic:\n%s\nsharded:\n%s",
 					shards, batch, classic, got)
@@ -124,6 +126,38 @@ func TestExp3ShardedDeterministic(t *testing.T) {
 	for _, shards := range []int{1, 2, 4} {
 		if got := run(shards); !bytes.Equal(classic, got) {
 			t.Errorf("exp3 series differ from classic at %d shards", shards)
+		}
+	}
+}
+
+// Speculation is a pure scheduling lever like shards and batching: an
+// optimistic window withholds cross-shard sends in journals and parks
+// before any unsafe event executes, so the CSVs stay byte-identical with
+// speculation on at every shard count and window-batch setting — on the
+// static join burst (exp1, idle-cut tails everywhere) and under topology
+// churn (exp4, where global events bound every attempt).
+func TestExp1SpeculationCSVByteIdentical(t *testing.T) {
+	base := exp1ShardCSV(t, -1, 0, false)
+	for _, batch := range []int{1, 8} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			got := exp1ShardCSV(t, shards, batch, true)
+			if !bytes.Equal(base, got) {
+				t.Errorf("exp1 CSV differs with speculation at %d shards, batch %d:\nbase:\n%s\nspeculative:\n%s",
+					shards, batch, base, got)
+			}
+		}
+	}
+}
+
+func TestExp4SpeculationCSVByteIdentical(t *testing.T) {
+	base := exp4ShardCSV(t, -1, 0, false)
+	for _, batch := range []int{1, 8} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			got := exp4ShardCSV(t, shards, batch, true)
+			if !bytes.Equal(base, got) {
+				t.Errorf("exp4 CSV differs with speculation at %d shards, batch %d:\nbase:\n%s\nspeculative:\n%s",
+					shards, batch, base, got)
+			}
 		}
 	}
 }

@@ -48,6 +48,11 @@ type Exp1Config struct {
 	// runs per coordinator fork/join (0 = engine default, 1 = no batching).
 	// Purely a performance knob: results are identical at every setting.
 	WindowBatch int
+	// Speculate enables optimistic window execution on the sharded engine
+	// (no effect with Shards <= 0): idle-cut barriers fork speculative
+	// windows several lookaheads long, journaled and committed rollback-free.
+	// Results are byte-identical with it on or off; only wall-clock changes.
+	Speculate bool
 }
 
 // DefaultExp1 is a laptop-scale default: the paper sweeps 10…300,000
@@ -151,7 +156,9 @@ func runExp1Cell(cfg Exp1Config, size topology.Params, scen topology.Scenario, c
 	if err != nil {
 		return Exp1Row{}, err
 	}
-	eng, net := newNet(topo.Graph, network.DefaultConfig(), cfg.Shards, cfg.WindowBatch)
+	netCfg := network.DefaultConfig()
+	netCfg.Speculate = cfg.Speculate
+	eng, net := newNet(topo.Graph, netCfg, cfg.Shards, cfg.WindowBatch)
 
 	sessions, err := PlaceSessions(topo, net, count)
 	if err != nil {

@@ -39,6 +39,11 @@ type Exp2Config struct {
 	// runs per coordinator fork/join (0 = engine default, 1 = no batching).
 	// Purely a performance knob: results are identical at every setting.
 	WindowBatch int
+	// Speculate enables optimistic window execution on the sharded engine
+	// (no effect with Shards <= 0): idle-cut barriers fork speculative
+	// windows several lookaheads long, journaled and committed rollback-free.
+	// Results are byte-identical with it on or off; only wall-clock changes.
+	Speculate bool
 }
 
 // DefaultExp2 is the laptop-scale default (paper: 100,000/20,000).
@@ -94,6 +99,7 @@ func RunExperiment2(cfg Exp2Config) (*Exp2Result, error) {
 	}
 	netCfg := network.DefaultConfig()
 	netCfg.BinSize = cfg.BinSize
+	netCfg.Speculate = cfg.Speculate
 	eng, net := newNet(topo.Graph, netCfg, cfg.Shards, cfg.WindowBatch)
 
 	// Sessions: base (phase 1) + dyn (phase 4) + dyn (phase 5) joiners.

@@ -54,6 +54,11 @@ type Exp3Config struct {
 	// runs per coordinator fork/join (0 = engine default, 1 = no batching).
 	// Purely a performance knob: results are identical at every setting.
 	WindowBatch int
+	// Speculate enables optimistic window execution on the sharded engine
+	// (no effect with Shards <= 0): idle-cut barriers fork speculative
+	// windows several lookaheads long, journaled and committed rollback-free.
+	// Results are byte-identical with it on or off; only wall-clock changes.
+	Speculate bool
 }
 
 // DefaultExp3 is the laptop-scale default (paper: 100,000/10,000).
@@ -429,6 +434,7 @@ func (w *exp3Workload) sampleErrors(t time.Duration, assigned func(idx int) (flo
 func runExp3BNeck(cfg Exp3Config, w *exp3Workload) (*Exp3Series, error) {
 	netCfg := network.DefaultConfig()
 	netCfg.BinSize = cfg.SampleEvery
+	netCfg.Speculate = cfg.Speculate
 	eng, net := newNet(w.topo.Graph, netCfg, cfg.Shards, cfg.WindowBatch)
 	sessions := make([]*network.Session, len(w.paths))
 	for i, p := range w.paths {

@@ -55,6 +55,11 @@ type Exp4Config struct {
 	// runs per coordinator fork/join (0 = engine default, 1 = no batching).
 	// Purely a performance knob: results are identical at every setting.
 	WindowBatch int
+	// Speculate enables optimistic window execution on the sharded engine
+	// (no effect with Shards <= 0): idle-cut barriers fork speculative
+	// windows several lookaheads long, journaled and committed rollback-free.
+	// Results are byte-identical with it on or off; only wall-clock changes.
+	Speculate bool
 	// Policy is the path re-optimization policy for the churn sweep (zero
 	// value: pinned, the historical behavior). With ReoptimizeOnRestore the
 	// restore epochs also migrate sessions back onto shorter paths.
@@ -202,6 +207,7 @@ func runExp4Cell(cfg Exp4Config, size topology.Params, scen topology.Scenario, s
 	g := topo.Graph
 	netCfg := network.DefaultConfig()
 	netCfg.PathPolicy = cfg.Policy
+	netCfg.Speculate = cfg.Speculate
 	eng, net := newNet(g, netCfg, cfg.Shards, cfg.WindowBatch)
 
 	// All sessions — the base population and every epoch's joiners — are

@@ -53,6 +53,11 @@ type Exp5Config struct {
 	// WindowBatch tunes the sharded engine's windows per fork/join (0 =
 	// engine default). Purely a performance knob.
 	WindowBatch int
+	// Speculate enables optimistic window execution on the sharded engine
+	// (no effect with Shards <= 0): idle-cut barriers fork speculative
+	// windows several lookaheads long, journaled and committed rollback-free.
+	// Results are byte-identical with it on or off; only wall-clock changes.
+	Speculate bool
 }
 
 // DefaultExp5 is a laptop-scale default covering both propagation models.
@@ -191,6 +196,7 @@ func runExp5Cell(cfg Exp5Config, size topology.Params, scen topology.Scenario, s
 	g := topo.Graph
 	netCfg := network.DefaultConfig()
 	netCfg.PathPolicy = policy.Config{Kind: kind, Stretch: cfg.Stretch, MinGain: cfg.MinGain}
+	netCfg.Speculate = cfg.Speculate
 	eng, net := newNet(g, netCfg, cfg.Shards, cfg.WindowBatch)
 
 	sessions, err := PlaceSessions(topo, net, cfg.Sessions)

@@ -68,7 +68,7 @@ func TestExp5MeasuresTheTrade(t *testing.T) {
 	}
 }
 
-func exp5ShardCSV(t *testing.T, shards, windowBatch int) []byte {
+func exp5ShardCSV(t *testing.T, shards, windowBatch int, speculate bool) []byte {
 	t.Helper()
 	cfg := smallExp5()
 	cfg.Scenarios = []topology.Scenario{topology.LAN, topology.WAN}
@@ -76,6 +76,7 @@ func exp5ShardCSV(t *testing.T, shards, windowBatch int) []byte {
 		cfg.Shards = shards
 	}
 	cfg.WindowBatch = windowBatch
+	cfg.Speculate = speculate
 	rows, err := RunExperiment5(cfg)
 	if err != nil {
 		t.Fatalf("shards=%d batch=%d: %v", shards, windowBatch, err)
@@ -92,13 +93,30 @@ func exp5ShardCSV(t *testing.T, shards, windowBatch int) []byte {
 // so exp5 CSVs — policy on — are byte-identical on the classic engine and
 // on the sharded engine at every shard count and window-batch setting.
 func TestExp5ShardedCSVByteIdentical(t *testing.T) {
-	classic := exp5ShardCSV(t, -1, 0)
+	classic := exp5ShardCSV(t, -1, 0, false)
 	for _, batch := range []int{1, 8} {
 		for _, shards := range []int{1, 2, 4} {
-			got := exp5ShardCSV(t, shards, batch)
+			got := exp5ShardCSV(t, shards, batch, false)
 			if !bytes.Equal(classic, got) {
 				t.Errorf("exp5 CSV differs from classic at %d shards, batch %d:\nclassic:\n%s\nsharded:\n%s",
 					shards, batch, classic, got)
+			}
+		}
+	}
+}
+
+// TestExp5SpeculationCSVByteIdentical: the fail -> restore sweep is the
+// quiescence-heavy workload speculation targets; with the policy sweep at
+// barriers bounding every attempt, CSVs stay byte-identical with
+// speculation on at every shard count and batch setting.
+func TestExp5SpeculationCSVByteIdentical(t *testing.T) {
+	base := exp5ShardCSV(t, -1, 0, false)
+	for _, batch := range []int{1, 8} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			got := exp5ShardCSV(t, shards, batch, true)
+			if !bytes.Equal(base, got) {
+				t.Errorf("exp5 CSV differs with speculation at %d shards, batch %d:\nbase:\n%s\nspeculative:\n%s",
+					shards, batch, base, got)
 			}
 		}
 	}

@@ -323,6 +323,28 @@ func growRegions(g *Graph, comp []int32, compW []int64, k int, total int64, P ti
 	return parts
 }
 
+// CutLinks returns the ID of every link whose endpoints lie in different
+// shards under parts, in link-ID order. This is the speculation gate's
+// idle-horizon query: the cut wires are the only conduits of cross-shard
+// influence, so when each one's transmitter is idle at a barrier, no
+// cross-shard arrival can precede the cut latency floor — exactly the
+// regime where an optimistic window is likely to commit. Links whose
+// endpoints fall outside parts (a stale partition mid-growth) are treated
+// as uncut.
+func CutLinks(g *Graph, parts []int32) []LinkID {
+	var cut []LinkID
+	for i := 0; i < g.NumLinks(); i++ {
+		l := &g.links[i]
+		if int(l.From) >= len(parts) || int(l.To) >= len(parts) {
+			continue
+		}
+		if parts[l.From] != parts[l.To] {
+			cut = append(cut, l.ID)
+		}
+	}
+	return cut
+}
+
 // SessionWeights builds the node-weight vector PartitionNodes consumes from
 // a set of session paths: every node starts at weight 1 and gains one per
 // session whose path executes on it (the From side of each link, plus the

@@ -52,6 +52,13 @@ type Config struct {
 	// physical link (intra-host hand-offs are not reported). Useful for
 	// protocol tracing and debugging. Sharded runs call it concurrently.
 	OnPacket func(link graph.LinkID, pkt core.Packet, at sim.Time)
+	// Speculate enables optimistic window execution on a sharded engine
+	// (ignored in classic mode): at barriers where every cut-link wire is
+	// idle, shards speculatively run windows several lookaheads long,
+	// withholding cross-shard sends in journals that are externalized only
+	// at commit. Results are byte-identical with the flag on or off at every
+	// shard count; only wall-clock changes (see DESIGN.md §13).
+	Speculate bool
 	// PathPolicy selects the path re-optimization policy. The zero value is
 	// policy.Pinned — paths never move unless a failure forces them to —
 	// which reproduces the historical behavior exactly. With
@@ -174,6 +181,11 @@ type Network struct {
 	// generation-aware repartition at the next barrier.
 	partGen   uint64
 	partNodes int
+	// cutLinks lists the links the current partition cuts — the only
+	// conduits of cross-shard influence. The speculation gate probes their
+	// wires' idleness at a barrier before admitting an optimistic window;
+	// repartition rebuilds the list whenever the partition moves.
+	cutLinks []graph.LinkID
 
 	// oracle holds the reusable scratch of Oracle/Validate: the waterfill
 	// instance, its link index and the flattened path arena survive between
@@ -278,7 +290,38 @@ func NewSharded(g *graph.Graph, she *sim.ShardedEngine, cfg Config) *Network {
 	for i := 0; i < she.Shards(); i++ {
 		n.domains = append(n.domains, &domain{stats: metrics.NewPacketStats(cfg.BinSize)})
 	}
+	if cfg.Speculate {
+		she.SetSpeculation(true)
+		she.SetSpecGate(n.specGate)
+	}
 	return n
+}
+
+// specGate is the transport's admission check for optimistic windows,
+// called by the engine at a barrier immediately before a speculative fork:
+// admit only when every cut-link wire is idle — a busy cut transmitter
+// means cross-shard traffic is in flight, and the withheld delivery would
+// park the attempt almost immediately. Wires are created lazily; a link no
+// path has used yet has no wire and is trivially idle.
+func (n *Network) specGate() bool {
+	for _, id := range n.cutLinks {
+		if int(id) < len(n.wires) {
+			if w := n.wires[id]; w != nil && !w.Idle() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SpeculationStats returns the sharded engine's optimistic-execution
+// counters — zero in classic mode or with speculation off. Outcome counts
+// are timing-dependent in parallel mode (results never are).
+func (n *Network) SpeculationStats() sim.SpeculationStats {
+	if n.she == nil {
+		return sim.SpeculationStats{}
+	}
+	return n.she.SpecStats()
 }
 
 func newNetwork(g *graph.Graph, cfg Config) *Network {
@@ -611,6 +654,9 @@ func (n *Network) repartition() {
 	n.she.SetTopology(n.g.NumNodes(), p.Parts, look)
 	n.partGen = n.g.Generation()
 	n.partNodes = n.g.NumNodes()
+	if n.cfg.Speculate {
+		n.cutLinks = graph.CutLinks(n.g, p.Parts)
+	}
 }
 
 // linkFloors returns each link's per-packet transmission floor — the

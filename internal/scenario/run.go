@@ -51,19 +51,70 @@ type Result struct {
 	// reconfigurations: Leave cascades of force-departed incarnations plus
 	// Join cascades of topology-driven rejoins.
 	ReconfigPackets uint64
+	// Speculation holds the sharded engine's optimistic-execution counters
+	// (zero unless the run used SimOptions.Speculate).
+	Speculation sim.SpeculationStats
 }
 
-// RunSim executes the script on the deterministic discrete-event simulator,
-// validating against the water-filling oracle at every quiescent epoch.
+// SimOptions selects the engine RunSimOpts drives a script on. The zero
+// value reproduces RunSim: the classic serial engine. Every combination
+// yields byte-identical epoch tables — the options change only scheduling.
+type SimOptions struct {
+	// Shards selects the engine: 0 is the classic serial engine, n ≥ 1 the
+	// sharded engine with n shards, and n < 0 the sharded engine auto-tuned
+	// from GOMAXPROCS (sim.AutoShards / sim.AutoWindowBatch).
+	Shards int
+	// WindowBatch bounds consecutive conservative windows per sharded
+	// fork/join; 0 keeps the engine default. No effect with Shards == 0.
+	WindowBatch int
+	// Speculate enables optimistic window execution on the sharded engine.
+	// No effect with Shards == 0.
+	Speculate bool
+}
+
+// RunSim executes the script on the deterministic discrete-event simulator
+// (classic serial engine), validating against the water-filling oracle at
+// every quiescent epoch.
 func RunSim(sc *Script) (*Result, error) {
+	return RunSimOpts(sc, SimOptions{})
+}
+
+// RunSimOpts is RunSim with an engine choice: classic serial, sharded, or
+// sharded with optimistic window execution. Scenario scripts are the
+// misspeculation torture tests — every epoch's churn lands as global barrier
+// events between speculative attempts, and cross-shard control cascades
+// inside an epoch force parks — so the epoch tables double as a determinism
+// check across all engine settings.
+func RunSimOpts(sc *Script, opt SimOptions) (*Result, error) {
 	w, err := build(sc)
 	if err != nil {
 		return nil, err
 	}
-	eng := sim.New()
 	cfg := network.DefaultConfig()
 	cfg.PathPolicy = sc.Policy
-	net := network.New(w.g, eng, cfg)
+	cfg.Speculate = opt.Speculate
+	shards := opt.Shards
+	windowBatch := opt.WindowBatch
+	if shards < 0 {
+		shards = sim.AutoShards()
+		if windowBatch <= 0 {
+			windowBatch = sim.AutoWindowBatch()
+		}
+	}
+	var net *network.Network
+	var now func() sim.Time
+	if shards >= 1 {
+		she := sim.NewSharded(shards)
+		if windowBatch > 0 {
+			she.SetWindowBatch(windowBatch)
+		}
+		net = network.NewSharded(w.g, she, cfg)
+		now = she.Now
+	} else {
+		eng := sim.New()
+		net = network.New(w.g, eng, cfg)
+		now = eng.Now
+	}
 	res := graph.NewResolver(w.g, 256)
 	sessions := make([]*network.Session, len(sc.Sessions))
 	for i, d := range sc.Sessions {
@@ -81,8 +132,8 @@ func RunSim(sc *Script) (*Result, error) {
 	out := &Result{Transport: "sim"}
 	for _, ep := range w.epochs {
 		at := ep.at
-		if now := eng.Now(); at < now {
-			at = now // the previous epoch's convergence overran this timestamp
+		if t := now(); at < t {
+			at = t // the previous epoch's convergence overran this timestamp
 		}
 		before := net.Stats().Total()
 		for _, ev := range ep.events {
@@ -127,6 +178,7 @@ func RunSim(sc *Script) (*Result, error) {
 	out.Migrations = net.Migrations()
 	out.Reoptimizations = net.Reoptimizations()
 	out.ReconfigPackets = net.ReconfigPackets()
+	out.Speculation = net.SpeculationStats()
 	return out, nil
 }
 
@@ -329,4 +381,8 @@ func Format(w io.Writer, res *Result) {
 	}
 	fmt.Fprintf(w, "total packets: %d, migrations: %d, reoptimizations: %d, reconfig packets: %d (every epoch validated against the oracle)\n",
 		res.TotalPackets, res.Migrations, res.Reoptimizations, res.ReconfigPackets)
+	if s := res.Speculation; s.Attempts > 0 {
+		fmt.Fprintf(w, "speculation: %d attempts, %d commits, %d replays, %d speculative events\n",
+			s.Attempts, s.Commits, s.Replays, s.Events)
+	}
 }

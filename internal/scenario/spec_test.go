@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"bneck/internal/sim"
+)
+
+// TestRunSimOptsEngineGrid runs the hand script across the whole engine
+// grid — classic serial, sharded at 1/2/4 shards, speculation on and off —
+// and requires identical results everywhere. Epoch tables carry virtual
+// quiescence times and packet counts, so this pins full determinism, not
+// just final rates.
+func TestRunSimOptsEngineGrid(t *testing.T) {
+	sc, err := Parse(handScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunSim(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		for _, speculate := range []bool{false, true} {
+			for _, batch := range []int{0, 1} {
+				got, err := RunSimOpts(sc, SimOptions{Shards: shards, WindowBatch: batch, Speculate: speculate})
+				if err != nil {
+					t.Fatalf("shards=%d batch=%d speculate=%v: %v", shards, batch, speculate, err)
+				}
+				got.Speculation = sim.SpeculationStats{} // scheduling counters, not results
+				if !reflect.DeepEqual(base, got) {
+					t.Fatalf("shards=%d batch=%d speculate=%v diverges from classic:\n%+v\n%+v",
+						shards, batch, speculate, base, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSpeculateScenarioReplaysAndCommits pins the checked-in speculation
+// torture script: at 2 shards (the script's designed cut) with speculation
+// on it must exercise both outcomes — parks from local cascades overrunning
+// journaled cross-cut arrivals and commits from quiet convergence tails —
+// and still produce the classic engine's exact epoch table.
+func TestSpeculateScenarioReplaysAndCommits(t *testing.T) {
+	src, err := os.ReadFile("../../examples/scenarios/speculate.bneck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunSim(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunSimOpts(sc, SimOptions{Shards: 2, Speculate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := got.Speculation
+	if st.Attempts == 0 {
+		t.Fatal("torture scenario never attempted speculation")
+	}
+	if st.Replays == 0 {
+		t.Fatalf("cross-shard cascades forced no replays: %+v", st)
+	}
+	if st.Commits == 0 {
+		t.Fatalf("convergence tails committed no attempts: %+v", st)
+	}
+	got.Speculation = sim.SpeculationStats{}
+	if !reflect.DeepEqual(base, got) {
+		t.Fatalf("speculation changed results:\n%+v\n%+v", base, got)
+	}
+}
+
+// TestRunSimOptsAutoShards: Shards < 0 resolves to the GOMAXPROCS-derived
+// shard count and still matches the classic engine.
+func TestRunSimOptsAutoShards(t *testing.T) {
+	sc, err := Parse(handScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunSim(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunSimOpts(sc, SimOptions{Shards: -1, Speculate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Speculation = sim.SpeculationStats{}
+	if !reflect.DeepEqual(base, got) {
+		t.Fatalf("auto-sharded run diverges from classic:\n%+v\n%+v", base, got)
+	}
+}

@@ -86,6 +86,16 @@ type ShardedEngine struct {
 	lastBusy Time
 	nEvents  uint64
 
+	// Optimistic execution (spec.go): spec enables speculative attempts,
+	// specGate is the transport's barrier-time admission check, specMult the
+	// adaptive attempt length in lookaheads, specCooldown the conservative
+	// rounds forced after a park.
+	spec         bool
+	specGate     func() bool
+	specMult     int
+	specCooldown int
+	specStats    SpeculationStats
+
 	stopped  atomic.Bool
 	inWindow bool
 	// inlineWindow marks a window (or batch) executing inline on the
@@ -104,10 +114,12 @@ type ShardedEngine struct {
 }
 
 // seBatch describes one fork/join: K consecutive windows starting at W,
-// each lookahead wide, the last one ending at end.
+// each lookahead wide, the last one ending at end. spec marks a speculative
+// attempt (K is 1; shards run runSpec instead of the window loop).
 type seBatch struct {
 	W, L, end Time
 	K         int
+	spec      bool
 }
 
 // seShard is one shard: a heap of owned events, a local clock, and the
@@ -135,6 +147,20 @@ type seShard struct {
 	batchL    Time
 	batchEnd  Time
 	batchK    int
+
+	// Speculation (spec.go). specMode marks an attempt in progress: SendAt
+	// withholds cross-shard sends in the journal instead of delivering them.
+	// horizon is the shard's published lower bound on any future cross-shard
+	// influence (read by peers' safety checks; monotone within an attempt).
+	// specJMin tracks the earliest journaled arrival; specParked records
+	// that the shard stopped at an unsafe event, its suffix intact.
+	specMode   bool
+	specParked bool
+	specEvents uint64
+	specJMin   Time
+	horizon    atomic.Int64
+	//bneck:journal withheld cross-shard sends; externalized only at commit.
+	specOut []event
 }
 
 // NewSharded returns an engine with the given number of shards (clamped to
@@ -146,6 +172,7 @@ func NewSharded(shards int) *ShardedEngine {
 	se := &ShardedEngine{
 		windowBatch: defaultWindowBatch,
 		parallel:    runtime.GOMAXPROCS(0) > 1,
+		specMult:    specMultStart,
 	}
 	se.stride = se.windowBatch + 1
 	for i := 0; i < shards; i++ {
@@ -347,6 +374,20 @@ func (se *ShardedEngine) SendAt(from, to int32, t Time, fn func()) {
 	ev := event{at: t, src: from, owner: to, seq: sf.ctr[from], fn: fn}
 	di := se.part[to]
 	if se.inWindow && di != sf.id {
+		if sf.specMode {
+			// Speculative attempt: the send is withheld in the journal until
+			// the commit point (specJoin) — nothing crosses shards mid-attempt.
+			// The lookahead guarantee here is relative to the executing event:
+			// every cut-link arrival lies at least L past the sender's clock.
+			if t < sf.now+se.lookahead {
+				panic(fmt.Sprintf("sim: cross-shard send at %v from clock %v (lookahead %v violated)", t, sf.now, se.lookahead))
+			}
+			sf.specOut = append(sf.specOut, ev)
+			if t < sf.specJMin {
+				sf.specJMin = t
+			}
+			return
+		}
 		if t < sf.windowEnd {
 			panic(fmt.Sprintf("sim: cross-shard send at %v inside window ending %v (lookahead %v violated)", t, sf.windowEnd, se.lookahead))
 		}
@@ -413,6 +454,9 @@ func (se *ShardedEngine) Run() Time {
 			se.execGlobal()
 			continue
 		}
+		if se.trySpeculate(tL, tG, infTime) {
+			continue
+		}
 		se.runWindows(tL, tG, infTime)
 	}
 	se.syncNow()
@@ -440,6 +484,9 @@ func (se *ShardedEngine) RunUntil(t Time) {
 		hard := t
 		if hard < infTime {
 			hard++ // the window end is exclusive; events at exactly t must run
+		}
+		if se.trySpeculate(tL, tG, hard) {
+			continue
 		}
 		se.runWindows(tL, tG, hard)
 	}
@@ -637,6 +684,11 @@ func (se *ShardedEngine) runBatch(plan seBatch) {
 // runPlan executes one shard's side of a fork/join: K windows with a
 // barrier and a bin ingest between consecutive ones.
 func (s *seShard) runPlan(se *ShardedEngine, plan seBatch) {
+	if plan.spec {
+		s.begin(plan, plan.end)
+		s.runSpec(se, plan.end)
+		return
+	}
 	for i := 0; i < plan.K; i++ {
 		endI := plan.end
 		if i+1 < plan.K {

@@ -1,0 +1,346 @@
+package sim
+
+import "runtime"
+
+// Optimistic window execution.
+//
+// The conservative engine (sharded.go) never lets a shard run past the
+// lookahead bound L — the minimum latency of any cut link — because a
+// neighbor *could* send it something arriving that soon. At and near
+// quiescence that pessimism is maximal: cut wires are idle, nothing is in
+// flight, and yet every L of virtual time still costs a barrier.
+//
+// Speculation replaces a fork/join of conservative windows with one long
+// window of specMult×L, executed under a journaling discipline that makes
+// misspeculation detectable *before* any wrongly-ordered event runs, so
+// no work is ever rolled back:
+//
+//   - During an attempt no cross-shard send is delivered. SendAt appends it
+//     to the sending shard's journal (seShard.specOut) instead; the journal
+//     is externalized into destination heaps only at the join (specJoin,
+//     the single //bneck:commit point).
+//
+//   - Before executing an event at time t, a shard publishes its horizon —
+//     a lower bound on the arrival time of any cross-shard influence it can
+//     still produce: min(earliest journaled arrival, t+L). Horizons are
+//     monotone non-decreasing (every new journaled arrival a satisfies
+//     a ≥ t+L ≥ every previously published value), so a stale atomic read
+//     by another shard is merely conservative, never unsafe.
+//
+//   - A shard executes t only while t is strictly below every other
+//     shard's horizon and below its own earliest journaled arrival (the
+//     GVT rule: no event may execute at or beyond any undelivered
+//     arrival — even one's own withheld delivery can, once externalized
+//     and executed, emit a next hop landing back before t). When the
+//     check fails — a withheld delivery would be overtaken — the shard
+//     parks: it simply stops, its suffix intact in its heap. That is the whole "replay": the unexecuted suffix re-runs
+//     under ordinary conservative windows after the join. Events that did
+//     execute executed in a globally key-consistent order, so results are
+//     byte-identical to the conservative schedule at every setting.
+//
+//   - An attempt commits when every participating shard reaches the
+//     speculative horizon without parking. The adaptive controller then
+//     doubles specMult (halving it after a park, with one forced
+//     conservative round as cooldown).
+//
+// Attempts never cross a global event (churn, topology dynamics, sampling):
+// the speculative horizon is capped by the next global timestamp exactly
+// like a conservative batch, so barrier events still see every shard
+// quiescent. The transport may install an admission gate (SetSpecGate) that
+// vetoes attempts while any cut wire is busy — in-flight cross-shard
+// traffic at the fork is a near-certain park.
+const (
+	specMultStart = 8   // initial speculative window length, in lookaheads
+	specMultMin   = 2   // below this a conservative batch is strictly better
+	specMultMax   = 256 // quiescence tails commit repeatedly; cap the growth
+	// specSpinLimit bounds how long a blocked shard busy-waits for other
+	// shards' horizons to advance before parking. Spinning only helps in
+	// parallel mode (another goroutine must run to move a horizon); inline
+	// attempts use the exact sequential merge below and never spin.
+	specSpinLimit = 256
+)
+
+// SpeculationStats counts optimistic execution outcomes. In parallel mode
+// Attempts/Commits/Replays depend on goroutine timing (a park is a race
+// against other shards' progress) — only the *results* of a run are
+// deterministic; with SetParallel(false) the counters are deterministic too.
+type SpeculationStats struct {
+	Attempts uint64 // speculative windows forked
+	Commits  uint64 // attempts every participant finished without parking
+	Replays  uint64 // attempts some shard parked (its suffix re-ran conservatively)
+	Events   uint64 // events executed inside speculative windows
+}
+
+// SetSpeculation enables or disables optimistic window execution. Results
+// are byte-identical either way; only scheduling changes. Call it outside
+// Run, or from a global event.
+func (se *ShardedEngine) SetSpeculation(on bool) {
+	if se.inWindow {
+		panic("sim: SetSpeculation during a shard window")
+	}
+	se.spec = on
+	if se.specMult == 0 {
+		se.specMult = specMultStart
+	}
+}
+
+// Speculation reports whether optimistic window execution is enabled.
+func (se *ShardedEngine) Speculation() bool { return se.spec }
+
+// SetSpecGate installs the transport's admission check, called at a barrier
+// immediately before a speculative fork. Returning false vetoes the attempt
+// (the engine falls back to a conservative batch). The transport uses it to
+// decline speculation while any cut-link wire is busy. A nil gate admits
+// every attempt.
+func (se *ShardedEngine) SetSpecGate(gate func() bool) { se.specGate = gate }
+
+// SpecStats returns the cumulative speculation counters.
+func (se *ShardedEngine) SpecStats() SpeculationStats { return se.specStats }
+
+// trySpeculate runs one speculative attempt covering [W, end) with
+// end ≤ min(tG, hard), end − W > L. It reports false — without side
+// effects — when speculation is off, inapplicable (single shard, unbounded
+// lookahead), cooling down after a park, not worth a fork (the range a
+// conservative window already covers), or vetoed by the transport gate.
+func (se *ShardedEngine) trySpeculate(W, tG, hard Time) bool {
+	if !se.spec || len(se.shards) < 2 || se.lookahead == infTime {
+		return false
+	}
+	if se.specCooldown > 0 {
+		se.specCooldown--
+		return false
+	}
+	maxEnd := tG
+	if hard < maxEnd {
+		maxEnd = hard
+	}
+	L := se.lookahead
+	end := W + Time(se.specMult)*L
+	if end < W || end > maxEnd {
+		end = maxEnd
+	}
+	if end == infTime || end <= W+L {
+		return false
+	}
+	if se.specGate != nil && !se.specGate() {
+		return false
+	}
+
+	// Fork: arm every shard's journal and publish fork-time horizons — the
+	// first cross-shard influence shard i can produce arrives no earlier
+	// than its next event plus the lookahead. Horizons must be primed by
+	// the coordinator before any worker wakes: a shard may read a peer's
+	// horizon before that peer's goroutine has published its own first value.
+	se.specStats.Attempts++
+	se.busy = se.busy[:0]
+	for _, s := range se.shards {
+		s.specJMin = infTime
+		s.specParked = false
+		s.specMode = true
+		h := infTime
+		if s.q.len() > 0 {
+			if t := s.q.minTime(); t < end {
+				if nh := t + L; nh > t {
+					h = nh
+				}
+				se.busy = append(se.busy, s)
+			}
+		}
+		s.horizon.Store(int64(h))
+	}
+
+	plan := seBatch{W: W, L: L, end: end, K: 1, spec: true}
+	se.inWindow = true
+	switch {
+	case !se.parallel:
+		se.runSpecInline(end)
+	case len(se.busy) == 1:
+		// One busy shard: every other horizon is at least its journal floor
+		// of +∞, so the shard free-runs to the horizon on the coordinator.
+		se.busy[0].begin(plan, end)
+		se.busy[0].runSpec(se, end)
+	default:
+		se.ensureWorkers()
+		for _, s := range se.busy {
+			se.wake[s.id] <- plan
+		}
+		for range se.busy {
+			<-se.done
+		}
+	}
+	se.inWindow = false
+	se.specJoin()
+	return true
+}
+
+// runSpec is one shard's side of a parallel speculative attempt: execute
+// own events in key order up to end, publishing the horizon before each and
+// parking — suffix intact — the moment an event is not provably safe.
+func (s *seShard) runSpec(se *ShardedEngine, end Time) {
+	spin := 0
+	for s.q.len() > 0 && s.q.minTime() < end {
+		if se.stopped.Load() {
+			s.specParked = true
+			return
+		}
+		t := s.q.minTime()
+		h := s.specJMin
+		if nh := t + se.lookahead; nh > t && nh < h {
+			h = nh
+		}
+		s.horizon.Store(int64(h))
+		if t >= s.specJMin {
+			// The shard's own withheld delivery would be overtaken: once
+			// externalized and executed on its destination, that delivery can
+			// emit a next hop arriving back before t. Own journals never
+			// recede, so there is nothing to spin for — park immediately.
+			s.specParked = true
+			return
+		}
+		if !se.specSafe(s, t) {
+			if spin >= specSpinLimit {
+				s.specParked = true
+				return
+			}
+			spin++
+			runtime.Gosched()
+			continue
+		}
+		spin = 0
+		ev := s.q.pop()
+		s.now = ev.at
+		s.regular--
+		s.lastBusy = ev.at
+		s.nEvents++
+		s.specEvents++
+		ev.fn()
+	}
+	// Reached the horizon: the shard's only remaining influence this attempt
+	// is its journal (monotone: specJMin never drops below a published value).
+	s.horizon.Store(int64(s.specJMin))
+}
+
+// specSafe reports whether an event at t may execute: t must lie strictly
+// below every other shard's horizon, so no withheld delivery — present or
+// future — can be overtaken. Horizon monotonicity makes a stale read safe.
+func (se *ShardedEngine) specSafe(s *seShard, t Time) bool {
+	for _, o := range se.shards {
+		if o != s && Time(o.horizon.Load()) <= t {
+			return false
+		}
+	}
+	return true
+}
+
+// runSpecInline executes a speculative attempt sequentially on the
+// coordinator: always the globally minimal pending event (full key order,
+// ties broken by creator then sequence), parking the instant a journaled
+// arrival would be overtaken. No horizons, no spinning, and — unlike the
+// parallel path, whose parks race against peer progress — a deterministic
+// attempt/commit/replay trace: the forced-misspeculation tests pin this.
+func (se *ShardedEngine) runSpecInline(end Time) {
+	for !se.stopped.Load() {
+		var s *seShard
+		for _, sh := range se.shards {
+			if sh.q.len() == 0 || sh.q.minTime() >= end {
+				continue
+			}
+			if s == nil || sh.q.ev[0].before(s.q.ev[0]) {
+				s = sh
+			}
+		}
+		if s == nil {
+			return
+		}
+		t := s.q.minTime()
+		for _, o := range se.shards {
+			// t is the global minimum, so only journal floors can bind
+			// (every shard's next+L exceeds t for L > 0). The shard's own
+			// journal binds too: a withheld delivery, once externalized,
+			// can emit a next hop arriving back before a later own event.
+			if o.specJMin <= t {
+				s.specParked = true
+				return
+			}
+		}
+		ev := s.q.pop()
+		s.now = ev.at
+		s.regular--
+		s.lastBusy = ev.at
+		s.nEvents++
+		s.specEvents++
+		ev.fn()
+	}
+}
+
+// specJoin ends an attempt: every journal — the cross-shard sends the
+// attempt withheld — is externalized into its destination heap, outcome
+// counters roll up, and the adaptive controller resizes the next attempt.
+// Safe for every executed event t and journaled arrival a, t < a held
+// (specSafe), so externalization never schedules into a shard's past and
+// the suffix a parked shard left behind replays in exact key order.
+//
+//bneck:keyed moves already-keyed events between heaps.
+//bneck:commit the only externalization point of speculative journals.
+func (se *ShardedEngine) specJoin() {
+	parked := false
+	for _, s := range se.shards {
+		s.specMode = false
+		if s.specParked {
+			parked = true
+			s.specParked = false
+		}
+		se.specStats.Events += s.specEvents
+		s.specEvents = 0
+		for i := range s.specOut {
+			ev := s.specOut[i]
+			d := se.shards[se.part[ev.owner]]
+			d.q.push(ev)
+			d.regular++
+			s.specOut[i] = event{} // release the closure reference
+		}
+		s.specOut = s.specOut[:0]
+	}
+	if parked {
+		se.specStats.Replays++
+		se.specMult /= 2
+		if se.specMult < specMultMin {
+			se.specMult = specMultMin
+		}
+		se.specCooldown = 1
+	} else {
+		se.specStats.Commits++
+		se.specMult *= 2
+		if se.specMult > specMultMax {
+			se.specMult = specMultMax
+		}
+	}
+}
+
+// AutoShards returns the shard count "auto" engine selection resolves to on
+// this process: GOMAXPROCS clamped to [1, 8]. Beyond eight shards the cut
+// grows faster than the win on the paper-sized topologies (BENCH_PR7.json),
+// and a single-CPU process gets the one-shard serial reference, which has
+// no cut at all.
+func AutoShards() int {
+	p := runtime.GOMAXPROCS(0)
+	if p < 1 {
+		p = 1
+	}
+	if p > 8 {
+		p = 8
+	}
+	return p
+}
+
+// AutoWindowBatch returns the window-batch bound "auto" selection pairs
+// with AutoShards: the default batch when windows run on worker goroutines,
+// and a larger one on a single CPU, where inline windows cost no
+// synchronization and a bigger batch only amortizes the coordinator loop
+// further.
+func AutoWindowBatch() int {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return defaultWindowBatch
+	}
+	return 4 * defaultWindowBatch
+}

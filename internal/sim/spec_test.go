@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// specTrace runs a two-shard workload — a local self-chain on node 0 plus a
+// cross-shard ping-pong with node 1 — and returns each node's observation
+// sequence: the virtual times at which its events executed, in execution
+// order. Windows on different shards are causally independent, so their
+// global interleaving is schedule-dependent; what every valid schedule must
+// reproduce exactly is each node's own sequence.
+func specTrace(t *testing.T, speculate bool) ([2][]string, SpeculationStats) {
+	t.Helper()
+	const L = time.Microsecond
+	se := NewSharded(2)
+	se.SetParallel(false)
+	se.SetSpeculation(speculate)
+	ringTopology(se, 2, 2, L)
+	var trace [2][]string
+	record := func(node int32) {
+		trace[node] = append(trace[node], fmt.Sprintf("%v", se.NowAt(node)))
+	}
+	// Local chain on shard 0: 40 events spaced 300 ns — dense enough that a
+	// speculative window covers many of them.
+	var chain func(step int)
+	chain = func(step int) {
+		record(0)
+		if step == 0 {
+			return
+		}
+		se.SendAt(0, 0, se.NowAt(0)+300*time.Nanosecond, func() { chain(step - 1) })
+	}
+	// Cross-shard ping-pong: node 0 → node 1 at the lookahead bound, node 1
+	// answers, twice. During a speculative attempt the first send is
+	// journaled, and shard 0's own chain events beyond its arrival force a
+	// park — the misspeculation shape the replay path exists for.
+	var pong func(hops int, from, to int32)
+	pong = func(hops int, from, to int32) {
+		record(from)
+		if hops == 0 {
+			return
+		}
+		se.SendAt(from, to, se.NowAt(from)+L, func() { pong(hops-1, to, from) })
+	}
+	se.At(0, func() { chain(39) })
+	se.At(100*time.Nanosecond, func() { pong(4, 0, 1) })
+	se.Run()
+	return trace, se.SpecStats()
+}
+
+// TestSpeculationReplayForced pins the misspeculation path deterministically:
+// inline (sequential) execution, a journaled cross-shard arrival overtaken
+// by the journaling shard's own later events, a park, and a conservative
+// replay of the suffix — with a byte-identical execution trace to the
+// speculation-off run.
+func TestSpeculationReplayForced(t *testing.T) {
+	base, off := specTrace(t, false)
+	spec, on := specTrace(t, true)
+	if off.Attempts != 0 {
+		t.Fatalf("speculation off recorded %d attempts", off.Attempts)
+	}
+	if on.Attempts == 0 {
+		t.Fatal("speculation on never attempted an optimistic window")
+	}
+	if on.Replays == 0 {
+		t.Fatal("cross-shard traffic inside the attempt must force a replay")
+	}
+	if on.Events == 0 {
+		t.Fatal("no events executed speculatively")
+	}
+	for node := range base {
+		if len(base[node]) != len(spec[node]) {
+			t.Fatalf("node %d trace lengths differ: %d vs %d",
+				node, len(base[node]), len(spec[node]))
+		}
+		for i := range base[node] {
+			if base[node][i] != spec[node][i] {
+				t.Fatalf("node %d traces diverge at %d: %q vs %q",
+					node, i, base[node][i], spec[node][i])
+			}
+		}
+	}
+}
+
+// TestSpeculationCommitsQuiescentTail: a workload with no cross-shard
+// traffic at all — one shard draining a local chain, the cut idle — is the
+// quiescence-tail regime speculation targets: attempts commit, none replay,
+// and the chain's events execute inside optimistic windows.
+func TestSpeculationCommitsQuiescentTail(t *testing.T) {
+	const L = time.Microsecond
+	se := NewSharded(2)
+	se.SetParallel(false)
+	se.SetSpeculation(true)
+	ringTopology(se, 2, 2, L)
+	n := 0
+	var chain func(step int)
+	chain = func(step int) {
+		n++
+		if step == 0 {
+			return
+		}
+		se.SendAt(0, 0, se.NowAt(0)+L/2, func() { chain(step - 1) })
+	}
+	se.At(0, func() { chain(200) })
+	se.Run()
+	st := se.SpecStats()
+	if n != 201 {
+		t.Fatalf("chain ran %d events, want 201", n)
+	}
+	if st.Commits == 0 {
+		t.Fatalf("idle-cut chain committed no attempts: %+v", st)
+	}
+	if st.Replays != 0 {
+		t.Fatalf("idle-cut chain replayed: %+v", st)
+	}
+	if st.Events == 0 {
+		t.Fatalf("no events executed speculatively: %+v", st)
+	}
+}
+
+// TestSpeculationGateVeto: a transport gate returning false suppresses every
+// attempt; results are untouched.
+func TestSpeculationGateVeto(t *testing.T) {
+	const L = time.Microsecond
+	se := NewSharded(2)
+	se.SetParallel(false)
+	se.SetSpeculation(true)
+	se.SetSpecGate(func() bool { return false })
+	ringTopology(se, 2, 2, L)
+	n := 0
+	var chain func(step int)
+	chain = func(step int) {
+		n++
+		if step == 0 {
+			return
+		}
+		se.SendAt(0, 0, se.NowAt(0)+L, func() { chain(step - 1) })
+	}
+	se.At(0, func() { chain(50) })
+	se.Run()
+	if n != 51 {
+		t.Fatalf("chain ran %d events, want 51", n)
+	}
+	if st := se.SpecStats(); st.Attempts != 0 {
+		t.Fatalf("gate did not veto: %+v", st)
+	}
+}
+
+// TestShardedSpeculationStress hammers the speculative fork/join under
+// forced parallel execution: cross-shard ring chains that park attempts
+// almost immediately (journal + replay under contention) interleaved with
+// long local chains that commit. Run with -race in CI, this is the
+// speculation data-race test; counts and quiescence must come out exact.
+func TestShardedSpeculationStress(t *testing.T) {
+	const (
+		nodes   = 32
+		shards  = 8
+		chains  = 48
+		hops    = 200
+		locals  = 8
+		steps   = 400
+		latency = time.Microsecond
+	)
+	se := NewSharded(shards)
+	se.SetParallel(true)
+	se.SetSpeculation(true)
+	se.SetWindowBatch(4)
+	ringTopology(se, nodes, shards, latency)
+	var delivered [chains]int
+	var hop func(chain, node, remaining int)
+	hop = func(chain, node, remaining int) {
+		delivered[chain]++
+		if remaining == 0 {
+			return
+		}
+		next := (node + 1) % nodes
+		se.SendAt(int32(node), int32(next), se.NowAt(int32(node))+latency, func() {
+			hop(chain, next, remaining-1)
+		})
+	}
+	var localRan [locals]int
+	var local func(idx, node, remaining int)
+	local = func(idx, node, remaining int) {
+		localRan[idx]++
+		if remaining == 0 {
+			return
+		}
+		se.SendAt(int32(node), int32(node), se.NowAt(int32(node))+latency/2, func() {
+			local(idx, node, remaining-1)
+		})
+	}
+	for c := 0; c < chains; c++ {
+		c := c
+		start := c % nodes
+		se.At(time.Duration(c)*10*time.Nanosecond, func() { hop(c, start, hops) })
+	}
+	for i := 0; i < locals; i++ {
+		i := i
+		node := (i * shards) % nodes // one per shard
+		se.At(time.Duration(i)*7*time.Nanosecond, func() { local(i, node, steps) })
+	}
+	se.Run()
+	for c, got := range delivered {
+		if got != hops+1 {
+			t.Fatalf("chain %d delivered %d hops, want %d", c, got, hops+1)
+		}
+	}
+	for i, got := range localRan {
+		if got != steps+1 {
+			t.Fatalf("local chain %d ran %d steps, want %d", i, got, steps+1)
+		}
+	}
+	if se.Pending() != 0 {
+		t.Fatalf("pending %d after Run", se.Pending())
+	}
+}
+
+// TestShardedSpeculationMatchesConservative: the same stress workload,
+// speculation on vs. off, inline for exact trace capture — quiescence and
+// event totals must match exactly.
+func TestShardedSpeculationMatchesConservative(t *testing.T) {
+	run := func(speculate bool) (Time, uint64) {
+		const (
+			nodes   = 16
+			shards  = 4
+			chains  = 12
+			hops    = 120
+			latency = time.Microsecond
+		)
+		se := NewSharded(shards)
+		se.SetParallel(false)
+		se.SetSpeculation(speculate)
+		ringTopology(se, nodes, shards, latency)
+		var hop func(node, remaining int)
+		hop = func(node, remaining int) {
+			if remaining == 0 {
+				return
+			}
+			next := (node + 1) % nodes
+			se.SendAt(int32(node), int32(next), se.NowAt(int32(node))+latency, func() {
+				hop(next, remaining-1)
+			})
+		}
+		for c := 0; c < chains; c++ {
+			start := c % nodes
+			se.At(time.Duration(c)*10*time.Nanosecond, func() { hop(start, hops) })
+		}
+		q := se.Run()
+		return q, se.Events()
+	}
+	qOff, evOff := run(false)
+	qOn, evOn := run(true)
+	if qOff != qOn {
+		t.Fatalf("quiescence differs: off %v, on %v", qOff, qOn)
+	}
+	if evOff != evOn {
+		t.Fatalf("event totals differ: off %d, on %d", evOff, evOn)
+	}
+}

@@ -59,6 +59,12 @@ func (w *Wire) Sent() uint64 { return w.sent }
 // rate.
 func (w *Wire) SetTx(txPerPacket time.Duration) { w.tx = txPerPacket }
 
+// Idle reports whether the transmitter is neither sending nor backlogged at
+// its scheduler's current clock. The transport's speculation gate checks it
+// on every cut-link wire at a barrier: a busy cut wire means cross-shard
+// traffic is in flight and an optimistic window would almost surely park.
+func (w *Wire) Idle() bool { return w.free <= w.eng.Now() }
+
 // Backlog returns how long a packet enqueued now would wait before starting
 // transmission (a congestion signal for tests and metrics).
 func (w *Wire) Backlog() time.Duration {

@@ -34,6 +34,7 @@ func newSimulation(g *graph.Graph, topo *topology.Network, opts ...Option) (*Sim
 		ControlPacketBits: o.controlPacketBits,
 		BinSize:           o.binSize,
 		PathPolicy:        o.pathPolicy,
+		Speculate:         o.speculate,
 	}
 	if o.onRate != nil {
 		cb := o.onRate
@@ -47,10 +48,18 @@ func newSimulation(g *graph.Graph, topo *topology.Network, opts ...Option) (*Sim
 		resolver: graph.NewResolver(g, 256),
 		sessions: make(map[SessionID]*Session),
 	}
-	if o.shards >= 1 {
-		out.she = sim.NewSharded(o.shards)
-		if o.windowBatch > 0 {
-			out.she.SetWindowBatch(o.windowBatch)
+	shards, windowBatch := o.shards, o.windowBatch
+	if o.shardsSet && shards == 0 {
+		// Auto-tune from the process's usable parallelism (WithShards(0)).
+		shards = sim.AutoShards()
+		if windowBatch <= 0 {
+			windowBatch = sim.AutoWindowBatch()
+		}
+	}
+	if o.shardsSet && shards >= 1 {
+		out.she = sim.NewSharded(shards)
+		if windowBatch > 0 {
+			out.she.SetWindowBatch(windowBatch)
 		}
 		out.net = network.NewSharded(g, out.she, cfg)
 	} else {
@@ -278,6 +287,26 @@ func (s *Simulation) Migrations() uint64 { return s.net.Migrations() }
 // (WithPathPolicy) migrated back onto shorter paths. Always zero under the
 // default Pinned policy.
 func (s *Simulation) Reoptimizations() uint64 { return s.net.Reoptimizations() }
+
+// SpeculationStats counts optimistic window execution outcomes on a sharded
+// simulation (WithSpeculation): forked attempts, committed attempts,
+// replayed attempts (some shard parked and its suffix re-ran under the
+// conservative bound), and the events executed inside speculative windows.
+type SpeculationStats struct {
+	Attempts uint64
+	Commits  uint64
+	Replays  uint64
+	Events   uint64
+}
+
+// SpeculationStats returns the cumulative optimistic-execution counters.
+// All zero on the classic engine or with speculation off. The outcome
+// counts depend on goroutine timing when windows run in parallel —
+// simulation results never do.
+func (s *Simulation) SpeculationStats() SpeculationStats {
+	st := s.net.SpeculationStats()
+	return SpeculationStats{Attempts: st.Attempts, Commits: st.Commits, Replays: st.Replays, Events: st.Events}
+}
 
 // ReconfigPackets returns the cumulative control-packet cost of topology
 // reconfigurations: the Leave-cascade packets of every force-departed
