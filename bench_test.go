@@ -8,6 +8,7 @@ package bneck_test
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -410,6 +411,91 @@ func benchQuiesce(b *testing.B, shards int, spec bool) {
 		b.ReportMetric(float64(stats.Commits)/n, "spec_commits/run")
 		b.ReportMetric(float64(stats.Replays)/n, "spec_replays/run")
 		b.ReportMetric(float64(stats.Events)/n, "spec_events/run")
+	}
+}
+
+// BenchmarkInternetLadder climbs the three-rung topology ladder — Paper
+// (~40 routers), Metro (~1k), Internet (~10k) — on the hierarchical
+// internet-scale generator, measuring a join burst to quiescence at each
+// rung (the exp.RunInternet shape; only net.Run is timed). Each rung runs
+// the sharded engine at 1 and 8 shards so the pkts/sec column directly
+// compares the hierarchical partition's profitability as the graph grows;
+// the Internet rung adds a speculation cell and a quarter-size session
+// count, whose bytes/event metric against the full-size cell shows
+// per-event memory growing sublinearly with session count (the dense
+// session tables at work — no O(sessions) scan on the steady-state path).
+// Cells pin -benchtime=1x in `make bench-json`: one 10k-router run is the
+// statistic, not an iteration.
+func BenchmarkInternetLadder(b *testing.B) {
+	type cell struct {
+		rung     string
+		params   topology.InternetParams
+		sessions int
+		shards   int
+		spec     bool
+	}
+	cells := []cell{
+		{"Paper", topology.InternetPaper, 400, 1, false},
+		{"Paper", topology.InternetPaper, 400, 8, false},
+		{"Metro", topology.InternetMetro, 2000, 1, false},
+		{"Metro", topology.InternetMetro, 2000, 8, false},
+		{"Metro", topology.InternetMetro, 2000, 8, true},
+		{"Internet", topology.InternetGlobal, 2500, 8, false},
+		{"Internet", topology.InternetGlobal, 10000, 1, false},
+		{"Internet", topology.InternetGlobal, 10000, 8, false},
+		{"Internet", topology.InternetGlobal, 10000, 8, true},
+	}
+	for _, c := range cells {
+		name := c.rung + "/" + itoa(c.params.Routers()) + "r/sessions=" + itoa(c.sessions) +
+			"/shards=" + itoa(c.shards)
+		if c.spec {
+			name += "/spec=on"
+		}
+		c := c
+		b.Run(name, func(b *testing.B) {
+			benchInternet(b, c.params, c.sessions, c.shards, c.spec)
+		})
+	}
+}
+
+func benchInternet(b *testing.B, params topology.InternetParams, sessions, shards int, spec bool) {
+	var packets, events, allocBytes uint64
+	var ms runtime.MemStats
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		topo, err := topology.GenerateInternet(params, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := network.DefaultConfig()
+		cfg.Speculate = spec
+		cfg.Hierarchy = topo.Hierarchy
+		she := sim.NewSharded(shards)
+		net := network.NewSharded(topo.Graph, she, cfg)
+		ss, err := exp.PlaceSessions(topo, net, sessions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(i + 8)))
+		demand := trace.MixedDemands(0.25, 1, 100)
+		for _, ev := range trace.Joins(0, sessions, 0, time.Millisecond, demand, rng) {
+			net.ScheduleJoin(ss[ev.Session], ev.At, ev.Demand)
+		}
+		runtime.ReadMemStats(&ms)
+		before := ms.TotalAlloc
+		b.StartTimer()
+		net.Run()
+		b.StopTimer()
+		runtime.ReadMemStats(&ms)
+		allocBytes += ms.TotalAlloc - before
+		packets += net.Stats().Total()
+		events += she.Events()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(packets)/b.Elapsed().Seconds(), "pkts/sec")
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	if events > 0 {
+		b.ReportMetric(float64(allocBytes)/float64(events), "bytes/event")
 	}
 }
 

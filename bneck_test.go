@@ -132,6 +132,35 @@ func TestPublicAPITransitStub(t *testing.T) {
 	}
 }
 
+func TestPublicAPIInternet(t *testing.T) {
+	// Sharded: the internet topology's hierarchy labels drive the partition.
+	sim, err := bneck.NewInternet(bneck.Small, 1, bneck.WithShards(2), bneck.WithSpeculation(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.AddHosts(20); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		src, dst, err := sim.RandomHostPair()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sim.Session(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.JoinAt(time.Duration(i)*50*time.Microsecond, bneck.Unlimited)
+	}
+	sim.RunToQuiescence()
+	if err := sim.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bneck.NewInternet(bneck.Size(99), 1); err == nil {
+		t.Fatal("bad size accepted")
+	}
+}
+
 func TestPublicAPIRateCallback(t *testing.T) {
 	var events int
 	b := bneck.NewNetwork()

@@ -130,6 +130,34 @@ func NewTransitStub(size Size, scen Scenario, seed int64, opts ...Option) (*Simu
 	return newSimulation(topo.Graph, topo, opts...)
 }
 
+// NewInternet generates a hierarchical internet-scale topology: regional
+// core meshes joined by geography-derived long-haul links, metro
+// aggregation rings under each core, and a power-law fringe of edge routers
+// hosts attach to. The three sizes are the benchmark ladder's rungs — Small
+// ≈ 40 routers (paper scale), Medium ≈ 1k (metro scale), Big ≈ 10k (the
+// internet rung). Sharded simulations (WithShards) of an internet topology
+// partition along the generator's own region/metro hierarchy instead of the
+// flat latency sweep, which keeps 8–16 shards profitable on these sparse
+// graphs. Add hosts with Simulation.AddHosts before creating sessions.
+func NewInternet(size Size, seed int64, opts ...Option) (*Simulation, error) {
+	var params topology.InternetParams
+	switch size {
+	case Small:
+		params = topology.InternetPaper
+	case Medium:
+		params = topology.InternetMetro
+	case Big:
+		params = topology.InternetGlobal
+	default:
+		return nil, fmt.Errorf("bneck: unknown size %d", size)
+	}
+	topo, err := topology.GenerateInternet(params, seed)
+	if err != nil {
+		return nil, err
+	}
+	return newSimulation(topo.Graph, topo, opts...)
+}
+
 // Option customizes a Simulation.
 type Option func(*options)
 

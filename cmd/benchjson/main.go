@@ -23,6 +23,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"bneck/internal/sim"
 )
 
 type entry struct {
@@ -32,11 +34,19 @@ type entry struct {
 }
 
 type document struct {
-	Date       string  `json:"date"`
-	GoVersion  string  `json:"go_version"`
-	GOOS       string  `json:"goos"`
-	GOARCH     string  `json:"goarch"`
-	Benchmarks []entry `json:"benchmarks"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// AutoShards/AutoWindowBatch record the sharded engine's auto-tune
+	// decisions on the machine that produced the run, so shard-count cells
+	// in the benchmarks can be read against what `-shards 0` would have
+	// picked there.
+	AutoShards      int     `json:"auto_shards"`
+	AutoWindowBatch int     `json:"auto_window_batch"`
+	Benchmarks      []entry `json:"benchmarks"`
 }
 
 func main() {
@@ -46,10 +56,14 @@ func main() {
 	flag.Parse()
 
 	doc := document{
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Date:            time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		AutoShards:      sim.AutoShards(),
+		AutoWindowBatch: sim.AutoWindowBatch(),
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

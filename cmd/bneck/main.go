@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	bneck [-size small|medium|big] [-scenario lan|wan] [-sessions N]
+//	bneck [-size small|medium|big] [-scenario lan|wan] [-internet] [-sessions N]
 //	      [-demand-cap P] [-seed S] [-shards N] [-window-batch K] [-speculate]
 //	      [-path-policy pinned|reoptimize] [-validate] [-v] [-live]
 //	bneck -run-scenario <script> [-live] [-shards N] [-speculate]
@@ -25,6 +25,12 @@
 // from GOMAXPROCS) and -speculate enables optimistic window execution on
 // the sharded engine; both apply to plain runs and -run-scenario alike, and
 // every combination prints byte-identical results.
+//
+// -internet swaps the transit-stub generator for the hierarchical
+// internet-scale one (core/metro/edge tiers, power-law fringe,
+// geography-derived latency bands): -size maps to ~40/~1k/~10k routers,
+// -scenario is ignored, and sharded runs partition along the generator's
+// region/metro hierarchy.
 //
 // -path-policy selects the path re-optimization policy (pinned, the
 // default, or reoptimize — migrate sessions back onto shorter paths after
@@ -61,7 +67,8 @@ func main() {
 
 	var (
 		sizeName     = flag.String("size", "small", "topology size: small, medium, big")
-		scenName     = flag.String("scenario", "lan", "propagation scenario: lan, wan")
+		scenName     = flag.String("scenario", "lan", "propagation scenario: lan, wan (ignored with -internet)")
+		internet     = flag.Bool("internet", false, "generate a hierarchical internet-scale topology (core/metro/edge tiers, power-law fringe) instead of transit-stub; sharded runs partition along its region/metro hierarchy")
 		sessions     = flag.Int("sessions", 100, "number of sessions to join")
 		demandCap    = flag.Float64("demand-cap", 0.25, "fraction of sessions with a finite demand")
 		seed         = flag.Int64("seed", 1, "deterministic seed")
@@ -111,25 +118,44 @@ func main() {
 		return
 	}
 
-	size, err := sizeByName(*sizeName)
-	if err != nil {
-		log.Fatal(err)
-	}
-	scen, err := scenarioByName(*scenName)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	topo, err := topology.Generate(size, scen, *seed)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		topo     topology.Hosted
+		topoDesc string
+	)
+	cfg := network.DefaultConfig()
+	if *internet {
+		params, err := internetBySize(*sizeName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		it, err := topology.GenerateInternet(params, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		topo = it
+		cfg.Hierarchy = it.Hierarchy
+		topoDesc = fmt.Sprintf("%s (%d routers), internet hierarchy", params.Name, params.Routers())
+	} else {
+		size, err := sizeByName(*sizeName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scen, err := scenarioByName(*scenName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts, err := topology.Generate(size, scen, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		topo = ts
+		topoDesc = fmt.Sprintf("%s (%d routers), %s scenario", size.Name, size.Routers(), scen)
 	}
 
 	if *liveMode {
-		runLive(topo, size, *sessions, *demandCap, *seed, *validate, overlayPolicy(policy.Config{}))
+		runLive(topo, topoDesc, *sessions, *demandCap, *seed, *validate, overlayPolicy(policy.Config{}))
 		return
 	}
-	cfg := network.DefaultConfig()
 	cfg.PathPolicy = overlayPolicy(cfg.PathPolicy)
 	cfg.Speculate = *speculate
 	nShards, nBatch := *shards, *windowBatch
@@ -145,9 +171,9 @@ func main() {
 		if nBatch > 0 {
 			she.SetWindowBatch(nBatch)
 		}
-		net = network.NewSharded(topo.Graph, she, cfg)
+		net = network.NewSharded(topo.Topology(), she, cfg)
 	} else {
-		net = network.New(topo.Graph, sim.New(), cfg)
+		net = network.New(topo.Topology(), sim.New(), cfg)
 	}
 	ss, err := exp.PlaceSessions(topo, net, *sessions)
 	if err != nil {
@@ -169,7 +195,7 @@ func main() {
 		}
 	}
 
-	fmt.Printf("topology   : %s (%d routers), %s scenario\n", size.Name, size.Routers(), scen)
+	fmt.Printf("topology   : %s\n", topoDesc)
 	if nShards >= 1 {
 		look := "unbounded (single shard)"
 		if l := net.Sharded().Lookahead(); l > 0 {
@@ -238,9 +264,9 @@ func runScenario(path string, liveMode bool, opts scenario.SimOptions, overlay f
 
 // runLive executes the scenario on the goroutine/actor runtime: joins fire
 // from concurrent goroutines and quiescence is detected by termination.
-func runLive(topo *topology.Network, size topology.Params, sessions int, demandCap float64, seed int64, validate bool, pol policy.Config) {
+func runLive(topo topology.Hosted, desc string, sessions int, demandCap float64, seed int64, validate bool, pol policy.Config) {
 	hosts := topo.AddHosts(2 * sessions)
-	g := topo.Graph
+	g := topo.Topology()
 	res := graph.NewResolver(g, 256)
 	rt := live.New(g)
 	defer rt.Close()
@@ -285,7 +311,7 @@ func runLive(topo *topology.Network, size topology.Params, sessions int, demandC
 	rt.WaitQuiescent()
 	wallDur := time.Since(wall)
 
-	fmt.Printf("topology   : %s (%d routers), live actor runtime\n", size.Name, size.Routers())
+	fmt.Printf("topology   : %s, live actor runtime\n", desc)
 	fmt.Printf("sessions   : %d joined from concurrent goroutines\n", sessions)
 	fmt.Printf("quiescence : %v (wall clock, detected by termination)\n", wallDur.Round(time.Microsecond))
 
@@ -307,6 +333,19 @@ func sizeByName(name string) (topology.Params, error) {
 		return topology.Big, nil
 	default:
 		return topology.Params{}, fmt.Errorf("unknown size %q (small, medium, big)", name)
+	}
+}
+
+func internetBySize(name string) (topology.InternetParams, error) {
+	switch name {
+	case "small":
+		return topology.InternetPaper, nil
+	case "medium":
+		return topology.InternetMetro, nil
+	case "big":
+		return topology.InternetGlobal, nil
+	default:
+		return topology.InternetParams{}, fmt.Errorf("unknown size %q (small, medium, big)", name)
 	}
 }
 

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	topogen [-size small|medium|big] [-scenario lan|wan] [-hosts N] [-seed S]
+//	topogen -internet [-size small|medium|big] [-hosts N] [-seed S]
+//
+// With -internet the command generates the hierarchical internet-scale
+// topology instead (core/metro/edge tiers, power-law fringe, geography-
+// derived latency bands; -scenario is ignored) and additionally reports the
+// per-tier router counts and the router degree distribution — the evidence
+// that the preferential-attachment fringe is heavy-tailed.
 package main
 
 import (
@@ -25,45 +32,79 @@ func main() {
 
 	var (
 		sizeName = flag.String("size", "small", "topology size: small, medium, big")
-		scenName = flag.String("scenario", "lan", "propagation scenario: lan, wan")
+		scenName = flag.String("scenario", "lan", "propagation scenario: lan, wan (ignored with -internet)")
+		internet = flag.Bool("internet", false, "generate the hierarchical internet-scale topology (core/metro/edge tiers, power-law fringe) instead of transit-stub")
 		hosts    = flag.Int("hosts", 100, "hosts to attach")
 		seed     = flag.Int64("seed", 1, "deterministic seed")
 		pairs    = flag.Int("pairs", 200, "random host pairs for path statistics")
 	)
 	flag.Parse()
 
-	var size topology.Params
-	switch *sizeName {
-	case "small":
-		size = topology.Small
-	case "medium":
-		size = topology.Medium
-	case "big":
-		size = topology.Big
-	default:
-		log.Fatalf("unknown size %q", *sizeName)
-	}
-	var scen topology.Scenario
-	switch *scenName {
-	case "lan":
-		scen = topology.LAN
-	case "wan":
-		scen = topology.WAN
-	default:
-		log.Fatalf("unknown scenario %q", *scenName)
-	}
-
-	topo, err := topology.Generate(size, scen, *seed)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		topo   topology.Hosted
+		header string
+	)
+	if *internet {
+		var params topology.InternetParams
+		switch *sizeName {
+		case "small":
+			params = topology.InternetPaper
+		case "medium":
+			params = topology.InternetMetro
+		case "big":
+			params = topology.InternetGlobal
+		default:
+			log.Fatalf("unknown size %q", *sizeName)
+		}
+		it, err := topology.GenerateInternet(params, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		topo = it
+		header = fmt.Sprintf("topology %s / internet (seed %d)\n", params.Name, *seed)
+	} else {
+		var size topology.Params
+		switch *sizeName {
+		case "small":
+			size = topology.Small
+		case "medium":
+			size = topology.Medium
+		case "big":
+			size = topology.Big
+		default:
+			log.Fatalf("unknown size %q", *sizeName)
+		}
+		var scen topology.Scenario
+		switch *scenName {
+		case "lan":
+			scen = topology.LAN
+		case "wan":
+			scen = topology.WAN
+		default:
+			log.Fatalf("unknown scenario %q", *scenName)
+		}
+		ts, err := topology.Generate(size, scen, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		topo = ts
+		header = fmt.Sprintf("topology %s / %s (seed %d)\n", size.Name, scen, *seed)
 	}
 	topo.AddHosts(*hosts)
-	g := topo.Graph
+	g := topo.Topology()
 
-	fmt.Printf("topology %s / %s (seed %d)\n", size.Name, scen, *seed)
-	fmt.Printf("  transit routers : %d\n", len(topo.TransitRouters))
-	fmt.Printf("  stub routers    : %d\n", len(topo.StubRouters))
-	fmt.Printf("  hosts           : %d\n", len(topo.Hosts))
+	fmt.Print(header)
+	switch t := topo.(type) {
+	case *topology.Network:
+		fmt.Printf("  transit routers : %d\n", len(t.TransitRouters))
+		fmt.Printf("  stub routers    : %d\n", len(t.StubRouters))
+		fmt.Printf("  hosts           : %d\n", len(t.Hosts))
+	case *topology.Internet:
+		fmt.Printf("  core routers    : %d (%d regions)\n", len(t.Core), t.Params.Regions)
+		fmt.Printf("  metro routers   : %d (%d metros)\n", len(t.Metro), t.Params.Regions*t.Params.MetrosPerRegion)
+		fmt.Printf("  edge routers    : %d\n", len(t.Edge))
+		fmt.Printf("  hosts           : %d\n", len(t.Hosts))
+	}
 	fmt.Printf("  directed links  : %d\n", g.NumLinks())
 
 	// Capacity tiers.
@@ -92,6 +133,10 @@ func main() {
 	}
 	fmt.Printf("  propagation     : %v … %v\n", minProp, maxProp)
 
+	if *internet {
+		printDegrees(g)
+	}
+
 	// Path statistics over random pairs.
 	res := graph.NewResolver(g, 256)
 	var lengths []int
@@ -111,4 +156,40 @@ func main() {
 	fmt.Printf("  path lengths    : min %d, median %d, mean %.1f, max %d (over %d pairs)\n",
 		lengths[0], lengths[len(lengths)/2], float64(sum)/float64(len(lengths)),
 		lengths[len(lengths)-1], len(lengths))
+}
+
+// printDegrees summarizes the router degree distribution (host links
+// excluded): a histogram plus the max/mean ratio that evidences the
+// preferential-attachment heavy tail.
+func printDegrees(g *graph.Graph) {
+	deg := map[graph.NodeID]int{}
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(graph.LinkID(i))
+		if g.Node(l.From).Kind != graph.Router || g.Node(l.To).Kind != graph.Router {
+			continue
+		}
+		deg[l.From]++
+	}
+	hist := map[int]int{}
+	max, sum := 0, 0
+	for _, d := range deg {
+		hist[d]++
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if len(deg) == 0 {
+		return
+	}
+	var degrees []int
+	for d := range hist {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	mean := float64(sum) / float64(len(deg))
+	fmt.Printf("  router degrees  : mean %.1f, max %d (%.1f× mean)\n", mean, max, float64(max)/mean)
+	for _, d := range degrees {
+		fmt.Printf("    degree %3d × %d routers\n", d, hist[d])
+	}
 }

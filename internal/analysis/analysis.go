@@ -198,9 +198,11 @@ func inPackages(paths ...string) func(string) bool {
 
 // DeterministicPackages are the packages whose execution must be a pure
 // function of their inputs: the simulator engines, the simulated transport,
-// the experiment harness, the scenario runner, the waterfill oracle and the
-// path policy. detrange and walltime enforce it; the examples that promise
-// reproducible output opt into walltime too.
+// the experiment harness, the scenario runner, the waterfill oracle, the
+// path policy and the topology generators (byte-identical graphs per seed
+// is what makes the sharded determinism tests meaningful). detrange and
+// walltime enforce it; the examples that promise reproducible output opt
+// into walltime too.
 var DeterministicPackages = []string{
 	"bneck/internal/sim",
 	"bneck/internal/network",
@@ -208,6 +210,7 @@ var DeterministicPackages = []string{
 	"bneck/internal/scenario",
 	"bneck/internal/waterfill",
 	"bneck/internal/policy",
+	"bneck/internal/topology",
 }
 
 // namedType returns the named type (and its package) behind t, unwrapping

@@ -38,3 +38,29 @@ func lineSanctioned() int64 {
 	t := time.Now().UnixNano() //bneck:wallclock trace-id seed for logging only.
 	return t
 }
+
+// generator mimics the streaming topology generators: every random draw
+// must funnel through one explicitly seeded source so the emitted graph is
+// a pure function of the seed. A clean generator produces no findings.
+func generator(seed int64, emit func(int)) {
+	rng := rand.New(rand.NewSource(seed))
+	repeats := []int{0}
+	for i := 1; i < 32; i++ {
+		// Preferential attachment: endpoint-repeat list + seeded draw.
+		peer := repeats[rng.Intn(len(repeats))]
+		repeats = append(repeats, peer, i)
+		emit(peer)
+	}
+}
+
+// leakyGenerator drifts off the seed funnel: a global-source draw or a
+// wall-clock reseed makes generation differ run to run, which the sharded
+// determinism tests would misattribute to the engine.
+func leakyGenerator(emit func(int)) {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano())) // want "wall-clock read"
+	for i := 1; i < 32; i++ {
+		if rand.Intn(4) == 0 { // want "globally-seeded randomness"
+			emit(rng.Intn(i))
+		}
+	}
+}

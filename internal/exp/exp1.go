@@ -199,8 +199,9 @@ func runExp1Cell(cfg Exp1Config, size topology.Params, scen topology.Scenario, c
 // host per session (the paper's one-session-per-source-host rule), draws
 // destinations uniformly at random, and registers the sessions with the
 // network. Path resolution groups sessions by source router so the BFS
-// cache is effective.
-func PlaceSessions(topo *topology.Network, net *network.Network, count int) ([]*network.Session, error) {
+// cache is effective. Any generated topology works: transit-stub and
+// internet-scale topologies both satisfy topology.Hosted.
+func PlaceSessions(topo topology.Hosted, net *network.Network, count int) ([]*network.Session, error) {
 	hosts := topo.AddHosts(2 * count)
 	rng := topo.Rand()
 	type pair struct {
@@ -217,7 +218,7 @@ func PlaceSessions(topo *topology.Network, net *network.Network, count int) ([]*
 		pairs[i] = pair{idx: i, src: src, dst: dst}
 	}
 	// Group by source router for BFS-cache locality.
-	g := topo.Graph
+	g := topo.Topology()
 	sorted := append([]pair(nil), pairs...)
 	sort.SliceStable(sorted, func(a, b int) bool {
 		return g.HostRouter(sorted[a].src) < g.HostRouter(sorted[b].src)

@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// PartitionHierarchy computes a K-way partition of g along caller-supplied
+// hierarchy labels instead of PartitionNodes' latency sweep. levels gives
+// per-node labels, coarse to fine, densely indexed by NodeID (level 0 a
+// region, level 1 a metro, say); a topology generator that knows its own
+// structure (topology.StreamInternet) produces them for free. The flat
+// contract-and-grow partitioner must rediscover that structure from link
+// latencies alone, and on sparse hierarchical graphs its balance-capped
+// threshold sweep degrades past a handful of shards — it contracts whole
+// regions into single components and then has nothing left to balance with.
+//
+// The algorithm is deterministic:
+//
+//  1. Cluster nodes by their level-0 label (a negative label makes the node
+//     its own singleton cluster).
+//  2. While a cluster is heavier than the 2·total/K balance cap, split it by
+//     the next-finer level's labels; clusters still over the cap at the
+//     finest level stay whole (the same imbalance fallback the flat
+//     partitioner accepts).
+//  3. Pack clusters onto K shards heaviest-first, each onto the currently
+//     lightest shard — cut links are then exactly the inter-cluster links,
+//     which the generator made the highest-latency ones by construction.
+//
+// The cut lookahead keeps the transmission-aware floor per link: a cut
+// link's latency is Propagation + floors[link], exactly as in
+// PartitionNodes, so every sub-cut contributes its serialization floor to
+// the window bound. When the labels would cut a zero-latency link, or no
+// usable labels cover the graph, the function falls back to PartitionNodes
+// rather than return a partition with no parallelism.
+func PartitionHierarchy(g *Graph, k int, weights []int64, floors []time.Duration, levels [][]int32) Partition {
+	n := g.NumNodes()
+	if k <= 1 || n <= 1 {
+		return Partition{Parts: make([]int32, n), K: 1, Generation: g.Generation()}
+	}
+	if len(levels) == 0 || len(levels[0]) < n {
+		return PartitionNodes(g, k, weights, floors)
+	}
+
+	w := make([]int64, n)
+	var total int64
+	for i := 0; i < n; i++ {
+		w[i] = 1
+		if weights != nil && i < len(weights) && weights[i] > 0 {
+			w[i] = weights[i]
+		}
+		total += w[i]
+	}
+	maxComp := 2 * total / int64(k)
+	if maxComp < 1 {
+		maxComp = 1
+	}
+
+	// Level-0 clustering, labels remapped to dense IDs in first-seen order.
+	cl := make([]int32, n)
+	idx := make(map[int32]int32)
+	var clW []int64
+	for i := 0; i < n; i++ {
+		lbl := levels[0][i]
+		if lbl < 0 {
+			cl[i] = int32(len(clW))
+			clW = append(clW, w[i])
+			continue
+		}
+		c, ok := idx[lbl]
+		if !ok {
+			c = int32(len(clW))
+			idx[lbl] = c
+			clW = append(clW, 0)
+		}
+		cl[i] = c
+		clW[c] += w[i]
+	}
+
+	// Refine over-heavy clusters with each finer level. A (cluster, label)
+	// pair becomes a fresh cluster; nodes without a finer label keep theirs.
+	type split struct{ c, lbl int32 }
+	for lvl := 1; lvl < len(levels); lvl++ {
+		lab := levels[lvl]
+		heavy := false
+		for _, x := range clW {
+			if x > maxComp {
+				heavy = true
+				break
+			}
+		}
+		if !heavy {
+			break
+		}
+		sub := make(map[split]int32)
+		for i := 0; i < n; i++ {
+			c := cl[i]
+			if clW[c] <= maxComp || i >= len(lab) || lab[i] < 0 {
+				continue
+			}
+			key := split{c, lab[i]}
+			nc, ok := sub[key]
+			if !ok {
+				nc = int32(len(clW))
+				sub[key] = nc
+				clW = append(clW, 0)
+			}
+			cl[i] = nc
+			clW[nc] += w[i]
+		}
+		// Weights of split parents now live in their children; zero the
+		// parents that lost every node so packing skips them. (A parent
+		// retains nodes only when some of its nodes had no finer label.)
+		parentW := make([]int64, len(clW))
+		for i := 0; i < n; i++ {
+			parentW[cl[i]] += w[i]
+		}
+		clW = parentW
+	}
+
+	// Pack heaviest-first onto the lightest shard (ties by index: cluster
+	// then shard), the deterministic LPT rule.
+	order := make([]int32, 0, len(clW))
+	for c := range clW {
+		if clW[c] > 0 {
+			order = append(order, int32(c))
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if clW[order[a]] != clW[order[b]] {
+			return clW[order[a]] > clW[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	shardOf := make([]int32, len(clW))
+	for i := range shardOf {
+		shardOf[i] = -1
+	}
+	shardW := make([]int64, k)
+	for _, c := range order {
+		best := 0
+		for r := 1; r < k; r++ {
+			if shardW[r] < shardW[best] {
+				best = r
+			}
+		}
+		shardOf[c] = int32(best)
+		shardW[best] += clW[c]
+	}
+
+	p := Partition{Parts: make([]int32, n), Generation: g.Generation()}
+	for i := 0; i < n; i++ {
+		p.Parts[i] = shardOf[cl[i]]
+	}
+
+	// Renumber used shards densely and compute the cut lookahead.
+	remap := make(map[int32]int32)
+	for i, s := range p.Parts {
+		ns, ok := remap[s]
+		if !ok {
+			ns = int32(len(remap))
+			remap[s] = ns
+		}
+		p.Parts[i] = ns
+	}
+	p.K = len(remap)
+	if p.K <= 1 {
+		p.K = 1
+		for i := range p.Parts {
+			p.Parts[i] = 0
+		}
+		return p
+	}
+	latency := func(l *Link) time.Duration {
+		d := l.Propagation
+		if floors != nil && int(l.ID) < len(floors) {
+			d += floors[l.ID]
+		}
+		return d
+	}
+	min := time.Duration(math.MaxInt64)
+	for i := 0; i < g.NumLinks(); i++ {
+		l := &g.links[i]
+		if d := latency(l); p.Parts[l.From] != p.Parts[l.To] && d < min {
+			min = d
+		}
+	}
+	if min == time.Duration(math.MaxInt64) {
+		min = 0
+	}
+	if min <= 0 {
+		// The labels cut a zero-latency link — no window, no parallelism.
+		// The flat sweep never does that; use it instead.
+		return PartitionNodes(g, k, weights, floors)
+	}
+	p.Lookahead = min
+	return p
+}

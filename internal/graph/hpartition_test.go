@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"testing"
+	"time"
+
+	"bneck/internal/rate"
+)
+
+// buildRegions makes nRegions clusters of size nodes each: a ring of fast
+// links (10 µs) inside every cluster and one slow link (5 ms) between
+// consecutive clusters. Labels: level 0 = region; level 1 splits each
+// region into halves.
+func buildRegions(t *testing.T, nRegions, size int) (*Graph, [][]int32) {
+	t.Helper()
+	g := New()
+	region := make([]int32, 0, nRegions*size)
+	half := make([]int32, 0, nRegions*size)
+	var first []NodeID
+	for r := 0; r < nRegions; r++ {
+		ids := make([]NodeID, size)
+		for i := range ids {
+			ids[i] = g.AddRouter("")
+			region = append(region, int32(r))
+			h := int32(2 * r)
+			if i >= size/2 {
+				h++
+			}
+			half = append(half, h)
+		}
+		for i := 0; i < size; i++ {
+			g.Connect(ids[i], ids[(i+1)%size], rate.Mbps(100), 10*time.Microsecond)
+		}
+		first = append(first, ids[0])
+	}
+	if nRegions > 1 {
+		for r := 0; r < nRegions; r++ {
+			next := (r + 1) % nRegions
+			if nRegions == 2 && r == 1 {
+				break // avoid the duplicate pair on a two-region ring
+			}
+			g.Connect(first[r], first[next], rate.Mbps(100), 5*time.Millisecond)
+		}
+	}
+	return g, [][]int32{region, half}
+}
+
+func TestPartitionHierarchyCutsAlongRegions(t *testing.T) {
+	g, levels := buildRegions(t, 4, 8)
+	p := PartitionHierarchy(g, 4, nil, nil, levels)
+	if p.K != 4 {
+		t.Fatalf("K = %d, want 4", p.K)
+	}
+	// Every node of a region lands on one shard (no region was over-heavy).
+	region := levels[0]
+	shardOf := map[int32]int32{}
+	for i, s := range p.Parts {
+		r := region[i]
+		if prev, ok := shardOf[r]; ok && prev != s {
+			t.Fatalf("region %d split across shards %d and %d", r, prev, s)
+		}
+		shardOf[r] = s
+	}
+	// Only the slow inter-region links are cut, so the lookahead is 5 ms.
+	if p.Lookahead != 5*time.Millisecond {
+		t.Fatalf("lookahead = %v, want 5ms", p.Lookahead)
+	}
+}
+
+func TestPartitionHierarchyKeepsFloorsPerSubCut(t *testing.T) {
+	g, levels := buildRegions(t, 2, 4)
+	floors := make([]time.Duration, g.NumLinks())
+	for i := range floors {
+		floors[i] = 7 * time.Microsecond
+	}
+	p := PartitionHierarchy(g, 2, nil, floors, levels)
+	if p.K != 2 {
+		t.Fatalf("K = %d, want 2", p.K)
+	}
+	if want := 5*time.Millisecond + 7*time.Microsecond; p.Lookahead != want {
+		t.Fatalf("lookahead = %v, want %v (propagation + transmission floor)", p.Lookahead, want)
+	}
+}
+
+func TestPartitionHierarchySplitsHeavyRegions(t *testing.T) {
+	// One region, 8 nodes, 4 shards requested: the whole-region cluster
+	// exceeds the 2·total/K cap and must split along level 1.
+	g, levels := buildRegions(t, 1, 8)
+	p := PartitionHierarchy(g, 4, nil, nil, levels)
+	if p.K < 2 {
+		t.Fatalf("heavy region not split: K = %d", p.K)
+	}
+	// Splitting follows the finer labels: nodes sharing a level-1 label stay
+	// together.
+	half := levels[1]
+	shardOf := map[int32]int32{}
+	for i, s := range p.Parts {
+		if prev, ok := shardOf[half[i]]; ok && prev != s {
+			t.Fatalf("level-1 cluster %d split across shards", half[i])
+		}
+		shardOf[half[i]] = s
+	}
+}
+
+func TestPartitionHierarchyBalancesLoad(t *testing.T) {
+	g, levels := buildRegions(t, 8, 4)
+	w := make([]int64, g.NumNodes())
+	for i := range w {
+		w[i] = 1
+	}
+	p := PartitionHierarchy(g, 4, w, nil, levels)
+	if p.K != 4 {
+		t.Fatalf("K = %d, want 4", p.K)
+	}
+	loads := make([]int64, p.K)
+	for i, s := range p.Parts {
+		loads[s] += w[i]
+	}
+	for s, l := range loads {
+		if l > 2*int64(g.NumNodes())/int64(p.K) {
+			t.Fatalf("shard %d overloaded: %d of %d", s, l, g.NumNodes())
+		}
+	}
+}
+
+func TestPartitionHierarchyFallsBackWithoutLabels(t *testing.T) {
+	g, levels := buildRegions(t, 4, 4)
+	flat := PartitionNodes(g, 4, nil, nil)
+	for _, bad := range [][][]int32{nil, {}, {levels[0][:2]}} {
+		p := PartitionHierarchy(g, 4, nil, nil, bad)
+		if p.K != flat.K || p.Lookahead != flat.Lookahead {
+			t.Fatalf("fallback for %v diverged from PartitionNodes: K %d vs %d", bad, p.K, flat.K)
+		}
+	}
+}
+
+func TestPartitionHierarchyRefusesZeroLatencyCut(t *testing.T) {
+	// Two "regions" joined by a zero-propagation link: honoring the labels
+	// would zero the lookahead, so the flat sweep must take over.
+	g := New()
+	a := g.AddRouter("")
+	b := g.AddRouter("")
+	c := g.AddRouter("")
+	d := g.AddRouter("")
+	g.Connect(a, b, rate.Mbps(100), time.Millisecond)
+	g.Connect(c, d, rate.Mbps(100), time.Millisecond)
+	g.Connect(b, c, rate.Mbps(100), 0)
+	levels := [][]int32{{0, 0, 1, 1}}
+	p := PartitionHierarchy(g, 2, nil, nil, levels)
+	if p.K > 1 && p.Lookahead <= 0 {
+		t.Fatalf("zero-latency cut survived: K=%d lookahead=%v", p.K, p.Lookahead)
+	}
+	flat := PartitionNodes(g, 2, nil, nil)
+	if p.K != flat.K || p.Lookahead != flat.Lookahead {
+		t.Fatalf("fallback diverged: K %d/%v vs flat %d/%v", p.K, p.Lookahead, flat.K, flat.Lookahead)
+	}
+}
+
+func TestPartitionHierarchyDeterministic(t *testing.T) {
+	g, levels := buildRegions(t, 6, 6)
+	a := PartitionHierarchy(g, 4, nil, nil, levels)
+	b := PartitionHierarchy(g, 4, nil, nil, levels)
+	if a.K != b.K || a.Lookahead != b.Lookahead {
+		t.Fatal("nondeterministic partition summary")
+	}
+	for i := range a.Parts {
+		if a.Parts[i] != b.Parts[i] {
+			t.Fatalf("nondeterministic assignment at node %d", i)
+		}
+	}
+}

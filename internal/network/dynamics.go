@@ -108,7 +108,7 @@ func (n *Network) applyFail(links []graph.LinkID) {
 	// need no second look.
 	ids := append([]core.SessionID(nil), n.order...)
 	for _, id := range ids {
-		s := n.sessions[id]
+		s := n.sessByID[id]
 		if !s.active || !pathCrossesAny(s.Path, failed) {
 			continue
 		}
@@ -172,7 +172,7 @@ func (n *Network) reoptimizeSessions(upgraded map[graph.LinkID]bool) int {
 	// shortest paths need no second look.
 	ids := append([]core.SessionID(nil), n.order...)
 	for _, id := range ids {
-		s := n.sessions[id]
+		s := n.sessByID[id]
 		if !s.active {
 			continue
 		}

@@ -59,6 +59,13 @@ type Config struct {
 	// at commit. Results are byte-identical with the flag on or off at every
 	// shard count; only wall-clock changes (see DESIGN.md §13).
 	Speculate bool
+	// Hierarchy, if set, supplies per-node hierarchy labels (coarse to fine,
+	// densely indexed by NodeID — see graph.PartitionHierarchy) and switches
+	// sharded repartitioning from the flat latency sweep to the hierarchical
+	// cut. Called at every repartition, so topologies that grow (AddHosts)
+	// return fresh label slices covering the new nodes. Generated internet
+	// topologies (topology.Internet) provide it; nil keeps PartitionNodes.
+	Hierarchy func() [][]int32
 	// PathPolicy selects the path re-optimization policy. The zero value is
 	// policy.Pinned — paths never move unless a failure forces them to —
 	// which reproduces the historical behavior exactly. With
@@ -154,10 +161,10 @@ type Network struct {
 	resolver *graph.Resolver
 	links    []*core.RouterLink // dense by LinkID; nil until a path uses it
 	wires    []*sim.Wire        // dense by LinkID; nil until a path uses it
-	sessions map[core.SessionID]*Session
-	// sessByID duplicates the session table densely by ID (IDs are assigned
-	// 1, 2, …): Emit resolves its session once per packet per hop, and the
-	// slice lookup beats the map on that path.
+	// sessByID is the session table, densely indexed by ID (IDs are assigned
+	// 1, 2, …): Emit resolves its session once per packet per hop, and at
+	// internet scale (~10⁵ sessions) a map here would cost a hash plus a
+	// cache miss per lookup on every path, so the slice is the only table.
 	sessByID []*Session
 	order    []core.SessionID // insertion order, for deterministic iteration
 	stranded []*Session       // parked without a path, in strand order
@@ -194,11 +201,18 @@ type Network struct {
 }
 
 type oracleScratch struct {
-	solver  waterfill.Solver
-	linkIdx map[graph.LinkID]int
-	inst    waterfill.Instance
-	pathBuf []int
-	ids     []core.SessionID
+	solver waterfill.Solver
+	// linkIdx maps LinkID → instance link index as a generation-stamped
+	// dense table (the PR 4 delivery-table pattern): an entry is valid only
+	// when linkStamp matches the current call's stamp, so resetting between
+	// calls is one counter increment instead of clearing a map of every
+	// link the previous epoch used.
+	linkIdx   []int32
+	linkStamp []uint32
+	stamp     uint32
+	inst      waterfill.Instance
+	pathBuf   []int
+	ids       []core.SessionID
 }
 
 // domain is the per-shard execution state: the shard's packet statistics,
@@ -329,7 +343,7 @@ func newNetwork(g *graph.Graph, cfg Config) *Network {
 		cfg:      cfg,
 		g:        g,
 		resolver: graph.NewResolver(g, 256),
-		sessions: make(map[core.SessionID]*Session),
+		sessByID: make([]*Session, 1), // IDs start at 1; slot 0 stays nil
 		nextID:   1,
 	}
 }
@@ -498,7 +512,7 @@ func (n *Network) finalizeReconfig() {
 func (n *Network) Sessions() []*Session {
 	out := make([]*Session, 0, len(n.order))
 	for _, id := range n.order {
-		out = append(out, n.sessions[id])
+		out = append(out, n.sessByID[id])
 	}
 	return out
 }
@@ -523,7 +537,6 @@ func (n *Network) NewSession(srcHost, dstHost graph.NodeID, path graph.Path) (*S
 		}
 	})
 	s.dst = core.NewDestinationNode(id, taskEmitter{n, dstHost})
-	n.sessions[id] = s
 	for int(id) >= len(n.sessByID) {
 		n.sessByID = append(n.sessByID, nil)
 	}
@@ -640,13 +653,20 @@ func (n *Network) maybeRepartition() {
 func (n *Network) repartition() {
 	paths := make([]graph.Path, 0, len(n.order))
 	for _, id := range n.order {
-		s := n.sessions[id]
+		s := n.sessByID[id]
 		if s.departed && s.succ != nil {
 			continue // the successor carries the live path
 		}
 		paths = append(paths, s.Path)
 	}
-	p := graph.PartitionNodes(n.g, n.she.Shards(), graph.SessionWeights(n.g, paths), n.linkFloors())
+	weights := graph.SessionWeights(n.g, paths)
+	floors := n.linkFloors()
+	var p graph.Partition
+	if n.cfg.Hierarchy != nil {
+		p = graph.PartitionHierarchy(n.g, n.she.Shards(), weights, floors, n.cfg.Hierarchy())
+	} else {
+		p = graph.PartitionNodes(n.g, n.she.Shards(), weights, floors)
+	}
 	look := sim.Time(p.Lookahead)
 	if p.K <= 1 {
 		look = 0 // single shard: the engine treats 0 as unbounded windows
@@ -839,10 +859,19 @@ func (n *Network) txFor(capacity rate.Rate) time.Duration {
 // result map.
 func (n *Network) Oracle() (map[core.SessionID]rate.Rate, error) {
 	sc := &n.oracle
-	if sc.linkIdx == nil {
-		sc.linkIdx = make(map[graph.LinkID]int)
+	// Grow the stamped link table to the graph (topology growth adds links),
+	// then open a fresh epoch: stamp mismatch invalidates every old entry.
+	for len(sc.linkIdx) < n.g.NumLinks() {
+		sc.linkIdx = append(sc.linkIdx, 0)
+		sc.linkStamp = append(sc.linkStamp, 0)
 	}
-	clear(sc.linkIdx)
+	sc.stamp++
+	if sc.stamp == 0 { // wraparound: stale stamps could collide; clear once
+		for i := range sc.linkStamp {
+			sc.linkStamp[i] = 0
+		}
+		sc.stamp = 1
+	}
 	sc.inst.Capacity = sc.inst.Capacity[:0]
 	sc.inst.Sessions = sc.inst.Sessions[:0]
 	sc.ids = sc.ids[:0]
@@ -850,7 +879,7 @@ func (n *Network) Oracle() (map[core.SessionID]rate.Rate, error) {
 	// must not reallocate while the instance is being assembled.
 	totalPath := 0
 	for _, id := range n.order {
-		if s := n.sessions[id]; s.active {
+		if s := n.sessByID[id]; s.active {
 			totalPath += len(s.Path)
 		}
 	}
@@ -859,16 +888,17 @@ func (n *Network) Oracle() (map[core.SessionID]rate.Rate, error) {
 	}
 	buf := sc.pathBuf[:0]
 	for _, id := range n.order {
-		s := n.sessions[id]
+		s := n.sessByID[id]
 		if !s.active {
 			continue
 		}
 		start := len(buf)
 		for _, l := range s.Path {
-			i, ok := sc.linkIdx[l]
-			if !ok {
+			i := int(sc.linkIdx[l])
+			if sc.linkStamp[l] != sc.stamp {
 				i = len(sc.inst.Capacity)
-				sc.linkIdx[l] = i
+				sc.linkIdx[l] = int32(i)
+				sc.linkStamp[l] = sc.stamp
 				sc.inst.Capacity = append(sc.inst.Capacity, n.g.Link(l).Capacity)
 			}
 			buf = append(buf, i)
@@ -903,7 +933,7 @@ func (n *Network) Validate() error {
 		return fmt.Errorf("network: oracle failed: %w", err)
 	}
 	for _, id := range n.order {
-		s := n.sessions[id]
+		s := n.sessByID[id]
 		if !s.active {
 			continue
 		}
@@ -933,31 +963,50 @@ func (n *Network) Validate() error {
 	return nil
 }
 
-// SnapshotRates returns every active session's current granted rate (zero
-// if none yet), for transient measurements (Figure 7). On a sharded network
-// call it only from a global (barrier) event or between runs.
-func (n *Network) SnapshotRates() map[core.SessionID]rate.Rate {
-	out := make(map[core.SessionID]rate.Rate)
+// EachActiveRate calls fn once per active session, in creation order, with
+// the session's current granted rate (zero if none yet). It is the
+// allocation-free transient-sampling primitive: SnapshotRates materializes
+// its result through it, and samplers at internet scale (10⁵ sessions per
+// tick) iterate directly instead of building a map per sample. On a sharded
+// network call it only from a global (barrier) event or between runs.
+func (n *Network) EachActiveRate(fn func(id core.SessionID, r rate.Rate)) {
 	for _, id := range n.order {
-		s := n.sessions[id]
+		s := n.sessByID[id]
 		if !s.active {
 			continue
 		}
-		if r, ok := s.src.Rate(); ok {
-			out[id] = r
-		} else {
-			out[id] = rate.Zero
+		r, ok := s.src.Rate()
+		if !ok {
+			r = rate.Zero
 		}
+		fn(id, r)
 	}
+}
+
+// SnapshotRates returns every active session's current granted rate (zero
+// if none yet), for transient measurements (Figure 7). On a sharded network
+// call it only from a global (barrier) event or between runs. Hot samplers
+// should prefer EachActiveRate, which allocates nothing.
+func (n *Network) SnapshotRates() map[core.SessionID]rate.Rate {
+	out := make(map[core.SessionID]rate.Rate)
+	n.EachActiveRate(func(id core.SessionID, r rate.Rate) { out[id] = r })
 	return out
 }
 
-// LinkLoad sums the granted rates of active sessions over every link in
-// use; keys are directed link IDs (Figure 7 right's link-level view).
-func (n *Network) LinkLoad() map[graph.LinkID]rate.Rate {
-	out := make(map[graph.LinkID]rate.Rate)
+// AppendLinkLoad sums the granted rates of active sessions over every link,
+// densely indexed by LinkID, into dst (grown as needed, entries reset) and
+// returns it — the allocation-free form of LinkLoad: callers reuse one
+// slice across samples instead of materializing a map per tick.
+func (n *Network) AppendLinkLoad(dst []rate.Rate) []rate.Rate {
+	for len(dst) < n.g.NumLinks() {
+		dst = append(dst, rate.Rate{})
+	}
+	dst = dst[:n.g.NumLinks()]
+	for i := range dst {
+		dst[i] = rate.Rate{}
+	}
 	for _, id := range n.order {
-		s := n.sessions[id]
+		s := n.sessByID[id]
 		if !s.active {
 			continue
 		}
@@ -966,7 +1015,20 @@ func (n *Network) LinkLoad() map[graph.LinkID]rate.Rate {
 			continue
 		}
 		for _, l := range s.Path {
-			out[l] = out[l].Add(r)
+			dst[l] = dst[l].Add(r)
+		}
+	}
+	return dst
+}
+
+// LinkLoad sums the granted rates of active sessions over every link in
+// use; keys are directed link IDs (Figure 7 right's link-level view).
+func (n *Network) LinkLoad() map[graph.LinkID]rate.Rate {
+	dense := n.AppendLinkLoad(nil)
+	out := make(map[graph.LinkID]rate.Rate)
+	for l, r := range dense {
+		if !r.IsZero() {
+			out[graph.LinkID(l)] = r
 		}
 	}
 	return out

@@ -225,3 +225,24 @@ func (n *Network) RandomHostPair() (src, dst graph.NodeID) {
 // Rand exposes the network's deterministic RNG so callers stay on a single
 // seed stream.
 func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// Topology returns the underlying graph.
+func (n *Network) Topology() *graph.Graph { return n.Graph }
+
+// Hosted is the surface shared by every generated topology — transit-stub
+// (*Network) and internet-scale (*Internet) alike: a graph, deterministic
+// host attachment, and a single seeded RNG stream for session placement.
+// Experiment drivers and the public builder accept any Hosted.
+type Hosted interface {
+	Topology() *graph.Graph
+	AddHosts(count int) []graph.NodeID
+	RandomHostPair() (src, dst graph.NodeID)
+	Rand() *rand.Rand
+}
+
+// Hierarchical is implemented by topologies that expose per-node hierarchy
+// labels (coarse to fine) for graph.PartitionHierarchy. Generated internet
+// topologies implement it; transit-stub ones do not.
+type Hierarchical interface {
+	Hierarchy() [][]int32
+}

@@ -87,6 +87,7 @@ type Solver struct {
 	live     []int32     // links still carrying unassigned sessions
 	nextLive []int32
 	assigned []bool
+	be       []rate.Rate // scratch: per-live-link fair share this round
 }
 
 // Solve computes the max-min fair rate of every session. The returned slice
@@ -174,18 +175,21 @@ func (sv *Solver) Solve(in Instance) ([]rate.Rate, error) {
 
 	live := sv.live
 	for len(live) > 0 {
-		// B ← min over live links of Be = (Ce − ΣFe)/|Re|.
+		// B ← min over live links of Be = (Ce − ΣFe)/|Re|. Each share is
+		// kept for the argmin pass below — rational arithmetic dominates the
+		// round, so computing every Be once instead of twice halves it.
+		sv.be = grow(sv.be, len(live))
 		var b rate.Rate
 		for i, e := range live {
 			be := sv.capacity[e].Sub(sv.sumFe[e]).DivInt(len(sv.members[e]))
+			sv.be[i] = be
 			if i == 0 || be.Less(b) {
 				b = be
 			}
 		}
 		// L' = argmin links; their members X are restricted at rate B.
-		for _, e := range live {
-			be := sv.capacity[e].Sub(sv.sumFe[e]).DivInt(len(sv.members[e]))
-			if be.Equal(b) {
+		for i, e := range live {
+			if sv.be[i].Equal(b) {
 				for _, s := range sv.members[e] {
 					if !sv.assigned[s] {
 						lambda[s] = b

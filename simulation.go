@@ -17,7 +17,7 @@ import (
 // oracle for validation. It is not safe for concurrent use.
 type Simulation struct {
 	g        *graph.Graph
-	topo     *topology.Network  // nil for hand-built networks
+	topo     topology.Hosted    // nil for hand-built networks
 	eng      *sim.Engine        // classic serial engine (nil when sharded)
 	she      *sim.ShardedEngine // sharded engine (nil when serial)
 	net      *network.Network
@@ -25,7 +25,7 @@ type Simulation struct {
 	sessions map[SessionID]*Session
 }
 
-func newSimulation(g *graph.Graph, topo *topology.Network, opts ...Option) (*Simulation, error) {
+func newSimulation(g *graph.Graph, topo topology.Hosted, opts ...Option) (*Simulation, error) {
 	o := defaultOptions()
 	for _, opt := range opts {
 		opt(&o)
@@ -35,6 +35,11 @@ func newSimulation(g *graph.Graph, topo *topology.Network, opts ...Option) (*Sim
 		BinSize:           o.binSize,
 		PathPolicy:        o.pathPolicy,
 		Speculate:         o.speculate,
+	}
+	// Topologies that know their own hierarchy (internet-scale generation)
+	// switch sharded repartitioning to the label-driven hierarchical cut.
+	if h, ok := topo.(topology.Hierarchical); ok {
+		cfg.Hierarchy = h.Hierarchy
 	}
 	if o.onRate != nil {
 		cb := o.onRate
@@ -80,8 +85,10 @@ func (s *Simulation) Shards() int {
 	return s.she.Shards()
 }
 
-// AddHosts attaches n hosts to random stub routers of a generated topology.
-// It errors on hand-built networks (add hosts through the builder there).
+// AddHosts attaches n hosts to random access routers of a generated topology
+// (stub routers on transit-stub networks, edge routers on internet-scale
+// ones). It errors on hand-built networks (add hosts through the builder
+// there).
 func (s *Simulation) AddHosts(n int) ([]Node, error) {
 	if s.topo == nil {
 		return nil, fmt.Errorf("bneck: AddHosts requires a generated topology")
