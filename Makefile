@@ -9,7 +9,7 @@
 GO ?= go
 # Bump per PR (BENCH_PR5.json, …) — or pass BENCH_OUT=… — so snapshots
 # accumulate instead of overwriting the previous PR's committed artifact.
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 
 .PHONY: check vet lint build test test-full bench bench-full bench-json fmt docs-check
 
@@ -48,16 +48,17 @@ bench-full:
 # Machine-readable perf snapshot: engine scheduling, protocol throughput,
 # the dynamic-topology reconfiguration benchmark, the sharded-engine scaling
 # sweep (classic vs 1/2/4 shards, LAN and WAN), the live-Emit contention
-# benchmark and the internet-topology ladder (paper/metro/internet rungs at
-# 1 vs 8 shards), as $(BENCH_OUT). The micro-benchmarks run at the default
-# benchtime; the end-to-end sweeps pin a fixed iteration count so the
-# snapshot costs minutes, not hours — the ladder's 10k-router rungs run
-# exactly once each.
+# benchmark, the internet-topology ladder (paper/metro/internet rungs at
+# 1 vs 8 shards) and the oracle churn-validation sweep (full re-solve vs
+# the incremental mirror at every ladder rung), as $(BENCH_OUT). The
+# micro-benchmarks run at the default benchtime; the end-to-end sweeps pin
+# a fixed iteration count so the snapshot costs minutes, not hours — the
+# ladder's 10k-router rungs run exactly once each.
 bench-json:
 	@tmp=$$(mktemp); \
 	{ $(GO) test -bench=SimEngine -benchmem -run='^$$' . > $$tmp && \
 	  $(GO) test -bench='ProtocolThroughput|Reconfiguration|ShardedEngine|LiveEmit' -benchtime=3x -benchmem -run='^$$' . >> $$tmp && \
-	  $(GO) test -bench='InternetLadder' -benchtime=1x -benchmem -timeout=30m -run='^$$' . >> $$tmp && \
+	  $(GO) test -bench='InternetLadder|OracleChurn' -benchtime=1x -benchmem -timeout=30m -run='^$$' . >> $$tmp && \
 	  $(GO) run ./cmd/benchjson -out $(BENCH_OUT) < $$tmp; }; \
 	status=$$?; rm -f $$tmp; exit $$status
 

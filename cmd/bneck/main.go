@@ -73,6 +73,7 @@ func main() {
 		demandCap    = flag.Float64("demand-cap", 0.25, "fraction of sessions with a finite demand")
 		seed         = flag.Int64("seed", 1, "deterministic seed")
 		validate     = flag.Bool("validate", true, "cross-check against the centralized oracle")
+		incOracle    = flag.Bool("incremental-oracle", true, "validate with the delta-driven incremental oracle (simulator runs): churn feeds the solver as deltas; rates are byte-identical to the full solver either way")
 		verbose      = flag.Bool("v", false, "print every session's rate")
 		liveMode     = flag.Bool("live", false, "run on the concurrent actor runtime instead of the simulator")
 		shards       = flag.Int("shards", 0, "shards for the simulator run: 0 = classic serial engine, >0 = sharded engine, -1 = auto-tune from GOMAXPROCS (byte-identical at any count)")
@@ -158,6 +159,7 @@ func main() {
 	}
 	cfg.PathPolicy = overlayPolicy(cfg.PathPolicy)
 	cfg.Speculate = *speculate
+	cfg.IncrementalOracle = *incOracle
 	nShards, nBatch := *shards, *windowBatch
 	if nShards < 0 {
 		nShards = sim.AutoShards()

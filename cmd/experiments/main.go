@@ -47,6 +47,9 @@ import (
 	"strings"
 	"time"
 
+	"runtime"
+	"runtime/pprof"
+
 	"bneck/internal/exp"
 	"bneck/internal/policy"
 	"bneck/internal/sim"
@@ -78,8 +81,23 @@ func main() {
 		pathPolicy   = flag.String("path-policy", "pinned", "path re-optimization policy for experiment 4: pinned (historical behavior) or reoptimize (restores migrate sessions back onto shorter paths); experiment 5 always sweeps both")
 		reoptStretch = flag.Float64("reopt-stretch", 0, "re-optimization stretch hysteresis for experiments 4 and 5 (≤ 1 = any strict improvement)")
 		reoptMinGain = flag.Int("reopt-min-gain", 0, "re-optimization minimum hop gain for experiments 4 and 5 (≤ 1 = any strict improvement)")
+		incOracle    = flag.Bool("incremental-oracle", true, "validate with the delta-driven incremental oracle (experiments 4, 5 and internet): churn feeds the solver as deltas and each epoch re-levels only what changed; rates are byte-identical to the full solver either way")
+		oracleCheck  = flag.Bool("oracle-crosscheck", false, "debug: full-solve alongside every incremental oracle flush and fail on any divergence (implies -incremental-oracle)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	var cpuOut *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		cpuOut = f
+	}
 	if *workers == 0 {
 		*workers = 1 // align with the config semantics: 0 and 1 are serial
 	}
@@ -251,6 +269,7 @@ func main() {
 			cfg.WindowBatch = *windowBatch
 			cfg.Speculate = *speculate
 			cfg.Policy = polCfg
+			cfg.IncrementalOracle = *incOracle || *oracleCheck
 			start := time.Now()
 			rows, err := exp.RunExperiment4(cfg)
 			if err != nil {
@@ -289,6 +308,7 @@ func main() {
 			cfg.Shards = *shards
 			cfg.WindowBatch = *windowBatch
 			cfg.Speculate = *speculate
+			cfg.IncrementalOracle = *incOracle || *oracleCheck
 			start := time.Now()
 			rows, err := exp.RunExperiment5(cfg)
 			if err != nil {
@@ -329,14 +349,16 @@ func main() {
 				count = 2 * params.Routers()
 			}
 			cfg := exp.InternetConfig{
-				Params:      params,
-				Sessions:    count,
-				Seed:        *seed,
-				Shards:      *shards,
-				WindowBatch: *windowBatch,
-				Speculate:   *speculate,
-				Flat:        *flatPart,
-				Validate:    *validate,
+				Params:            params,
+				Sessions:          count,
+				Seed:              *seed,
+				Shards:            *shards,
+				WindowBatch:       *windowBatch,
+				Speculate:         *speculate,
+				Flat:              *flatPart,
+				Validate:          *validate,
+				IncrementalOracle: *incOracle || *oracleCheck,
+				OracleCrossCheck:  *oracleCheck,
 			}
 			start := time.Now()
 			res, err := exp.RunInternet(cfg)
@@ -375,6 +397,22 @@ func main() {
 	})
 	for i := range outs {
 		os.Stdout.Write(outs[i].Bytes())
+	}
+	// Flush profiles before any fatal exit so failed runs still profile.
+	if cpuOut != nil {
+		pprof.StopCPUProfile()
+		cpuOut.Close()
+	}
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			log.Fatalf("memprofile: %v", ferr)
+		}
+		runtime.GC() // materialize the final live set
+		if perr := pprof.WriteHeapProfile(f); perr != nil {
+			log.Fatalf("memprofile: %v", perr)
+		}
+		f.Close()
 	}
 	if err != nil {
 		log.Fatal(err)

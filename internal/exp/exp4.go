@@ -64,6 +64,11 @@ type Exp4Config struct {
 	// value: pinned, the historical behavior). With ReoptimizeOnRestore the
 	// restore epochs also migrate sessions back onto shorter paths.
 	Policy policy.Config
+	// IncrementalOracle validates epochs with the delta-driven oracle
+	// (network.Config.IncrementalOracle): epoch churn feeds the mirror as
+	// deltas and each validation re-levels only what changed, instead of a
+	// full O(sessions × links × rounds) re-solve per epoch.
+	IncrementalOracle bool
 }
 
 // DefaultExp4 is a laptop-scale default. It sweeps both propagation models:
@@ -208,6 +213,7 @@ func runExp4Cell(cfg Exp4Config, size topology.Params, scen topology.Scenario, s
 	netCfg := network.DefaultConfig()
 	netCfg.PathPolicy = cfg.Policy
 	netCfg.Speculate = cfg.Speculate
+	netCfg.IncrementalOracle = cfg.IncrementalOracle
 	eng, net := newNet(g, netCfg, cfg.Shards, cfg.WindowBatch)
 
 	// All sessions — the base population and every epoch's joiners — are

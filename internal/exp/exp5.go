@@ -58,6 +58,9 @@ type Exp5Config struct {
 	// windows several lookaheads long, journaled and committed rollback-free.
 	// Results are byte-identical with it on or off; only wall-clock changes.
 	Speculate bool
+	// IncrementalOracle validates phases with the delta-driven oracle
+	// (network.Config.IncrementalOracle) instead of a full re-solve each.
+	IncrementalOracle bool
 }
 
 // DefaultExp5 is a laptop-scale default covering both propagation models.
@@ -197,6 +200,7 @@ func runExp5Cell(cfg Exp5Config, size topology.Params, scen topology.Scenario, s
 	netCfg := network.DefaultConfig()
 	netCfg.PathPolicy = policy.Config{Kind: kind, Stretch: cfg.Stretch, MinGain: cfg.MinGain}
 	netCfg.Speculate = cfg.Speculate
+	netCfg.IncrementalOracle = cfg.IncrementalOracle
 	eng, net := newNet(g, netCfg, cfg.Shards, cfg.WindowBatch)
 
 	sessions, err := PlaceSessions(topo, net, cfg.Sessions)

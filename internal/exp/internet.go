@@ -41,6 +41,12 @@ type InternetConfig struct {
 	Flat bool
 	// Validate cross-checks the final rates against the oracle.
 	Validate bool
+	// IncrementalOracle feeds churn to the delta-driven validation oracle
+	// (network.Config.IncrementalOracle) instead of full-solving per epoch.
+	IncrementalOracle bool
+	// OracleCrossCheck additionally full-solves on every oracle flush and
+	// errors on divergence (debug; implies IncrementalOracle).
+	OracleCrossCheck bool
 }
 
 // InternetResult summarizes one internet-scale run.
@@ -74,6 +80,8 @@ func RunInternet(cfg InternetConfig) (InternetResult, error) {
 	}
 	netCfg := network.DefaultConfig()
 	netCfg.Speculate = cfg.Speculate
+	netCfg.IncrementalOracle = cfg.IncrementalOracle
+	netCfg.OracleCrossCheck = cfg.OracleCrossCheck
 	if !cfg.Flat {
 		netCfg.Hierarchy = topo.Hierarchy
 	}

@@ -117,6 +117,27 @@ func TestLiveChurnEmitStress(t *testing.T) {
 			}
 		}
 	}()
+	// Rate readers race the rate upcalls: every Change above lands a setRate
+	// on a stripe while these goroutines read the same table through both the
+	// per-session and the merge-all paths.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := g; i < sessions; i += 2 {
+					if lambda, ok := all[i].Rate(); ok && lambda.Sign() < 0 {
+						t.Errorf("negative granted rate for session %d", i)
+					}
+				}
+				for id, lambda := range rt.Rates() {
+					if lambda.Sign() < 0 {
+						t.Errorf("negative granted rate in Rates() for %v", id)
+					}
+				}
+			}
+		}(g)
+	}
 	wg.Wait()
 	rt.WaitQuiescent()
 	if err := rt.Validate(); err != nil {

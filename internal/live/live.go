@@ -51,12 +51,14 @@ import (
 // stats/delivery domains. The cold path — session lifecycle, topology
 // mutation, migration, validation — serializes on mu, so concurrent
 // reconfigurations never interleave half-applied. The hot path — Emit, one
-// call per packet per hop across every actor — touches only small sharded
-// domains: the incarnation lookup and the per-link actor/packet-counter
-// tables are each split across emitDomains independently-locked stripes, so
-// actors emitting on different sessions and links proceed without
-// contending on a global lock. Merge-on-demand readers (LinkPackets,
-// Validate) gather the stripes under mu.
+// call per packet per hop across every actor, and the rate upcall every
+// source task fires per λ-change — touches only small sharded domains: the
+// incarnation lookup, the granted-rate table and the per-link
+// actor/packet-counter tables are each split across emitDomains
+// independently-locked stripes, so actors emitting on different sessions
+// and links (and sources granting rates) proceed without contending on a
+// global lock. Merge-on-demand readers (LinkPackets, Rates, Validate)
+// gather the stripes.
 //
 // Lock order: mu → domain stripe → actor mailbox. Emit never holds two
 // locks at once, and nothing acquires mu while holding a stripe. The order
@@ -88,14 +90,12 @@ type Runtime struct {
 
 	activity *activityCounter
 
-	// incs shards the incarnation table by session ID; lnks shards the
-	// link-actor table and the per-link packet counters (the live twin of
-	// the simulator's per-wire counters) by link ID.
+	// incs shards the incarnation table and the granted-rate table by
+	// session ID; lnks shards the link-actor table and the per-link packet
+	// counters (the live twin of the simulator's per-wire counters) by link
+	// ID.
 	incs [emitDomains]incDomain
 	lnks [emitDomains]linkDomain
-
-	ratesMu sync.Mutex
-	rates   map[core.SessionID]rate.Rate
 }
 
 // emitDomains is the stripe count of the Emit-path tables. A power of two
@@ -106,6 +106,12 @@ const emitDomains = 32
 type incDomain struct {
 	mu sync.Mutex //bneck:lock stripe
 	m  map[core.SessionID]*incarnation
+	// rates holds the granted rates of this stripe's sessions. Rate upcalls
+	// arrive from every source actor concurrently (one per λ-change per
+	// session), so a single global rates mutex was the one remaining
+	// hot-path funnel; striping it here puts the write under the same lock
+	// Emit's incarnation lookup already takes, with the same collision odds.
+	rates map[core.SessionID]rate.Rate
 }
 
 type linkDomain struct {
@@ -168,10 +174,10 @@ func New(g *graph.Graph) *Runtime {
 		resolver: graph.NewResolver(g, 256),
 		nextID:   1,
 		activity: newActivityCounter(),
-		rates:    make(map[core.SessionID]rate.Rate),
 	}
 	for i := range rt.incs {
 		rt.incs[i].m = make(map[core.SessionID]*incarnation)
+		rt.incs[i].rates = make(map[core.SessionID]rate.Rate)
 	}
 	for i := range rt.lnks {
 		rt.lnks[i].actors = make(map[graph.LinkID]*linkActor)
@@ -198,6 +204,34 @@ func (rt *Runtime) incarnationFor(id core.SessionID) *incarnation {
 	inc := d.m[id]
 	d.mu.Unlock()
 	return inc
+}
+
+// setRate records a granted rate from a source task's rate upcall. Hot
+// path: upcalls arrive concurrently from every source actor goroutine; one
+// stripe lock each.
+func (rt *Runtime) setRate(id core.SessionID, lambda rate.Rate) {
+	d := &rt.incs[incStripe(id)]
+	d.mu.Lock()
+	d.rates[id] = lambda
+	d.mu.Unlock()
+}
+
+// dropRate forgets a departed incarnation's granted rate. Callers may hold
+// rt.mu: mu → stripe is the established order.
+func (rt *Runtime) dropRate(id core.SessionID) {
+	d := &rt.incs[incStripe(id)]
+	d.mu.Lock()
+	delete(d.rates, id)
+	d.mu.Unlock()
+}
+
+// rateFor reads one session's granted rate. One stripe lock.
+func (rt *Runtime) rateFor(id core.SessionID) (rate.Rate, bool) {
+	d := &rt.incs[incStripe(id)]
+	d.mu.Lock()
+	r, ok := d.rates[id]
+	d.mu.Unlock()
+	return r, ok
 }
 
 // countPacket bumps a directed link's packet counter. Hot path: one stripe
@@ -248,11 +282,7 @@ func (rt *Runtime) newIncarnationLocked(s *Session, path graph.Path) {
 	id := rt.nextID
 	rt.nextID++
 	inc := &incarnation{id: id, path: path, owner: s}
-	inc.srcT = core.NewSourceNode(id, (*emitter)(rt), func(sid core.SessionID, lambda rate.Rate) {
-		rt.ratesMu.Lock()
-		rt.rates[sid] = lambda
-		rt.ratesMu.Unlock()
-	})
+	inc.srcT = core.NewSourceNode(id, (*emitter)(rt), rt.setRate)
 	dstT := core.NewDestinationNode(id, (*emitter)(rt))
 	inc.src = newActor(rt.activity)
 	inc.dst = newActor(rt.activity)
@@ -343,9 +373,7 @@ func (s *Session) Leave() {
 	s.active = false
 	stranded := s.stranded
 	s.stranded = false
-	s.rt.ratesMu.Lock()
-	delete(s.rt.rates, s.cur.id)
-	s.rt.ratesMu.Unlock()
+	s.rt.dropRate(s.cur.id)
 	if stranded {
 		return
 	}
@@ -382,10 +410,7 @@ func (s *Session) Rate() (rate.Rate, bool) {
 	if gone {
 		return rate.Zero, false
 	}
-	s.rt.ratesMu.Lock()
-	defer s.rt.ratesMu.Unlock()
-	r, ok := s.rt.rates[id]
-	return r, ok
+	return s.rt.rateFor(id)
 }
 
 // SetLinkCapacity changes the capacity of the given directed links. Pass a
@@ -509,9 +534,7 @@ func (rt *Runtime) retireLocked(s *Session) {
 	rt.beginTeardownLocked(s.cur)
 	s.cur.departed = true
 	s.cur.src.enqueue(message{kind: msgLeave})
-	rt.ratesMu.Lock()
-	delete(rt.rates, s.cur.id)
-	rt.ratesMu.Unlock()
+	rt.dropRate(s.cur.id)
 }
 
 // rejoinLocked mints a fresh incarnation for s on path and, when the user
@@ -738,13 +761,23 @@ func (rt *Runtime) SessionPackets() []metrics.SessionCount {
 }
 
 // Rates returns a snapshot of all granted rates, keyed by current
-// incarnation IDs.
+// incarnation IDs. The per-stripe tables merge on demand, like LinkPackets.
 func (rt *Runtime) Rates() map[core.SessionID]rate.Rate {
-	rt.ratesMu.Lock()
-	defer rt.ratesMu.Unlock()
-	out := make(map[core.SessionID]rate.Rate, len(rt.rates))
-	for k, v := range rt.rates {
-		out[k] = v
+	n := 0
+	for i := range rt.incs {
+		d := &rt.incs[i]
+		d.mu.Lock()
+		n += len(d.rates)
+		d.mu.Unlock()
+	}
+	out := make(map[core.SessionID]rate.Rate, n)
+	for i := range rt.incs {
+		d := &rt.incs[i]
+		d.mu.Lock()
+		for k, v := range d.rates {
+			out[k] = v
+		}
+		d.mu.Unlock()
 	}
 	return out
 }

@@ -73,6 +73,7 @@ func (n *Network) applySetCapacity(c rate.Rate, links []graph.LinkID) {
 	for _, l := range links {
 		old := n.g.Link(l).Capacity
 		n.g.SetCapacity(l, c)
+		n.oracleSetCapacity(l, c)
 		if int(l) < len(n.links) && n.links[l] != nil {
 			n.links[l].SetCapacity(c)
 		}
@@ -97,6 +98,11 @@ func (n *Network) applyFail(links []graph.LinkID) {
 	for _, l := range links {
 		if n.g.LinkUp(l) {
 			n.g.FailLink(l)
+			// The mirror's fail contract — no live session may still cross the
+			// link at the next flush — holds because the crossing sessions
+			// migrate (oracleLeave + fresh-path oracleJoin) below, within this
+			// same event.
+			n.oracleFail(l)
 			failed[l] = true
 		}
 	}
@@ -122,6 +128,7 @@ func (n *Network) applyRestore(links []graph.LinkID) {
 	for _, l := range links {
 		if !n.g.LinkUp(l) {
 			n.g.RestoreLink(l)
+			n.oracleRestore(l)
 			restored = true
 		}
 	}
@@ -208,6 +215,7 @@ func (n *Network) forceDepart(s *Session) rate.Rate {
 	s.active = false
 	s.departed = true
 	s.src.Leave()
+	n.oracleLeave(s)
 	return demand
 }
 
@@ -292,6 +300,7 @@ func (n *Network) join(s *Session, demand rate.Rate) {
 	// execution on the sharded engine must never mutate the link tables.
 	n.ensurePathTasks(s.Path)
 	s.src.Join(demand)
+	n.oracleJoin(s, demand)
 }
 
 // unstrand removes a parked session (a Leave arrived before any restore).

@@ -74,6 +74,20 @@ type Config struct {
 	// session whose path exceeds the policy's stretch/hysteresis margin,
 	// through the same Leave → reroute → Join machinery failures use.
 	PathPolicy policy.Config
+	// IncrementalOracle makes Oracle/Validate consume churn and topology
+	// events as deltas into a waterfill.Incremental mirror, re-leveling only
+	// the affected bottleneck component per validation epoch instead of
+	// re-solving the whole instance. Rates are byte-identical either way
+	// (max-min rates are unique); only validation cost changes.
+	IncrementalOracle bool
+	// OracleCrossCheck (debug) runs a full solve alongside every incremental
+	// flush and errors on any divergence. Implies IncrementalOracle.
+	OracleCrossCheck bool
+	// OracleFallbackPercent overrides the incremental oracle's cascade
+	// threshold: when a flush's sub-instance exceeds this percentage of the
+	// solver's member links, it falls back to a full solve. Zero keeps
+	// waterfill.DefaultFallbackPercent.
+	OracleFallbackPercent int
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -198,6 +212,9 @@ type Network struct {
 	// instance, its link index and the flattened path arena survive between
 	// calls, so per-epoch validation of a churning run stops reallocating.
 	oracle oracleScratch
+	// incOracle is the delta-driven validation mirror (nil unless
+	// Config.IncrementalOracle / OracleCrossCheck is set).
+	incOracle *incOracle
 }
 
 type oracleScratch struct {
@@ -340,11 +357,12 @@ func (n *Network) SpeculationStats() sim.SpeculationStats {
 
 func newNetwork(g *graph.Graph, cfg Config) *Network {
 	return &Network{
-		cfg:      cfg,
-		g:        g,
-		resolver: graph.NewResolver(g, 256),
-		sessByID: make([]*Session, 1), // IDs start at 1; slot 0 stays nil
-		nextID:   1,
+		cfg:       cfg,
+		g:         g,
+		resolver:  graph.NewResolver(g, 256),
+		sessByID:  make([]*Session, 1), // IDs start at 1; slot 0 stays nil
+		nextID:    1,
+		incOracle: newIncOracle(cfg),
 	}
 }
 
@@ -576,6 +594,7 @@ func (n *Network) ScheduleLeave(s *Session, at sim.Time) {
 		cur.active = false
 		cur.departed = true
 		cur.src.Leave()
+		n.oracleLeave(cur)
 	})
 }
 
@@ -593,6 +612,7 @@ func (n *Network) ScheduleChange(s *Session, at sim.Time, demand rate.Rate) {
 			return
 		}
 		cur.src.Change(demand)
+		n.oracleChange(cur, demand)
 	})
 }
 
@@ -853,11 +873,16 @@ func (n *Network) txFor(capacity rate.Rate) time.Duration {
 }
 
 // Oracle computes the max-min fair rates of the currently active sessions
-// with Centralized B-Neck. The result maps session IDs to rates. The
-// instance is assembled in (and solved with) reusable scratch buffers, so
-// per-epoch oracle validation of a long churning run allocates only its
-// result map.
+// with Centralized B-Neck. The result maps session IDs to rates. With
+// Config.IncrementalOracle the rates come from the delta-driven mirror
+// (byte-identical, re-leveling only what churn touched since the last
+// epoch); otherwise the instance is assembled in (and solved with) reusable
+// scratch buffers, so per-epoch oracle validation of a long churning run
+// allocates only its result map.
 func (n *Network) Oracle() (map[core.SessionID]rate.Rate, error) {
+	if n.incOracle != nil {
+		return n.incrementalOracle()
+	}
 	sc := &n.oracle
 	// Grow the stamped link table to the graph (topology growth adds links),
 	// then open a fresh epoch: stamp mismatch invalidates every old entry.

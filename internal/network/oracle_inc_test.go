@@ -1,0 +1,173 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"bneck/internal/graph"
+	"bneck/internal/rate"
+	"bneck/internal/sim"
+	"bneck/internal/topology"
+	"bneck/internal/trace"
+)
+
+// incCfg returns a config with the incremental oracle on and, when check is
+// set, the per-flush full-solve cross-check (the strongest equivalence
+// assertion: any divergence from the full solver fails the flush).
+func incCfg(check bool) Config {
+	cfg := DefaultConfig()
+	cfg.IncrementalOracle = true
+	cfg.OracleCrossCheck = check
+	// Small test topologies cascade past the default threshold trivially;
+	// raise it so the tests exercise the delta path, not just the fall-back.
+	cfg.OracleFallbackPercent = 400
+	return cfg
+}
+
+// TestIncrementalOracleTopologyEvents drives every delta class — join,
+// leave, capacity change, fail (with forced migration), restore — through
+// the mirror on the diamond, cross-checking each flush against a full
+// solve.
+func TestIncrementalOracleTopologyEvents(t *testing.T) {
+	g, ha, hb, top, _ := buildDiamond()
+	eng := sim.New()
+	n := New(g, eng, incCfg(true))
+	path, err := n.resolver.HostPath(ha, hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := n.NewSession(ha, hb, path)
+	n.ScheduleJoin(s, 0, rate.Inf)
+	s2, _ := n.NewSession(ha, hb, path)
+	n.ScheduleJoin(s2, 0, rate.Mbps(5))
+	n.Run()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("after joins: %v", err)
+	}
+
+	n.ScheduleSetCapacity(eng.Now()+time.Millisecond, rate.Mbps(20), top[0][0], top[0][1])
+	n.Run()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("after capacity change: %v", err)
+	}
+
+	n.ScheduleLinkFail(eng.Now()+time.Millisecond, top[0][0], top[0][1])
+	n.Run()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("after failure: %v", err)
+	}
+
+	n.ScheduleChange(s2, eng.Now()+time.Millisecond, rate.Mbps(9))
+	n.Run()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("after demand change: %v", err)
+	}
+
+	n.ScheduleLinkRestore(eng.Now()+time.Millisecond, top[0][0], top[0][1])
+	n.Run()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("after restore: %v", err)
+	}
+
+	n.ScheduleLeave(s, eng.Now()+time.Millisecond)
+	n.Run()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("after leave: %v", err)
+	}
+
+	stats, ok := n.OracleStats()
+	if !ok {
+		t.Fatal("OracleStats reported the incremental oracle disabled")
+	}
+	if stats.FullSolves+stats.DeltaSolves == 0 {
+		t.Fatal("oracle never solved anything")
+	}
+	t.Logf("oracle stats: %+v", stats)
+}
+
+// TestIncrementalOracleMatchesFull runs the same churning population on two
+// networks — full-solve oracle and incremental mirror — and compares the
+// oracle maps entry by entry after every quiescence.
+func TestIncrementalOracleMatchesFull(t *testing.T) {
+	build := func(cfg Config) (*Network, *sim.Engine, []*Session) {
+		topo, err := topology.Generate(topology.Small, topology.LAN, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.New()
+		n := New(topo.Graph, eng, cfg)
+		hosts := topo.AddHosts(120)
+		res := graph.NewResolver(topo.Graph, 256)
+		rng := rand.New(rand.NewSource(11))
+		demand := trace.MixedDemands(0.3, 1, 100)
+		sess := make([]*Session, 60)
+		for i := range sess {
+			src := hosts[i]
+			dst := hosts[60+rng.Intn(60)]
+			p, err := res.HostPath(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := n.NewSession(src, dst, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sess[i] = s
+			n.ScheduleJoin(s, time.Duration(rng.Int63n(int64(time.Millisecond))), demand(rng))
+		}
+		return n, eng, sess
+	}
+
+	nFull, engFull, sessFull := build(DefaultConfig())
+	nInc, engInc, sessInc := build(incCfg(false))
+
+	compare := func(stage string) {
+		t.Helper()
+		want, err := nFull.Oracle()
+		if err != nil {
+			t.Fatalf("%s: full oracle: %v", stage, err)
+		}
+		got, err := nInc.Oracle()
+		if err != nil {
+			t.Fatalf("%s: incremental oracle: %v", stage, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: oracle sizes differ: %d vs %d", stage, len(got), len(want))
+		}
+		for id, w := range want {
+			if !got[id].Equal(w) {
+				t.Fatalf("%s: session %d: incremental %v, full %v", stage, id, got[id], w)
+			}
+		}
+		if err := nInc.Validate(); err != nil {
+			t.Fatalf("%s: incremental validate: %v", stage, err)
+		}
+	}
+
+	nFull.Run()
+	nInc.Run()
+	compare("after joins")
+
+	churn := func(n *Network, eng *sim.Engine, sess []*Session) {
+		rng := rand.New(rand.NewSource(23))
+		demand := trace.MixedDemands(0.3, 1, 100)
+		start := eng.Now() + time.Millisecond
+		for i := 0; i < 15; i++ {
+			n.ScheduleLeave(sess[i], start+time.Duration(rng.Int63n(int64(time.Millisecond))))
+		}
+		for i := 15; i < 30; i++ {
+			n.ScheduleChange(sess[i], start+time.Duration(rng.Int63n(int64(time.Millisecond))), demand(rng))
+		}
+	}
+	churn(nFull, engFull, sessFull)
+	churn(nInc, engInc, sessInc)
+	nFull.Run()
+	nInc.Run()
+	compare("after churn")
+
+	stats, ok := nInc.OracleStats()
+	if !ok || stats.DeltaSolves == 0 {
+		t.Fatalf("incremental oracle did no delta solves: %+v (ok=%v)", stats, ok)
+	}
+}

@@ -93,6 +93,14 @@ func RunSimOpts(sc *Script, opt SimOptions) (*Result, error) {
 	cfg := network.DefaultConfig()
 	cfg.PathPolicy = sc.Policy
 	cfg.Speculate = opt.Speculate
+	// Epoch validation (every `expect rate` table) reads the delta-driven
+	// oracle: script events feed the mirror as they execute, so each epoch
+	// re-levels what the epoch churned instead of full-solving. Rates are
+	// byte-identical either way; scenario scripts are small, so the threshold
+	// is raised to keep them on the delta path rather than the cascade
+	// fall-back.
+	cfg.IncrementalOracle = true
+	cfg.OracleFallbackPercent = 400
 	shards := opt.Shards
 	windowBatch := opt.WindowBatch
 	if shards < 0 {

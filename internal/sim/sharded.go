@@ -444,6 +444,11 @@ func (se *ShardedEngine) Stop() { se.stopped.Store(true) }
 func (se *ShardedEngine) Run() Time {
 	se.stopped.Store(false)
 	defer se.stopWorkers()
+	if len(se.shards) == 1 {
+		se.runSingle(infTime, true)
+		se.syncNow()
+		return se.lastBusyAll()
+	}
 	for !se.stopped.Load() {
 		se.drain()
 		if se.regularTotal() == 0 {
@@ -463,11 +468,67 @@ func (se *ShardedEngine) Run() Time {
 	return se.lastBusyAll()
 }
 
+// runSingle is the single-shard fast path behind Run and RunUntil. With one
+// shard nothing is ever cut: no cross-shard send can exist, the outboxes
+// stay empty forever and the lookahead bound is unbounded, so the window
+// machinery — outbox drain, busy scan, batch plan, phase barrier — is pure
+// overhead. The engine degenerates to the serial two-queue loop: execute
+// shard events up to the next global event, execute the global event at its
+// barrier (trivially satisfied), repeat. Event keys are untouched, so the
+// run is byte-identical to the general path — which in turn matches the
+// classic serial engine. hard bounds execution for RunUntil (events at
+// exactly hard still run); infTime means run to quiescence. needRegular
+// applies Run's quiescence rule: stop when no regular events remain, leaving
+// later daemons unexecuted.
+func (se *ShardedEngine) runSingle(hard Time, needRegular bool) {
+	s := se.shards[0]
+	for !se.stopped.Load() {
+		if needRegular && se.globalRegular+s.regular == 0 {
+			return
+		}
+		tG := se.minGlobal()
+		tL := infTime
+		if s.q.len() > 0 {
+			tL = s.q.minTime()
+		}
+		if tG <= tL {
+			if tG > hard || tG == infTime {
+				return
+			}
+			se.execGlobal()
+			continue
+		}
+		if tL > hard {
+			return
+		}
+		end := tG
+		if hard != infTime && hard+1 < end {
+			end = hard + 1 // exclusive bound: events at exactly hard run
+		}
+		// inWindow keeps the scheduling discipline identical to the general
+		// path: a node event calling At/After must panic at every shard count.
+		se.inWindow, se.inlineWindow = true, true
+		s.run(se, end)
+		se.inWindow, se.inlineWindow = false, false
+	}
+}
+
 // RunUntil executes all events (regular and daemon) scheduled at or before
 // t, then sets every clock to t.
 func (se *ShardedEngine) RunUntil(t Time) {
 	se.stopped.Store(false)
 	defer se.stopWorkers()
+	if len(se.shards) == 1 {
+		se.runSingle(t, false)
+		se.syncNow()
+		if se.now < t {
+			se.now = t
+		}
+		if s := se.shards[0]; s.now < t {
+			s.now = t
+		}
+		return
+	}
 	for !se.stopped.Load() {
 		se.drain()
 		tG, tL := se.minGlobal(), se.minLocal()

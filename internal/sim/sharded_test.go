@@ -182,6 +182,89 @@ func TestShardedStop(t *testing.T) {
 	}
 }
 
+// TestSingleShardFastPath pins the shards==1 fast path (runSingle: no drain,
+// no window plan, no barrier) against the classic serial engine across the
+// full Run surface: regular chains, the daemon quiescence rule, RunUntil
+// horizons and Stop/resume. Both engines must produce the identical event
+// trace and the identical quiescence time.
+func TestSingleShardFastPath(t *testing.T) {
+	const nodes = 10
+	type driver struct {
+		now      func(int) Time
+		send     func(from, to int, t Time, fn func())
+		at       func(Time, func())
+		daemonAt func(Time, func())
+		run      func() Time
+		runUntil func(Time)
+		stop     func()
+	}
+	workload := func(d driver, log *[]string) {
+		record := func(what string, tm Time) { *log = append(*log, fmt.Sprintf("%s@%v", what, tm)) }
+		var hop func(node, remaining int)
+		hop = func(node, remaining int) {
+			record(strconv.Itoa(node), d.now(node))
+			if remaining == 0 {
+				return
+			}
+			to := (node + 1 + int(mix(node, remaining)%uint64(nodes-1))) % nodes
+			d.send(node, to, d.now(node)+time.Duration(1+mix(remaining, node)%7)*time.Microsecond, func() {
+				hop(to, remaining-1)
+			})
+		}
+		for c := 0; c < 6; c++ {
+			start := c % nodes
+			d.at(time.Duration(c%2)*time.Microsecond, func() { hop(start, 50) })
+		}
+		for i := 1; i <= 40; i++ {
+			tick := time.Duration(i) * 10 * time.Microsecond
+			d.daemonAt(tick, func() { record("daemon", tick) })
+		}
+		// A mid-run Stop, a resume, a horizon past quiescence (flushing later
+		// daemons), and a late chain after the horizon.
+		d.at(42*time.Microsecond, func() { d.stop() })
+		q1 := d.run() // stops at 42µs
+		record("stopped", q1)
+		q2 := d.run() // resumes to quiescence
+		record("quiesced", q2)
+		d.runUntil(q2 + 100*time.Microsecond)
+		record("flushed", q2+100*time.Microsecond)
+	}
+
+	var classicLog []string
+	eng := New()
+	workload(driver{
+		now:      func(int) Time { return eng.Now() },
+		send:     func(from, to int, tm Time, fn func()) { eng.SendFrom(int32(from), tm, fn) },
+		at:       eng.At,
+		daemonAt: eng.DaemonAt,
+		run:      eng.Run,
+		runUntil: func(tm Time) { eng.RunUntil(tm) },
+		stop:     eng.Stop,
+	}, &classicLog)
+
+	var fastLog []string
+	se := NewSharded(1)
+	ringTopology(se, nodes, 1, time.Microsecond)
+	workload(driver{
+		now:      func(n int) Time { return se.NowAt(int32(n)) },
+		send:     func(from, to int, tm Time, fn func()) { se.SendAt(int32(from), int32(to), tm, fn) },
+		at:       se.At,
+		daemonAt: se.DaemonAt,
+		run:      se.Run,
+		runUntil: func(tm Time) { se.RunUntil(tm) },
+		stop:     se.Stop,
+	}, &fastLog)
+
+	if len(fastLog) != len(classicLog) {
+		t.Fatalf("fast path logged %d events, classic %d", len(fastLog), len(classicLog))
+	}
+	for i := range classicLog {
+		if fastLog[i] != classicLog[i] {
+			t.Fatalf("event %d: fast path %s, classic %s", i, fastLog[i], classicLog[i])
+		}
+	}
+}
+
 // mix is a stateless hash driving the randomized workloads below: every
 // configuration derives the identical workload from (node, remaining), with
 // no shared mutable RNG that concurrent shard goroutines would race on.

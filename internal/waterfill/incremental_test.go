@@ -1,0 +1,344 @@
+package waterfill_test
+
+// Equivalence tests for the incremental solver: after every delta the
+// committed rates must be byte-identical (rate.Key equality — rates are
+// canonical rationals) to a fresh full Solve of the same live instance.
+// The churn harness drives join/leave/fail/restore/setcap sequences over
+// the generated internet topologies (Paper and Metro rungs), mirroring the
+// contract the network layer honors: sessions crossing a failing link leave
+// before the fail and rejoin on a fresh path after it.
+
+import (
+	"math/rand"
+	"testing"
+
+	"bneck/internal/graph"
+	"bneck/internal/rate"
+	"bneck/internal/topology"
+	"bneck/internal/waterfill"
+)
+
+// harnessSession is one live session of the churn harness: its incremental
+// handle plus everything needed to rebuild the shadow instance and to
+// re-route after failures.
+type harnessSession struct {
+	h        int
+	src, dst graph.NodeID
+	demand   rate.Rate
+	path     graph.Path
+}
+
+type churnHarness struct {
+	t      testing.TB
+	g      *graph.Graph
+	res    *graph.Resolver
+	inc    *waterfill.Incremental
+	linkOf []int // graph LinkID -> incremental link handle
+	live   []harnessSession
+	rng    *rand.Rand
+	hosts  []graph.NodeID
+}
+
+func newChurnHarness(t testing.TB, params topology.InternetParams, hosts int, seed int64) *churnHarness {
+	net, err := topology.GenerateInternet(params, seed)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	h := &churnHarness{
+		t:   t,
+		g:   net.Graph,
+		res: graph.NewResolver(net.Graph, 128),
+		inc: waterfill.NewIncremental(),
+		rng: rand.New(rand.NewSource(seed + 1)),
+	}
+	h.hosts = net.AddHosts(hosts)
+	h.linkOf = make([]int, h.g.NumLinks())
+	for l := 0; l < h.g.NumLinks(); l++ {
+		h.linkOf[l] = h.inc.AddLink(h.g.Link(graph.LinkID(l)).Capacity)
+	}
+	return h
+}
+
+func (h *churnHarness) pathUp(p graph.Path) bool {
+	for _, l := range p {
+		if !h.g.LinkUp(l) {
+			return false
+		}
+	}
+	return true
+}
+
+func (h *churnHarness) incPath(p graph.Path) []int {
+	out := make([]int, len(p))
+	for i, l := range p {
+		out[i] = h.linkOf[l]
+	}
+	return out
+}
+
+func (h *churnHarness) join(src, dst graph.NodeID, demand rate.Rate) bool {
+	p, err := h.res.HostPath(src, dst)
+	if err != nil || !h.pathUp(p) {
+		return false
+	}
+	hd := h.inc.SessionJoin(demand, h.incPath(p))
+	h.live = append(h.live, harnessSession{h: hd, src: src, dst: dst, demand: demand, path: p})
+	return true
+}
+
+func (h *churnHarness) joinRandom() {
+	i := h.rng.Intn(len(h.hosts))
+	j := h.rng.Intn(len(h.hosts))
+	if i == j {
+		return
+	}
+	demand := rate.Inf
+	if h.rng.Intn(2) == 0 {
+		demand = rate.FromFrac(int64(1+h.rng.Intn(400)), int64(1+h.rng.Intn(5)))
+	}
+	h.join(h.hosts[i], h.hosts[j], demand)
+}
+
+func (h *churnHarness) leaveAt(i int) {
+	h.inc.SessionLeave(h.live[i].h)
+	h.live[i] = h.live[len(h.live)-1]
+	h.live = h.live[:len(h.live)-1]
+}
+
+func (h *churnHarness) leaveRandom() {
+	if len(h.live) == 0 {
+		return
+	}
+	h.leaveAt(h.rng.Intn(len(h.live)))
+}
+
+func (h *churnHarness) setCapRandom() {
+	l := graph.LinkID(h.rng.Intn(h.g.NumLinks()))
+	c := rate.FromFrac(int64(1+h.rng.Intn(2000)), int64(1+h.rng.Intn(3)))
+	h.g.SetCapacity(l, c)
+	h.inc.SetCapacity(h.linkOf[l], c)
+}
+
+// failRandom fails one link the way the network layer does: crossing
+// sessions depart first, then the link goes down, then each departed
+// session rejoins on a fresh shortest path (or stays out if none exists).
+func (h *churnHarness) failRandom() {
+	l := graph.LinkID(h.rng.Intn(h.g.NumLinks()))
+	if !h.g.LinkUp(l) {
+		return
+	}
+	var crossing []harnessSession
+	for i := len(h.live) - 1; i >= 0; i-- {
+		for _, e := range h.live[i].path {
+			if e == l {
+				crossing = append(crossing, h.live[i])
+				h.leaveAt(i)
+				break
+			}
+		}
+	}
+	h.g.FailLink(l)
+	h.inc.FailLink(h.linkOf[l])
+	for _, s := range crossing {
+		h.join(s.src, s.dst, s.demand)
+	}
+}
+
+func (h *churnHarness) restoreRandom() {
+	// Scan a few random links for a failed one; restores are rarer than
+	// fails anyway.
+	for try := 0; try < 8; try++ {
+		l := graph.LinkID(h.rng.Intn(h.g.NumLinks()))
+		if h.g.LinkUp(l) {
+			continue
+		}
+		h.g.RestoreLink(l)
+		h.inc.RestoreLink(h.linkOf[l])
+		return
+	}
+}
+
+func (h *churnHarness) step() {
+	switch h.rng.Intn(10) {
+	case 0, 1, 2:
+		h.joinRandom()
+	case 3, 4:
+		h.leaveRandom()
+	case 5, 6:
+		h.setCapRandom()
+	case 7, 8:
+		h.failRandom()
+	case 9:
+		h.restoreRandom()
+	}
+}
+
+// shadowSolve rebuilds the live instance from scratch and solves it with a
+// fresh Solver.
+func (h *churnHarness) shadowSolve() []rate.Rate {
+	idx := make(map[graph.LinkID]int)
+	var in waterfill.Instance
+	for _, s := range h.live {
+		path := make([]int, 0, len(s.path))
+		for _, l := range s.path {
+			i, ok := idx[l]
+			if !ok {
+				i = len(in.Capacity)
+				idx[l] = i
+				in.Capacity = append(in.Capacity, h.g.Link(l).Capacity)
+			}
+			path = append(path, i)
+		}
+		in.Sessions = append(in.Sessions, waterfill.Session{Demand: s.demand, Path: path})
+	}
+	rates, err := waterfill.Solve(in)
+	if err != nil {
+		h.t.Fatalf("shadow solve: %v", err)
+	}
+	return rates
+}
+
+// checkEquivalence asserts every live session's incremental rate is
+// byte-identical to the shadow full solve.
+func (h *churnHarness) checkEquivalence(step int) {
+	if err := h.inc.Flush(); err != nil {
+		h.t.Fatalf("step %d: flush: %v", step, err)
+	}
+	want := h.shadowSolve()
+	for i, s := range h.live {
+		got := h.inc.Rate(s.h)
+		if got.Key() != want[i].Key() {
+			h.t.Fatalf("step %d: session %d (%d->%d): incremental %s, full %s",
+				step, s.h, s.src, s.dst, got.Key(), want[i].Key())
+		}
+	}
+}
+
+func runChurn(t testing.TB, params topology.InternetParams, hosts, warm, steps int, seed int64, tune func(*waterfill.Incremental)) waterfill.IncrementalStats {
+	h := newChurnHarness(t, params, hosts, seed)
+	if tune != nil {
+		tune(h.inc)
+	}
+	for i := 0; i < warm; i++ {
+		h.joinRandom()
+	}
+	h.checkEquivalence(-1)
+	for i := 0; i < steps; i++ {
+		h.step()
+		// Occasionally batch a second delta into the same flush.
+		if h.rng.Intn(4) == 0 {
+			h.step()
+		}
+		h.checkEquivalence(i)
+	}
+	return h.inc.Stats()
+}
+
+func TestIncrementalChurnEquivalencePaper(t *testing.T) {
+	stats := runChurn(t, topology.InternetPaper, 48, 40, 160, 1,
+		func(inc *waterfill.Incremental) { inc.FallbackPercent = 1000 })
+	if stats.DeltaSolves == 0 {
+		t.Fatalf("no delta solves exercised: %+v", stats)
+	}
+}
+
+// The default fall-back threshold and the cross-check knob get their own
+// pass: small topologies cascade past 25%% of the links all the time, so
+// this exercises the full-solve fall-back path, and CrossCheck exercises
+// the internal comparison solver.
+func TestIncrementalChurnFallbackAndCrossCheck(t *testing.T) {
+	stats := runChurn(t, topology.InternetPaper, 32, 24, 80, 2,
+		func(inc *waterfill.Incremental) { inc.CrossCheck = true })
+	if stats.FullSolves == 0 {
+		t.Fatalf("expected at least one full solve: %+v", stats)
+	}
+}
+
+func TestIncrementalChurnEquivalenceMetro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metro-rung churn equivalence is minutes of full solves; run without -short")
+	}
+	stats := runChurn(t, topology.InternetMetro, 256, 200, 120, 3,
+		func(inc *waterfill.Incremental) { inc.FallbackPercent = 200 })
+	if stats.DeltaSolves == 0 {
+		t.Fatalf("no delta solves exercised: %+v", stats)
+	}
+}
+
+// FuzzIncrementalEquivalence drives the same churn harness from a fuzzed
+// (seed, steps) pair on the Paper rung.
+func FuzzIncrementalEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(40), uint8(50))
+	f.Add(int64(7), uint8(3), uint8(90))
+	f.Add(int64(42), uint8(80), uint8(20))
+	f.Fuzz(func(t *testing.T, seed int64, warm, steps uint8) {
+		runChurn(t, topology.InternetPaper, 32, int(warm)%64, int(steps)%64, seed,
+			func(inc *waterfill.Incremental) { inc.FallbackPercent = 1000 })
+	})
+}
+
+// TestIncrementalFrozenCascade pins the one case that escapes the closure:
+// a leave frees capacity at e, its top group rises into a previously slack
+// link f, f saturates below the rate of a frozen crosser of f, and true
+// max-min pulls that crosser down — which in turn raises its neighbor at a
+// third link h. The verify-and-grow fixpoint must find all of it.
+func TestIncrementalFrozenCascade(t *testing.T) {
+	inc := waterfill.NewIncremental()
+	inc.FallbackPercent = 1000
+	e := inc.AddLink(rate.FromInt64(2))
+	f := inc.AddLink(rate.FromFrac(9, 2)) // 4.5
+	h := inc.AddLink(rate.FromInt64(6))
+	sA := inc.SessionJoin(rate.Inf, []int{e})    // leaves later
+	sU := inc.SessionJoin(rate.Inf, []int{e, f}) // rises, then capped at f
+	sX := inc.SessionJoin(rate.Inf, []int{e, f}) // rises with it
+	sV := inc.SessionJoin(rate.Inf, []int{f, h}) // frozen crosser pulled down
+	sW := inc.SessionJoin(rate.Inf, []int{h})    // rises when v drops
+	if err := inc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Initial: e shares 2 across {a,u,x} → 2/3 each; f: 3 + 4/3 < 4.5 slack;
+	// h: v=w=3.
+	for _, want := range []struct {
+		h int
+		r string
+	}{{sA, "2/3"}, {sU, "2/3"}, {sX, "2/3"}, {sV, "3"}, {sW, "3"}} {
+		if got := inc.Rate(want.h).Key(); got != want.r {
+			t.Fatalf("initial rate of %d: got %s, want %s", want.h, got, want.r)
+		}
+	}
+	inc.SessionLeave(sA)
+	if err := inc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// After the leave: u,x = 1 (e tight), v = 2.5 (f tight), w = 3.5.
+	for _, want := range []struct {
+		h int
+		r string
+	}{{sU, "1"}, {sX, "1"}, {sV, "5/2"}, {sW, "7/2"}} {
+		if got := inc.Rate(want.h).Key(); got != want.r {
+			t.Fatalf("post-leave rate of %d: got %s, want %s", want.h, got, want.r)
+		}
+	}
+	stats := inc.Stats()
+	if stats.FullSolves != 1 || stats.DeltaSolves != 1 || stats.Fallbacks != 0 {
+		t.Fatalf("expected one full (initial) and one delta solve, got %+v", stats)
+	}
+	if stats.GrowRounds == 0 {
+		t.Fatalf("expected the verify-and-grow fixpoint to fire, got %+v", stats)
+	}
+}
+
+// TestIncrementalFailRequiresDeparture pins the FailLink contract: flushing
+// while a session still crosses a failed link reports an error.
+func TestIncrementalFailRequiresDeparture(t *testing.T) {
+	inc := waterfill.NewIncremental()
+	l := inc.AddLink(rate.FromInt64(10))
+	inc.SessionJoin(rate.Inf, []int{l})
+	if err := inc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	inc.FailLink(l)
+	if err := inc.Flush(); err == nil {
+		t.Fatal("flush with a crossed failed link should error")
+	}
+}
