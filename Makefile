@@ -9,9 +9,9 @@
 GO ?= go
 # Bump per PR (BENCH_PR5.json, …) — or pass BENCH_OUT=… — so snapshots
 # accumulate instead of overwriting the previous PR's committed artifact.
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 
-.PHONY: check vet lint build test test-full bench bench-full bench-json fmt docs-check
+.PHONY: check vet lint build test test-full bench bench-full bench-json fmt docs-check mc-smoke
 
 check: vet lint build test bench
 
@@ -61,6 +61,20 @@ bench-json:
 	  $(GO) test -bench='InternetLadder|OracleChurn' -benchtime=1x -benchmem -timeout=30m -run='^$$' . >> $$tmp && \
 	  $(GO) run ./cmd/benchjson -out $(BENCH_OUT) < $$tmp; }; \
 	status=$$?; rm -f $$tmp; exit $$status
+
+# The model-checking gate (DESIGN.md §16): bounded exhaustive DFS over the
+# paper-sized topology (the ≥10k-schedule acceptance test lives in
+# internal/mc), a 200-seed fuzzing swarm on the metro rung under the race
+# detector, and the regression corpus replayed against the build-tag bug
+# doubles — each tagged build reopens one historical hole, and the committed
+# choice trace must catch it. A violation writes mc-violation.trace (CI
+# uploads it as an artifact).
+mc-smoke:
+	$(GO) test -run 'TestPaperExhaustive|TestRegressionCorpus' -count=1 -v ./internal/mc/
+	$(GO) run -race ./cmd/mc -synth metro -sessions 6 -churn 4 -strategy swarm \
+		-seeds 200 -fuzz -live-every 100 -out mc-violation.trace
+	$(GO) test -race -tags mc_stalebug -run StaleBug -count=1 ./internal/mc/
+	$(GO) test -race -tags mc_strandbug -run StrandBug -count=1 ./internal/mc/
 
 fmt:
 	gofmt -w .

@@ -51,6 +51,25 @@ func TestSuiteNamesUnique(t *testing.T) {
 	}
 }
 
+// TestDeterminismScope pins the boundary the schedule explorer depends on:
+// the engine package must stay under the determinism lints (the explorer's
+// replay guarantee is built on the engine being a pure function of its
+// inputs and the recorded picks), while internal/mc itself must stay out —
+// its swarm strategy and churn fuzzer draw from seeded math/rand by design,
+// and adding it to DeterministicPackages would flag every chooser.
+func TestDeterminismScope(t *testing.T) {
+	in := map[string]bool{}
+	for _, p := range analysis.DeterministicPackages {
+		in[p] = true
+	}
+	if !in["bneck/internal/sim"] {
+		t.Error("bneck/internal/sim left DeterministicPackages: the chooser hook must not cost the engine its determinism lint")
+	}
+	if in["bneck/internal/mc"] {
+		t.Error("bneck/internal/mc joined DeterministicPackages: the explorer's seeded randomness is intentional")
+	}
+}
+
 // TestSelfLint runs the whole suite over the module itself: the tree must
 // stay finding-free, so the gate `make lint` enforces cannot rot between CI
 // runs. Skipped in -short mode (it typechecks most of the module).

@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -122,7 +124,14 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		if !buildTagOK(src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %w", err)
 		}
@@ -148,6 +157,33 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	pkg := &Package{Path: path, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
 	l.loaded[path] = pkg
 	return pkg, nil
+}
+
+// buildTagOK reports whether the file's //go:build constraint (if any) is
+// satisfied by the default build: no custom tags, the host OS/arch, gc, and
+// any go1.N version tag. The analysis must see exactly the files a plain
+// `go build` compiles — internal/network's bug-double files, for example,
+// gate mutually exclusive const declarations behind mc_* tags, and loading
+// them all at once is a redeclaration error, not a finding.
+func buildTagOK(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			if expr, err := constraint.Parse(line); err == nil {
+				return expr.Eval(defaultBuildTag)
+			}
+			continue
+		}
+		// Anything else (the package clause, a /* block) ends the region
+		// where a //go:build line may appear.
+		break
+	}
+	return true
+}
+
+func defaultBuildTag(tag string) bool {
+	return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" ||
+		strings.HasPrefix(tag, "go1.")
 }
 
 // Expand resolves CLI package patterns relative to the module root: "./..."

@@ -74,3 +74,26 @@ func (n *transport) rejoinFixed(t int64, fn func()) {
 func (n *transport) sendKeyed(creator int32, t int64, fn func()) {
 	n.eng.SendFrom(creator, t, fn)
 }
+
+// popChosen models the schedule explorer's chooser pop (PR 10): it scans the
+// heap for the chosen same-time event and removes it in place. Removal never
+// pushes — events leave the heap with the key they entered with — so the pop
+// path needs no annotation and stays clean.
+func (e *Engine) popChosen(k int) event {
+	ev := e.events.ev[k]
+	e.events.ev[k] = e.events.ev[len(e.events.ev)-1]
+	e.events.ev = e.events.ev[:len(e.events.ev)-1]
+	return ev
+}
+
+// removeViaRepush is the tempting-but-wrong removal: popping the slot and
+// re-inserting the displaced tail through push. The analyzer cannot tell a
+// re-homed event from a forged one, and the blessed removal (popChosen)
+// never needs a push — so an unannotated re-push is flagged like any bypass.
+func (e *Engine) removeViaRepush(k int) event {
+	ev := e.events.ev[k]
+	last := e.events.ev[len(e.events.ev)-1]
+	e.events.ev = e.events.ev[:len(e.events.ev)-2]
+	e.events.push(last) // want "direct event-heap push"
+	return ev
+}

@@ -32,6 +32,7 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -782,6 +783,11 @@ func (rt *Runtime) Rates() map[core.SessionID]rate.Rate {
 	return out
 }
 
+// ErrStaleIncarnation reports an active session living on a departed
+// incarnation — the live transport's counterpart of
+// network.ErrStaleIncarnation. Classify with errors.Is.
+var ErrStaleIncarnation = errors.New("live: departed-but-active incarnation (stale rejoin)")
+
 // Validate cross-checks, after WaitQuiescent, every routed active session's
 // granted rate against the centralized water-filling oracle and every link
 // task's stability — the same validation the simulator applies, over the
@@ -799,6 +805,14 @@ func (rt *Runtime) Validate() error {
 	for _, s := range rt.order {
 		if !s.active || s.stranded {
 			continue
+		}
+		// No-stale-incarnation: an active session must be living on a fresh
+		// incarnation — Join/rejoin mint a new one whenever the current has
+		// departed, so observing departed here means a stale rejoin.
+		if s.cur.departed {
+			id := s.cur.id
+			rt.mu.Unlock()
+			return fmt.Errorf("live: session %d: %w", id, ErrStaleIncarnation)
 		}
 		ws := waterfill.Session{Demand: s.demand}
 		for _, l := range s.cur.path {

@@ -1,0 +1,231 @@
+package mc
+
+import (
+	"bneck/internal/sim"
+)
+
+// The DFS explorer is stateless model checking by re-execution: each run
+// replays a prefix of picks recorded on the exploration stack, then extends
+// with default picks, creating one stack frame per newly met tie-break.
+// Between runs it backtracks to the deepest frame with an unexplored
+// sibling. Because the engine is deterministic between choice points, the
+// stack's pick vector uniquely identifies a schedule, so the number of
+// completed runs equals the number of distinct schedules explored.
+//
+// Pruning is Godefroid-style sleep sets over an independence relation
+// tailored to the engine's keying: two enabled events commute when their
+// owning (executing) nodes are distinct — they touch disjoint task state,
+// and per-creator FIFO already forbids reordering same-creator events, so
+// the only schedules sleep sets discard are those provably equal to an
+// explored one up to commuting adjacent steps. External events (owner
+// ExtCreator: scripted churn, watchdogs) are dependent with everything —
+// they mutate global network state.
+//
+// The optional delay bound (Emmi et al.'s delay-bounded scheduling) charges
+// picking candidate k a cost of k — the number of default-order events
+// deferred — and abandons branches whose cumulative cost exceeds the
+// budget, concentrating exploration near the default schedule where a
+// counterexample, if any, is shortest.
+
+// dfsFrame is one tie-break on the exploration stack.
+type dfsFrame struct {
+	cands []sim.Choice // the enabled set, sorted by creator
+	// inherited sleep set: events (from ancestor frames) whose exploration
+	// already covers any schedule that runs them before this frame's pick.
+	inherited []sim.Choice
+	// done[i]: candidate i's subtree is fully explored at this frame.
+	done []bool
+	// cur is the candidate currently being explored.
+	cur int
+	// cost is the delay budget consumed by ancestors plus cur at this frame.
+	cost int
+}
+
+// independent reports whether two same-time events commute: distinct owning
+// nodes, neither external. Daemon events are engine machinery (watchdogs,
+// measurement ticks) and stay dependent with everything.
+func independent(a, b sim.Choice) bool {
+	if a.Daemon || b.Daemon {
+		return false
+	}
+	if a.Owner == sim.ExtCreator || b.Owner == sim.ExtCreator {
+		return false
+	}
+	return a.Owner != b.Owner
+}
+
+// sameEvent matches an event across runs by its engine key. Keys are unique
+// within a run and stable across runs sharing the pick prefix.
+func sameEvent(a, b sim.Choice) bool {
+	return a.At == b.At && a.Src == b.Src && a.Seq == b.Seq
+}
+
+// asleep reports whether candidate c is covered by the frame's sleep set.
+func (f *dfsFrame) asleep(i int) bool {
+	if f.done[i] {
+		return true
+	}
+	for _, s := range f.inherited {
+		if sameEvent(s, f.cands[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// dfsPicker drives one run: replay the stack prefix, then extend.
+type dfsPicker struct {
+	e       *dfsExplorer
+	stack   []*dfsFrame
+	replay  int // frames to replay from the previous stack
+	pruned  int
+	maxed   bool // hit MaxDepth this run
+	choices int
+}
+
+func (p *dfsPicker) pick(depth int, cands []sim.Choice) int {
+	p.choices++
+	if depth < p.replay {
+		return p.stack[depth].cur
+	}
+	if p.e.cfg.MaxDepth > 0 && depth >= p.e.cfg.MaxDepth {
+		p.maxed = true
+		return 0
+	}
+	// New frame: inherit the sleep set from the frame above (filtered by its
+	// chosen event), pick the first non-slept candidate within budget.
+	f := &dfsFrame{
+		cands: append([]sim.Choice(nil), cands...),
+		done:  make([]bool, len(cands)),
+	}
+	if depth > 0 {
+		parent := p.stack[depth-1]
+		chosen := parent.cands[parent.cur]
+		if p.e.cfg.Prune {
+			for _, s := range parent.sleepSet() {
+				if independent(s, chosen) {
+					f.inherited = append(f.inherited, s)
+				}
+			}
+		}
+		f.cost = parent.cost
+	}
+	f.cur = p.firstChoice(f)
+	p.stack = append(p.stack, f)
+	return f.cur
+}
+
+// sleepSet materializes the frame's effective sleep set: inherited entries
+// plus every fully explored candidate.
+func (f *dfsFrame) sleepSet() []sim.Choice {
+	out := append([]sim.Choice(nil), f.inherited...)
+	for i, d := range f.done {
+		if d {
+			out = append(out, f.cands[i])
+		}
+	}
+	return out
+}
+
+// firstChoice picks the frame's first candidate: the lowest index not
+// covered by the inherited sleep set and within the delay budget. If every
+// candidate is slept (possible — sleep sets may cover the whole enabled
+// set), index 0 is taken without counting it as new coverage; the schedule
+// below is a re-exploration but soundness is preserved.
+func (p *dfsPicker) firstChoice(f *dfsFrame) int {
+	for i := range f.cands {
+		if f.asleep(i) {
+			continue
+		}
+		if !p.withinBudget(f, i) {
+			continue
+		}
+		return i
+	}
+	return 0
+}
+
+// withinBudget checks the delay bound for picking candidate i at frame f.
+func (p *dfsPicker) withinBudget(f *dfsFrame, i int) bool {
+	if p.e.cfg.DelayBound <= 0 {
+		return true
+	}
+	base := f.cost - f.cur // ancestors' cost (cost includes cur's own index)
+	return base+i <= p.e.cfg.DelayBound
+}
+
+type dfsExplorer struct {
+	m   *Model
+	cfg Config
+}
+
+// exploreDFS enumerates schedules depth-first until a violation, MaxRuns, or
+// exhaustion.
+func exploreDFS(m *Model, cfg Config) (*Result, error) {
+	e := &dfsExplorer{m: m, cfg: cfg}
+	res := &Result{}
+	var stack []*dfsFrame
+	anyMaxed := false
+	for res.Runs < cfg.MaxRuns {
+		p := &dfsPicker{e: e, stack: stack, replay: len(stack)}
+		picks, v := runOnce(m, p)
+		res.Runs++
+		res.ChoicePoints += p.choices
+		res.Pruned += p.pruned
+		anyMaxed = anyMaxed || p.maxed
+		stack = p.stack
+		if v != nil {
+			res.Violation = v
+			return res, nil
+		}
+		_ = picks
+		if cfg.LiveEvery > 0 && res.Runs%cfg.LiveEvery == 0 {
+			res.LiveRuns++
+			if lv := runLive(m, picks); lv != nil {
+				res.Violation = lv
+				return res, nil
+			}
+		}
+		// Backtrack: finish cur at the deepest frame, advance to its next
+		// explorable sibling, popping exhausted frames.
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			top.done[top.cur] = true
+			if nxt := e.nextSibling(top, &res.Pruned); nxt >= 0 {
+				top.cost += nxt - top.cur
+				top.cur = nxt
+				break
+			}
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			// Tree exhausted. If MaxDepth truncated any run, deeper
+			// schedules exist that we did not visit.
+			res.Exhausted = !anyMaxed
+			break
+		}
+		if res.Runs%1000 == 0 {
+			cfg.Log("mc: dfs %d runs, depth %d, %d choice points, %d pruned",
+				res.Runs, len(stack), res.ChoicePoints, res.Pruned)
+		}
+	}
+	return res, nil
+}
+
+// nextSibling finds the next unexplored candidate index after f.cur, honoring
+// the sleep set and delay budget, counting skips as pruned.
+func (e *dfsExplorer) nextSibling(f *dfsFrame, pruned *int) int {
+	base := f.cost - f.cur
+	for i := f.cur + 1; i < len(f.cands); i++ {
+		if f.asleep(i) {
+			*pruned++
+			continue
+		}
+		if e.cfg.DelayBound > 0 && base+i > e.cfg.DelayBound {
+			*pruned++
+			continue
+		}
+		return i
+	}
+	return -1
+}

@@ -1,0 +1,79 @@
+package mc
+
+import (
+	"fmt"
+
+	"bneck/internal/scenario"
+	"bneck/internal/sim"
+)
+
+// picker is the strategy side of a run: it sees each consulted tie-break and
+// returns the candidate index to execute.
+type picker interface {
+	pick(depth int, cands []sim.Choice) int
+}
+
+// recorder adapts a picker to sim.Chooser, recording the pick vector so a
+// violating run can be serialized as a trace.
+type recorder struct {
+	p     picker
+	picks []int
+	depth int
+}
+
+func (r *recorder) Choose(now sim.Time, cands []sim.Choice) int {
+	k := r.p.pick(r.depth, cands)
+	if k < 0 || k >= len(cands) {
+		k = 0
+	}
+	r.depth++
+	r.picks = append(r.picks, k)
+	return k
+}
+
+// runOnce executes one schedule of the model under the picker and checks the
+// simulator-side invariants. It returns the recorded pick vector and, when
+// an invariant failed, the classified violation (with its trace attached).
+// Panics inside the run — protocol state corruption — are converted to
+// KindPanic violations rather than unwinding the exploration.
+func runOnce(m *Model, p picker) (picks []int, v *Violation) {
+	rec := &recorder{p: p}
+	defer func() {
+		picks = rec.picks
+		if e := recover(); e != nil {
+			v = &Violation{
+				Kind:  KindPanic,
+				Err:   fmt.Errorf("run panicked: %v", e),
+				Trace: newTrace(m, rec.picks),
+			}
+		}
+	}()
+	_, err := scenario.RunSimOpts(m.Script, scenario.SimOptions{
+		Chooser:          rec,
+		OracleCrossCheck: true,
+		EpochDeadline:    m.Deadline,
+	})
+	if err != nil {
+		return rec.picks, &Violation{Kind: classify(err), Err: err, Trace: newTrace(m, rec.picks)}
+	}
+	return rec.picks, nil
+}
+
+// runLive executes the model once on the live actor runtime (no chooser —
+// the live transport's nondeterminism is real goroutine scheduling) and
+// classifies any failure. The trace cannot replay a live schedule; it
+// carries the pick vector of the simulator run that sampled it, purely as
+// provenance.
+func runLive(m *Model, simPicks []int) *Violation {
+	if _, err := scenario.RunLive(m.Script); err != nil {
+		return &Violation{Kind: liveKind(err), Err: err, Trace: newTrace(m, simPicks)}
+	}
+	return nil
+}
+
+func liveKind(err error) InvariantKind {
+	if k := classify(err); k == KindStaleIncarnation || k == KindExpectation {
+		return k
+	}
+	return KindLive
+}

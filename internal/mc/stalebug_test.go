@@ -1,0 +1,58 @@
+//go:build mc_stalebug
+
+package mc
+
+import (
+	"testing"
+)
+
+// With the mc_stalebug test double compiled in (the PR 4 bug shape: rejoin
+// reuses the departed incarnation), the committed trace must reproduce a
+// stale-incarnation violation, and the explorer must find one unaided.
+// CI runs this as `go test -tags mc_stalebug -run StaleBug ./internal/mc/`.
+func TestStaleBugTraceReproduces(t *testing.T) {
+	m, err := FromFile("testdata/stale_rejoin.bneck", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadTrace("testdata/stale_rejoin.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Replay(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("committed trace does not reproduce under the stale-rejoin double")
+	}
+	if v.Kind != KindStaleIncarnation {
+		t.Fatalf("violation kind = %v, want %v (err: %v)", v.Kind, KindStaleIncarnation, v.Err)
+	}
+}
+
+func TestStaleBugExplorerFindsIt(t *testing.T) {
+	m, err := FromFile("testdata/stale_rejoin.bneck", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Explore(m, Config{Strategy: "dfs", MaxRuns: 500, MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatalf("explorer missed the stale rejoin in %d runs", res.Runs)
+	}
+	if res.Violation.Kind != KindStaleIncarnation {
+		t.Fatalf("violation kind = %v, want %v (err: %v)",
+			res.Violation.Kind, KindStaleIncarnation, res.Violation.Err)
+	}
+	min, _, err := Minimize(m, res.Violation.Trace, res.Violation.Kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Deviations() > res.Violation.Trace.Deviations() {
+		t.Fatalf("minimization grew the trace: %d > %d deviations",
+			min.Deviations(), res.Violation.Trace.Deviations())
+	}
+}

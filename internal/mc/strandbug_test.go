@@ -1,0 +1,51 @@
+//go:build mc_strandbug
+
+package mc
+
+import (
+	"testing"
+)
+
+// With the mc_strandbug test double compiled in (the PR 2 edge: leaving a
+// stranded session skips the unpark, so a later restore resurrects it), the
+// committed trace must reproduce an expectation violation — the script's
+// expects assert the departed session stays gone.
+// CI runs this as `go test -tags mc_strandbug -run StrandBug ./internal/mc/`.
+func TestStrandBugTraceReproduces(t *testing.T) {
+	m, err := FromFile("testdata/pr2_stranding.bneck", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadTrace("testdata/pr2_stranding.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Replay(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("committed trace does not reproduce under the stranding double")
+	}
+	if v.Kind != KindExpectation {
+		t.Fatalf("violation kind = %v, want %v (err: %v)", v.Kind, KindExpectation, v.Err)
+	}
+}
+
+func TestStrandBugExplorerFindsIt(t *testing.T) {
+	m, err := FromFile("testdata/pr2_stranding.bneck", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Explore(m, Config{Strategy: "dfs", MaxRuns: 500, MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatalf("explorer missed the stranding edge in %d runs", res.Runs)
+	}
+	if res.Violation.Kind != KindExpectation {
+		t.Fatalf("violation kind = %v, want %v (err: %v)",
+			res.Violation.Kind, KindExpectation, res.Violation.Err)
+	}
+}

@@ -1,0 +1,22 @@
+//go:build !mc_stalebug && !mc_strandbug
+
+package network
+
+// Bug-double switches for the schedule-exploration regression corpus
+// (internal/mc/testdata). Production builds compile both to false, so the
+// guarded branches fold away. The doubles resurrect two historical bugs
+// without reverting their fixes:
+//
+//   - mc_stalebug: joinOnPath adopts the departed incarnation instead of
+//     minting a fresh-ID successor — the PR 4 stale-rejoin bug, which let
+//     in-flight responses of the departed lifetime corrupt the new one.
+//   - mc_strandbug: ScheduleLeave skips the stranded fast path — the PR 2
+//     stranding edge, which left a user-departed session parked so a later
+//     restore rejoined it as if the Leave never happened.
+//
+// Each tag breaks the determinism/dynamics suites by design; CI only runs
+// the targeted replay tests under these tags (see `make mc-smoke`).
+const (
+	buggyRejoinReuse        = false
+	buggyLeaveSkipsUnstrand = false
+)

@@ -1,0 +1,9 @@
+//go:build mc_stalebug && !mc_strandbug
+
+package network
+
+// Test double: resurrect the PR 4 stale-rejoin bug (see bugdouble_off.go).
+const (
+	buggyRejoinReuse        = true
+	buggyLeaveSkipsUnstrand = false
+)

@@ -1,0 +1,9 @@
+//go:build mc_strandbug && !mc_stalebug
+
+package network
+
+// Test double: resurrect the PR 2 stranding edge (see bugdouble_off.go).
+const (
+	buggyRejoinReuse        = false
+	buggyLeaveSkipsUnstrand = true
+)

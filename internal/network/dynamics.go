@@ -278,7 +278,7 @@ func (n *Network) joinOrStrand(s *Session, demand rate.Rate) {
 // path; otherwise a successor with a fresh ID joins, so straggler packets of
 // the old incarnation cannot corrupt state on shared links.
 func (n *Network) joinOnPath(s *Session, path graph.Path, demand rate.Rate) *Session {
-	if !s.everJoined {
+	if !s.everJoined || buggyRejoinReuse {
 		s.Path = path
 		n.join(s, demand)
 		return s

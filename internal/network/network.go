@@ -21,6 +21,7 @@
 package network
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -32,6 +33,12 @@ import (
 	"bneck/internal/sim"
 	"bneck/internal/waterfill"
 )
+
+// ErrStaleIncarnation reports a departed session lifetime observed active
+// again — the fresh-ID rule was violated and stale in-flight responses of
+// the departed lifetime could be delivered to the new one (the PR 4 bug
+// shape). Validate returns it wrapped; classify with errors.Is.
+var ErrStaleIncarnation = errors.New("network: departed-but-active incarnation (stale rejoin)")
 
 // Config tunes a simulation run.
 type Config struct {
@@ -584,7 +591,7 @@ func (n *Network) ScheduleJoin(s *Session, at sim.Time, demand rate.Rate) {
 func (n *Network) ScheduleLeave(s *Session, at sim.Time) {
 	n.globalAt(at, func() {
 		cur := s.Current()
-		if cur.stranded {
+		if cur.stranded && !buggyLeaveSkipsUnstrand {
 			n.unstrand(cur)
 			return
 		}
@@ -838,7 +845,7 @@ func (n *Network) wire(id graph.LinkID) *sim.Wire {
 	l := n.g.Link(id)
 	var sched sim.Sched
 	if n.she == nil {
-		sched = serialLinkSched{n.eng, int32(l.From)}
+		sched = serialLinkSched{n.eng, int32(l.From), int32(l.To)}
 	} else {
 		sched = n.she.LinkSched(int32(l.From), int32(l.To))
 	}
@@ -854,10 +861,15 @@ func (n *Network) wire(id graph.LinkID) *sim.Wire {
 type serialLinkSched struct {
 	eng  *sim.Engine
 	from int32
+	to   int32
 }
 
-func (ls serialLinkSched) Now() sim.Time           { return ls.eng.Now() }
-func (ls serialLinkSched) At(t sim.Time, f func()) { ls.eng.SendFrom(ls.from, t, f) }
+func (ls serialLinkSched) Now() sim.Time { return ls.eng.Now() }
+
+// At keys the delivery by the sending node and stamps the receiving node as
+// the event's owner — the key (and so the default order) is unchanged; the
+// owner feeds the schedule explorer's independence relation.
+func (ls serialLinkSched) At(t sim.Time, f func()) { ls.eng.SendFromTo(ls.from, ls.to, t, f) }
 
 // txFor returns the per-packet transmission time on a link of the given
 // capacity: tx = bits / capacity, in seconds.
@@ -959,6 +971,15 @@ func (n *Network) Validate() error {
 	}
 	for _, id := range n.order {
 		s := n.sessByID[id]
+		// No-stale-incarnation: once a lifetime departs it must never come
+		// back as active — a rejoin mints a successor incarnation instead
+		// (PR 4's stale-rejoin bug is exactly this state). Walk the whole
+		// incarnation chain, not just the current one.
+		for inc := s; inc != nil; inc = inc.succ {
+			if inc.departed && inc.active {
+				return fmt.Errorf("network: session %d: %w", id, ErrStaleIncarnation)
+			}
+		}
 		if !s.active {
 			continue
 		}

@@ -68,6 +68,17 @@ func build(sc *Script) (*world, error) {
 			n := w.g.Node(graph.NodeID(i))
 			w.nodes[n.Name] = n.ID
 		}
+	case TopoInternet:
+		inet, err := topology.GenerateInternet(sc.Topo.Inet, sc.Topo.Seed)
+		if err != nil {
+			return nil, err
+		}
+		inet.AddHosts(sc.Topo.Hosts)
+		w.g = inet.Graph
+		for i := 0; i < w.g.NumNodes(); i++ {
+			n := w.g.Node(graph.NodeID(i))
+			w.nodes[n.Name] = n.ID
+		}
 	default:
 		return nil, fmt.Errorf("scenario: no topology")
 	}

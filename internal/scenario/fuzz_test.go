@@ -13,6 +13,8 @@ import (
 func FuzzParse(f *testing.F) {
 	f.Add(handScript)
 	f.Add("topology transit-stub small lan seed=7 hosts=4\nsession s h0 h1\nat 0s join s\n")
+	f.Add("topology internet paper seed=3 hosts=4\nsession s h0 h1\nat 0s join s demand=10mbps\n")
+	f.Add("topology internet warp\n")
 	f.Add("router r1\nrouter r2\nlink r1 r2 10mbps 1us\nat 1ms fail r1 r2\nat 2ms restore r1 r2\n")
 	f.Add("at 99h join ghost\n")
 	f.Add("at zzz join s\n")

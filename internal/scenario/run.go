@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -70,7 +71,39 @@ type SimOptions struct {
 	// Speculate enables optimistic window execution on the sharded engine.
 	// No effect with Shards == 0.
 	Speculate bool
+	// Chooser installs a schedule controller on the engine's same-time
+	// tie-breaking — the model-checking hook (internal/mc). Requires the
+	// classic engine: RunSimOpts errors if combined with Shards != 0.
+	Chooser sim.Chooser
+	// OracleCrossCheck makes the incremental oracle mirror every commit with
+	// an independent full solve (waterfill.ErrCrossCheck on divergence) —
+	// the explorer's oracle-exactness invariant.
+	OracleCrossCheck bool
+	// EpochDeadline bounds each epoch's re-quiescence on the classic engine:
+	// a daemon watchdog stops the run once the clock passes applied+deadline
+	// with regular events still pending, and RunSimOpts returns an
+	// EpochError wrapping ErrQuiescenceOverrun. Zero disables the bound.
+	EpochDeadline time.Duration
 }
+
+// ErrQuiescenceOverrun reports an epoch that was still busy when its
+// SimOptions.EpochDeadline expired — the schedule explorer's quiescence-bound
+// invariant. Test with errors.Is.
+var ErrQuiescenceOverrun = errors.New("scenario: quiescence bound overrun")
+
+// EpochError attributes a validation, expectation, or quiescence failure to
+// the scripted epoch it occurred in. The schedule explorer unwraps it to
+// classify which invariant a schedule violated.
+type EpochError struct {
+	// At is the scripted epoch time.
+	At time.Duration
+	// Err is the underlying failure (network.Validate, an expect assertion,
+	// or ErrQuiescenceOverrun).
+	Err error
+}
+
+func (e *EpochError) Error() string { return fmt.Sprintf("scenario: epoch %v: %v", e.At, e.Err) }
+func (e *EpochError) Unwrap() error { return e.Err }
 
 // RunSim executes the script on the deterministic discrete-event simulator
 // (classic serial engine), validating against the water-filling oracle at
@@ -101,6 +134,7 @@ func RunSimOpts(sc *Script, opt SimOptions) (*Result, error) {
 	// fall-back.
 	cfg.IncrementalOracle = true
 	cfg.OracleFallbackPercent = 400
+	cfg.OracleCrossCheck = opt.OracleCrossCheck
 	shards := opt.Shards
 	windowBatch := opt.WindowBatch
 	if shards < 0 {
@@ -110,8 +144,12 @@ func RunSimOpts(sc *Script, opt SimOptions) (*Result, error) {
 		}
 	}
 	var net *network.Network
+	var eng *sim.Engine
 	var now func() sim.Time
 	if shards >= 1 {
+		if opt.Chooser != nil {
+			return nil, errors.New("scenario: SimOptions.Chooser requires the classic engine (Shards == 0)")
+		}
 		she := sim.NewSharded(shards)
 		if windowBatch > 0 {
 			she.SetWindowBatch(windowBatch)
@@ -119,7 +157,8 @@ func RunSimOpts(sc *Script, opt SimOptions) (*Result, error) {
 		net = network.NewSharded(w.g, she, cfg)
 		now = she.Now
 	} else {
-		eng := sim.New()
+		eng = sim.New()
+		eng.SetChooser(opt.Chooser)
 		net = network.New(w.g, eng, cfg)
 		now = eng.Now
 	}
@@ -138,6 +177,11 @@ func RunSimOpts(sc *Script, opt SimOptions) (*Result, error) {
 	}
 
 	out := &Result{Transport: "sim"}
+	// epochGen invalidates the previous epoch's quiescence watchdog: a
+	// daemon scheduled past an epoch's actual quiescence fires during some
+	// later epoch's run, where pending events are legitimate.
+	epochGen := 0
+	overrun := false
 	for _, ep := range w.epochs {
 		at := ep.at
 		if t := now(); at < t {
@@ -160,12 +204,27 @@ func RunSimOpts(sc *Script, opt SimOptions) (*Result, error) {
 				net.ScheduleSetCapacity(at, ev.Capacity, ev.ab, ev.ba)
 			}
 		}
+		if opt.EpochDeadline > 0 && eng != nil {
+			epochGen++
+			gen := epochGen
+			deadline := at + opt.EpochDeadline
+			eng.DaemonAt(deadline, func() {
+				if gen == epochGen && eng.Pending() > 0 {
+					overrun = true
+					eng.Stop()
+				}
+			})
+		}
 		q := net.Run()
+		if overrun {
+			return nil, &EpochError{At: ep.at, Err: fmt.Errorf("%w: applied at %v, still busy at %v",
+				ErrQuiescenceOverrun, at, at+opt.EpochDeadline)}
+		}
 		if err := net.Validate(); err != nil {
-			return nil, fmt.Errorf("scenario: epoch %v: %w", ep.at, err)
+			return nil, &EpochError{At: ep.at, Err: err}
 		}
 		if err := checkExpectations(w, sc, sessions, ep, counters{net.Migrations(), net.Reoptimizations(), countStranded(sessions)}); err != nil {
-			return nil, err
+			return nil, &EpochError{At: ep.at, Err: err}
 		}
 		er := EpochResult{
 			At:      ep.at,
@@ -236,10 +295,10 @@ func RunLive(sc *Script) (*Result, error) {
 		}
 		rt.WaitQuiescent()
 		if err := rt.Validate(); err != nil {
-			return nil, fmt.Errorf("scenario: epoch %v: %w", ep.at, err)
+			return nil, &EpochError{At: ep.at, Err: err}
 		}
 		if err := checkExpectations(w, sc, sessions, ep, counters{rt.Migrations(), rt.Reoptimizations(), countStranded(sessions)}); err != nil {
-			return nil, err
+			return nil, &EpochError{At: ep.at, Err: err}
 		}
 		er := EpochResult{At: ep.at, Applied: ep.at, Events: describe(ep.events)}
 		er.Active, er.Stranded = countLive(sessions)

@@ -13,6 +13,9 @@
 //
 //	# topology: either one generated...
 //	topology transit-stub small lan seed=42 hosts=24
+//	# ...an internet-ladder rung (paper ≈40, metro ≈1k, global ≈10k routers;
+//	# hosts are named h0, h1, ...):
+//	topology internet paper seed=7 hosts=8
 //	# ...or hand-built from declarations:
 //	router r1
 //	router r2
@@ -139,13 +142,16 @@ type TopoKind int
 const (
 	TopoHand TopoKind = iota + 1
 	TopoTransitStub
+	TopoInternet
 )
 
-// TopoSpec describes the script's topology source.
+// TopoSpec describes the script's topology source. Size/Scen parameterize a
+// transit-stub generation, Inet an internet-ladder one.
 type TopoSpec struct {
 	Kind  TopoKind
 	Size  topology.Params
 	Scen  topology.Scenario
+	Inet  topology.InternetParams
 	Seed  int64
 	Hosts int
 }
@@ -389,8 +395,8 @@ func Parse(src string) (*Script, error) {
 	if sc.Topo.Kind == 0 {
 		sc.Topo.Kind = TopoHand
 	}
-	if sc.Topo.Kind == TopoTransitStub && (len(sc.Routers) > 0 || len(sc.Hosts) > 0 || len(sc.Links) > 0) {
-		return nil, fmt.Errorf("scenario: hand-built declarations cannot mix with a transit-stub topology")
+	if sc.Topo.Kind != TopoHand && (len(sc.Routers) > 0 || len(sc.Hosts) > 0 || len(sc.Links) > 0) {
+		return nil, fmt.Errorf("scenario: hand-built declarations cannot mix with a generated topology")
 	}
 	if sc.Topo.Kind == TopoHand {
 		// Hand-built scripts can validate names at parse time.
@@ -433,7 +439,7 @@ func Parse(src string) (*Script, error) {
 			if sc.Topo.Kind == TopoHand {
 				return nil, fmt.Errorf("scenario: line %d: expect rate names unknown session or host %q", ev.Line, ev.Session)
 			}
-			// Transit-stub host names resolve at build time.
+			// Generated-topology host names resolve at build time.
 		}
 	}
 
@@ -442,6 +448,15 @@ func Parse(src string) (*Script, error) {
 		return nil, err
 	}
 	return sc, nil
+}
+
+// Recheck re-sorts the timeline and re-runs the static consistency checks on
+// a script whose event timestamps were edited after Parse — the churn-timing
+// fuzzer's validity gate: a perturbation that double-fails a link or leaves
+// before joining is rejected exactly like a hand-written script would be.
+func (sc *Script) Recheck() error {
+	sort.SliceStable(sc.Events, func(i, j int) bool { return sc.Events[i].At < sc.Events[j].At })
+	return sc.checkTimeline()
 }
 
 // checkTimeline replays the sorted events statically: session churn must be
@@ -597,8 +612,46 @@ func parseTopology(sc *Script, f []string) error {
 		}
 		sc.Topo = spec
 		return nil
+	case "internet":
+		if len(f) < 2 {
+			return fmt.Errorf("usage: topology internet <paper|metro|global> [seed=N] [hosts=N]")
+		}
+		spec := TopoSpec{Kind: TopoInternet, Seed: 1}
+		switch f[1] {
+		case "paper":
+			spec.Inet = topology.InternetPaper
+		case "metro":
+			spec.Inet = topology.InternetMetro
+		case "global":
+			spec.Inet = topology.InternetGlobal
+		default:
+			return fmt.Errorf("unknown internet rung %q (paper, metro, global)", f[1])
+		}
+		for _, opt := range f[2:] {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return fmt.Errorf("malformed option %q (want key=value)", opt)
+			}
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return fmt.Errorf("option %s: %v", k, err)
+			}
+			switch k {
+			case "seed":
+				spec.Seed = n
+			case "hosts":
+				if n < 0 || n > maxScriptHosts {
+					return fmt.Errorf("hosts=%d out of range [0, %d]", n, maxScriptHosts)
+				}
+				spec.Hosts = int(n)
+			default:
+				return fmt.Errorf("unknown option %q", k)
+			}
+		}
+		sc.Topo = spec
+		return nil
 	default:
-		return fmt.Errorf("unknown topology kind %q (transit-stub, or hand-built declarations)", f[0])
+		return fmt.Errorf("unknown topology kind %q (transit-stub, internet, or hand-built declarations)", f[0])
 	}
 }
 

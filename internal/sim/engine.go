@@ -42,6 +42,12 @@ type Engine struct {
 	stopped  bool     // Stop was called; Run unwinds
 	nEvents  uint64
 	lastBusy Time // time of the most recently executed regular event
+
+	// Schedule-exploration hook (internal/mc): nil in production, so the
+	// Step hot path pays one predictable branch and nothing else.
+	chooser Chooser
+	candBuf []Choice
+	candIdx []int
 }
 
 // New returns an engine with the clock at 0.
@@ -88,7 +94,7 @@ func (e *Engine) schedule(t Time, fn func(), daemon bool) {
 		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
 	}
 	e.seq++
-	e.events.push(event{at: t, src: ExtCreator, seq: e.seq, fn: fn, daemon: daemon})
+	e.events.push(event{at: t, src: ExtCreator, seq: e.seq, fn: fn, owner: ExtCreator, daemon: daemon})
 	if !daemon {
 		e.regular++
 	}
@@ -111,16 +117,23 @@ func (e *Engine) SendFrom(creator int32, t Time, fn func()) {
 		e.ctr = append(e.ctr, make([]uint64, n-len(e.ctr))...)
 	}
 	e.ctr[creator]++
-	e.events.push(event{at: t, src: creator, seq: e.ctr[creator], fn: fn})
+	e.events.push(event{at: t, src: creator, seq: e.ctr[creator], fn: fn, owner: creator})
 	e.regular++
 }
 
 // Step executes the next event. It returns false when no events remain.
+// With a Chooser installed (SetChooser), the event is picked from the
+// enabled set at the frontier time instead of popped in key order.
 func (e *Engine) Step() bool {
 	if e.events.len() == 0 {
 		return false
 	}
-	ev := e.events.pop()
+	var ev event
+	if e.chooser == nil {
+		ev = e.events.pop()
+	} else {
+		ev = e.popChosen()
+	}
 	e.now = ev.at
 	if !ev.daemon {
 		e.regular--
@@ -175,7 +188,8 @@ func (e *Engine) Pending() int { return e.regular }
 // makes the total order independent of how nodes are partitioned into
 // shards, and makes serial runs byte-identical to sharded ones. owner is
 // the node the event executes on, so a repartition can re-home queued
-// events (the serial engine leaves it zero).
+// events and the schedule explorer can decide which events commute (the
+// serial engine stamps it via SendFromTo, defaulting to the creator).
 type event struct {
 	at     Time
 	seq    uint64

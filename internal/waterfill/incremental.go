@@ -45,10 +45,18 @@ package waterfill
 // instance; FuzzIncrementalEquivalence pins exactly that.
 
 import (
+	"errors"
 	"fmt"
 
 	"bneck/internal/rate"
 )
+
+// ErrCrossCheck marks an incremental-vs-full divergence detected by the
+// CrossCheck path: the mirrored incremental solve committed a rate that a
+// fresh full solve of the same instance contradicts. Callers that classify
+// validation failures (the schedule explorer's oracle-exactness invariant)
+// test for it with errors.Is.
+var ErrCrossCheck = errors.New("waterfill: cross-check mismatch")
 
 // DefaultFallbackPercent is the delta-cascade threshold: when the affected
 // component spans more than this percentage of the member-carrying links,
@@ -736,8 +744,8 @@ func (inc *Incremental) crossCheck() error {
 	for ui, u := range order {
 		s := &inc.sessions[u]
 		if !s.lambda.Equal(rates[ui]) {
-			return fmt.Errorf("waterfill: cross-check mismatch for session %d: incremental %v, full %v",
-				u, s.lambda, rates[ui])
+			return fmt.Errorf("%w for session %d: incremental %v, full %v",
+				ErrCrossCheck, u, s.lambda, rates[ui])
 		}
 	}
 	return nil
